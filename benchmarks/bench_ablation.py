@@ -1,0 +1,60 @@
+"""Design-choice ablations (§3.4 encoder, §3.2 duplication, §5.2 ideas).
+
+Run with ``pytest benchmarks/bench_ablation.py --benchmark-only``.
+
+Regenerates the XML-RPC tagger with individual design decisions
+flipped and reports the area/frequency consequences, plus the Fig. 7
+behavioral ablation (longest-match look-ahead on/off).
+"""
+
+import pytest
+
+from repro.bench.ablation import (
+    count_repeat_detections,
+    format_ablation,
+    run_ablation,
+)
+from repro.core.decoder import DecoderOptions
+from repro.core.generator import TaggerGenerator, TaggerOptions
+from repro.grammar.examples import xmlrpc
+
+
+def test_ablation_report(report_sink, benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report_sink("ablation", format_ablation(rows))
+    by_name = {row.name: row for row in rows}
+    baseline = by_name["baseline (or-tree, dup, nib)"]
+    # §3.4: the CASE chain must be dramatically slower.
+    assert (
+        by_name["case-chain encoder"].frequency_mhz
+        < baseline.frequency_mhz / 2
+    )
+    # Fig. 4 per-char decoders must cost clearly more area.
+    assert by_name["per-char Fig. 4 decoders"].n_luts > baseline.n_luts * 1.3
+    # §5.2: replication recovers frequency on the big grammar.
+    assert (
+        by_name["2100B grammar, 2 replica(s)"].frequency_mhz
+        > by_name["2100B grammar, 1 replica(s)"].frequency_mhz
+    )
+
+
+def test_lookahead_ablation(benchmark):
+    with_la, without = benchmark.pedantic(
+        count_repeat_detections, kwargs={"run_length": 12}, rounds=1, iterations=1
+    )
+    assert (with_la, without) == (1, 12)
+
+
+@pytest.mark.parametrize(
+    "label,options",
+    [
+        ("baseline", TaggerOptions()),
+        ("no-dup", TaggerOptions()),
+        ("fig4-decoders", TaggerOptions(decoder=DecoderOptions(nibble_sharing=False))),
+        ("priority-encoder", TaggerOptions(encoder_style="priority")),
+    ],
+)
+def test_generation_cost(benchmark, label, options):
+    grammar = xmlrpc()
+    circuit = benchmark(lambda: TaggerGenerator(options).generate(grammar))
+    assert circuit.netlist.n_gates > 0

@@ -1,0 +1,50 @@
+"""False-positive experiment (§1 motivation) and router throughput.
+
+Run with ``pytest benchmarks/bench_false_positive.py --benchmark-only``.
+
+Quantifies the paper's claim that context-free matching "is
+susceptible to false positive identifications": routing accuracy of
+the contextual router (Fig. 12) vs a naive string matcher over
+adversarial XML-RPC streams, plus software routing throughput.
+"""
+
+import pytest
+
+from repro.apps.xmlrpc import ContentBasedRouter, NaiveRouter, WorkloadGenerator
+from repro.bench.falsepos import run_false_positive
+
+
+def test_false_positive_report(report_sink, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["decoy rate | contextual | naive | naive false positives"]
+    for rate in (0.0, 0.1, 0.3, 0.5, 1.0):
+        result = run_false_positive(
+            n_messages=120, adversarial_rate=rate, seed=2006
+        )
+        lines.append(
+            f"{rate:10.1f} | {result.contextual_correct:>4}/120   | "
+            f"{result.naive_correct:>4}/120 | {result.naive_false_positives}"
+        )
+        assert result.contextual_correct == 120
+        if rate > 0:
+            assert result.naive_correct < 120
+    report_sink("false_positive", "\n".join(lines))
+
+
+@pytest.fixture(scope="module")
+def adversarial_stream():
+    generator = WorkloadGenerator(seed=99, adversarial_rate=0.3)
+    stream, _truth = generator.stream(60)
+    return stream
+
+
+def test_contextual_router_throughput(benchmark, adversarial_stream):
+    router = ContentBasedRouter()
+    messages = benchmark(lambda: router.route(adversarial_stream))
+    assert len(messages) == 60
+
+
+def test_naive_router_throughput(benchmark, adversarial_stream):
+    router = NaiveRouter()
+    messages = benchmark(lambda: router.route(adversarial_stream))
+    assert len(messages) == 60

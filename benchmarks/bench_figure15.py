@@ -1,0 +1,65 @@
+"""Figure 15 regeneration: frequency vs grammar pattern bytes.
+
+Run with ``pytest benchmarks/bench_figure15.py --benchmark-only``.
+
+Prints the five-point Virtex 4 curve (ours vs paper), an ASCII plot,
+and the §4.3 routing-delay breakdown showing the decoded-bit fanout
+becoming the critical path (~2 ns at 3000 bytes). Benchmarks the
+timing-analysis stage across design sizes.
+"""
+
+import pytest
+
+from repro.bench.figure15 import ascii_plot, format_figure15, run_figure15
+from repro.bench.scaling import scale_point_grammar
+from repro.core.generator import TaggerGenerator
+from repro.fpga.device import get_device
+from repro.fpga.techmap import techmap
+from repro.fpga.timing import analyze_timing
+
+
+def test_figure15_report(report_sink, benchmark):
+    points = benchmark.pedantic(run_figure15, rounds=1, iterations=1)
+    breakdown_lines = ["", "§4.3 routing-delay breakdown (worst nets):"]
+    for point in points:
+        worst = point.measured.timing.worst_nets[0]
+        breakdown_lines.append(
+            f"  {point.measured.pattern_bytes:>5}B: net {worst.net} "
+            f"fanout {worst.fanout} route {worst.route_ns:.2f} ns"
+        )
+    report_sink(
+        "figure15",
+        format_figure15(points) + "\n" + ascii_plot(points)
+        + "\n".join(breakdown_lines),
+    )
+    freqs = [p.measured.frequency_mhz for p in points]
+    assert all(a >= b - 1e-6 for a, b in zip(freqs, freqs[1:]))
+    assert points[-1].worst_route_ns == pytest.approx(2.0, abs=0.15)
+
+
+@pytest.mark.parametrize("copies", [1, 4, 9])
+def test_timing_analysis_speed(benchmark, copies):
+    circuit = TaggerGenerator().generate(scale_point_grammar(copies))
+    mapping = techmap(circuit.netlist)
+    device = get_device("virtex4-lx200")
+    report = benchmark(lambda: analyze_timing(mapping, device))
+    assert report.frequency_mhz > 0
+
+
+def test_dense_sweep_report(report_sink, benchmark):
+    """Extra resolution beyond the paper's five points."""
+    device = get_device("virtex4-lx200")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["dense sweep (copies 1..10):",
+             "bytes  LUTs  L/B   MHz   Gbps"]
+    for copies in range(1, 11):
+        circuit = TaggerGenerator().generate(scale_point_grammar(copies))
+        report = __import__(
+            "repro.fpga.report", fromlist=["implement"]
+        ).implement(circuit, device)
+        lines.append(
+            f"{report.pattern_bytes:>5} {report.n_luts:>5} "
+            f"{report.luts_per_byte:4.2f} {report.frequency_mhz:5.0f} "
+            f"{report.bandwidth_gbps:5.2f}"
+        )
+    report_sink("figure15_dense", "\n".join(lines))

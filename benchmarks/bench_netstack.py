@@ -1,0 +1,81 @@
+"""Packet path benchmarks (§5.2 FPX deployment substrate).
+
+Run with ``pytest benchmarks/bench_netstack.py --benchmark-only``.
+
+Measures the software packet plumbing the tagger sits behind: frame
+parse rate, TCP reassembly under impairment, and the end-to-end
+packets → routed-messages pipeline.
+"""
+
+import pytest
+
+from repro.apps.netstack import TCPReassembler, TaggingWrapper, TraceGenerator
+from repro.apps.netstack.packets import Packet
+from repro.apps.xmlrpc import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    workload = WorkloadGenerator(seed=31)
+    payloads = []
+    for _ in range(6):
+        stream, _truth = workload.stream(4)
+        payloads.append(stream)
+    generator = TraceGenerator(
+        seed=7, mss=64, reorder_rate=0.25, duplicate_rate=0.15
+    )
+    packets = generator.trace(payloads)
+    return packets, generator.wire_bytes(packets)
+
+
+def test_netstack_report(report_sink, benchmark, trace):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    packets, frames = trace
+    wrapper = TaggingWrapper()
+    results = wrapper.process(frames=frames)
+    stats = wrapper.reassembler.stats
+    total_payload = sum(len(r.payload) for r in results)
+    total_messages = sum(len(r.messages) for r in results)
+    lines = [
+        f"trace: {len(frames)} frames, "
+        f"{sum(len(f) for f in frames)} wire bytes, {stats.flows} flows",
+        f"reassembly: {stats.in_order} in-order, "
+        f"{stats.out_of_order} out-of-order, {stats.duplicates} duplicates",
+        f"delivered: {total_payload} payload bytes, "
+        f"{total_messages} XML-RPC messages routed",
+    ]
+    assert wrapper.malformed == 0
+    assert total_messages == 24
+    report_sink("netstack", "\n".join(lines))
+
+
+def test_frame_parse_rate(benchmark, trace):
+    _packets, frames = trace
+    parsed = benchmark(lambda: [Packet.parse(f) for f in frames])
+    assert len(parsed) == len(frames)
+
+
+def test_reassembly_rate(benchmark, trace):
+    packets, _frames = trace
+
+    def reassemble():
+        reassembler = TCPReassembler()
+        total = 0
+        for packet in packets:
+            _key, data = reassembler.push(packet)
+            total += len(data)
+        return total
+
+    total = benchmark(reassemble)
+    assert total > 0
+
+
+def test_end_to_end_rate(benchmark, trace):
+    _packets, frames = trace
+
+    def pipeline():
+        wrapper = TaggingWrapper()
+        return wrapper.process(frames=frames)
+
+    results = benchmark(pipeline)
+    assert results

@@ -1,0 +1,73 @@
+"""Context-aware NIDS scanning at scale (§5.1 application).
+
+Run with ``pytest benchmarks/bench_nids.py --benchmark-only``.
+
+Scales the §1 false-positive argument to a signature *set*: N byte
+patterns that are malicious only inside base64 payloads, swept over an
+XML-RPC stream that also carries the same byte patterns as innocent
+strings and method names. Reports contextual alerts vs naive hits and
+the resulting false-positive rate, plus scan throughput.
+"""
+
+import pytest
+
+from repro.apps.nids import ContextSignatureScanner, Signature
+from repro.apps.xmlrpc import Base64Value, MethodCall, StringValue
+from repro.grammar.examples import xmlrpc
+
+
+def _signature_set(n: int) -> list[Signature]:
+    return [
+        Signature(
+            name=f"sig{i}",
+            pattern=f"BAD{i:02d}".encode(),
+            contexts=frozenset({"base64"}),
+        )
+        for i in range(n)
+    ]
+
+
+def _stream(n_signatures: int, repeats: int) -> tuple[bytes, int]:
+    """Messages carrying each signature once maliciously (base64) and
+    twice innocently (string payload + method name)."""
+    chunks = []
+    malicious = 0
+    for _ in range(repeats):
+        for i in range(n_signatures):
+            pattern = f"BAD{i:02d}"
+            chunks.append(
+                MethodCall("upload", (Base64Value(f"AA{pattern}ZZ"),)).encode()
+            )
+            malicious += 1
+            chunks.append(
+                MethodCall(pattern, (StringValue(pattern),)).encode()
+            )
+    return b"".join(chunks), malicious
+
+
+def test_nids_report(report_sink, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    grammar = xmlrpc()
+    lines = ["sigs | malicious | contextual alerts | naive hits | naive FPs"]
+    for n in (4, 16, 32):
+        scanner = ContextSignatureScanner(grammar, _signature_set(n))
+        stream, malicious = _stream(n, repeats=2)
+        comparison = scanner.compare_with_naive(stream)
+        lines.append(
+            f"{n:>4} | {malicious:>9} | {len(comparison.alerts):>17} | "
+            f"{len(comparison.naive_hits):>10} | "
+            f"{comparison.false_positives}"
+        )
+        assert len(comparison.alerts) == malicious  # no misses
+        # every innocent embedding is a naive false positive
+        assert comparison.false_positives == 2 * malicious
+    report_sink("nids", "\n".join(lines))
+
+
+@pytest.mark.parametrize("n_signatures", [8, 32])
+def test_contextual_scan_rate(benchmark, n_signatures):
+    grammar = xmlrpc()
+    scanner = ContextSignatureScanner(grammar, _signature_set(n_signatures))
+    stream, malicious = _stream(n_signatures, repeats=1)
+    alerts = benchmark(lambda: scanner.scan(stream))
+    assert len(alerts) == malicious

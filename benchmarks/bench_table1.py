@@ -1,0 +1,58 @@
+"""Table 1 regeneration: device utilization for XML token taggers.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only``.
+
+Prints (and writes to ``benchmarks/results/table1.txt``) every row of
+the paper's Table 1 — measured next to published — and benchmarks the
+full per-design-point pipeline: grammar scaling → hardware generation
+→ LUT mapping → timing analysis.
+"""
+
+import pytest
+
+from repro.bench.scaling import scale_point_grammar
+from repro.bench.table1 import format_table1, run_table1
+from repro.core.generator import TaggerGenerator
+from repro.fpga.device import get_device
+from repro.fpga.report import implement
+
+
+def test_table1_report(report_sink, benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    report_sink("table1", format_table1(rows))
+    # Sanity: anchors hold whenever the table is regenerated.
+    by_key = {(r.paper[0], r.paper[3]): r.measured for r in rows}
+    assert by_key[("virtex4-lx200", 300)].frequency_mhz == pytest.approx(
+        533, rel=0.02
+    )
+    assert by_key[("virtexe-2000", 300)].frequency_mhz == pytest.approx(
+        196, rel=0.02
+    )
+
+
+@pytest.mark.parametrize("copies,label", [(1, "300B"), (4, "1200B"), (9, "3000B")])
+def test_design_point_pipeline(benchmark, copies, label):
+    """End-to-end cost of producing one Table 1 row."""
+    grammar = scale_point_grammar(copies)
+    device = get_device("virtex4-lx200")
+
+    def produce_row():
+        circuit = TaggerGenerator().generate(grammar)
+        return implement(circuit, device)
+
+    report = benchmark(produce_row)
+    assert report.n_luts > 0
+
+
+def test_generation_only(benchmark):
+    grammar = scale_point_grammar(1)
+    circuit = benchmark(lambda: TaggerGenerator().generate(grammar))
+    assert circuit.netlist.n_gates > 0
+
+
+def test_techmap_only(benchmark):
+    from repro.fpga.techmap import techmap
+
+    circuit = TaggerGenerator().generate(scale_point_grammar(4))
+    result = benchmark(lambda: techmap(circuit.netlist))
+    assert result.n_luts > 0

@@ -1,0 +1,118 @@
+"""Processing-rate comparison: hardware model vs software parsers.
+
+Run with ``pytest benchmarks/bench_throughput.py --benchmark-only``.
+
+The paper's headline numbers (1.57 Gbps VirtexE / 4.26 Gbps Virtex 4)
+are *hardware model* outputs: one byte per cycle at the achieved clock
+rate. This bench reports those modelled rates next to the measured
+wall-clock rates of the software implementations — the behavioral
+tagger twin, the LL(1) parser, the recursive-descent parser, and the
+cycle-accurate gate-level simulation — making explicit which numbers
+are simulated and which are host-machine measurements.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.xmlrpc import WorkloadGenerator
+from repro.core.generator import TaggerGenerator
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.fpga.device import get_device
+from repro.fpga.report import implement
+from repro.grammar.examples import xmlrpc
+from repro.software.lexer import Lexer
+from repro.software.ll1 import LL1Parser
+from repro.software.recursive_descent import RecursiveDescentParser
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return xmlrpc()
+
+
+@pytest.fixture(scope="module")
+def stream():
+    generator = WorkloadGenerator(seed=41)
+    data, _truth = generator.stream(120)
+    return data
+
+
+def _gbps(n_bytes: int, seconds: float) -> float:
+    return n_bytes * 8 / seconds / 1e9
+
+
+def test_rate_report(report_sink, grammar, stream, benchmark):
+    """One table with every engine's processing rate on one stream."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+
+    circuit = TaggerGenerator().generate(grammar)
+    for device_key in ("virtex4-lx200", "virtexe-2000"):
+        report = implement(circuit, get_device(device_key))
+        rows.append(
+            (f"hardware model ({report.device.name})",
+             report.bandwidth_gbps, "modelled: 1 byte/cycle x clock")
+        )
+
+    engines = [
+        ("behavioral tagger", BehavioralTagger(grammar).tag),
+        ("LL(1) parser", lambda d: LL1Parser(grammar).parse_stream(d)),
+        ("maximal-munch lexer", Lexer(grammar.lexspec).tokenize),
+    ]
+    for name, run in engines:
+        start = time.perf_counter()
+        run(stream)
+        elapsed = time.perf_counter() - start
+        rows.append((name, _gbps(len(stream), elapsed), "host wall-clock"))
+
+    small = stream[:600]
+    gate = GateLevelTagger(circuit)
+    start = time.perf_counter()
+    gate.events(small)
+    elapsed = time.perf_counter() - start
+    rows.append(
+        ("gate-level simulation", _gbps(len(small), elapsed),
+         "host wall-clock (cycle-accurate)")
+    )
+
+    width = max(len(r[0]) for r in rows)
+    lines = [f"{name:<{width}}  {gbps:>12.6f} Gbps  ({note})"
+             for name, gbps, note in rows]
+    report_sink("throughput", "\n".join(lines))
+
+    modelled = dict((r[0], r[1]) for r in rows)
+    assert modelled["hardware model (Virtex4 LX200)"] == pytest.approx(4.26, rel=0.02)
+    assert modelled["hardware model (VirtexE 2000)"] == pytest.approx(1.57, rel=0.02)
+
+
+def test_behavioral_tagger_rate(benchmark, grammar, stream):
+    tagger = BehavioralTagger(grammar)
+    tokens = benchmark(lambda: tagger.tag(stream))
+    assert tokens
+
+
+def test_ll1_parser_rate(benchmark, grammar, stream):
+    parser = LL1Parser(grammar)
+    results = benchmark(lambda: parser.parse_stream(stream))
+    assert results
+
+
+def test_recursive_descent_rate(benchmark, grammar):
+    parser = RecursiveDescentParser(grammar)
+    generator = WorkloadGenerator(seed=42)
+    call, _p, _d = generator.message()
+    data = call.encode()
+    tokens = benchmark(lambda: parser.parse(data))
+    assert tokens
+
+
+def test_gate_level_simulation_rate(benchmark, grammar):
+    circuit = TaggerGenerator().generate(grammar)
+    gate = GateLevelTagger(circuit)
+    message = (
+        b"<methodCall><methodName>buy</methodName>"
+        b"<params><param><i4>1</i4></param></params></methodCall>"
+    )
+    events = benchmark(lambda: gate.events(message))
+    assert events

@@ -1,0 +1,66 @@
+"""Wide-datapath scaling study (§5.2 future work, realized).
+
+Run with ``pytest benchmarks/bench_wide.py --benchmark-only``.
+
+"Other improvements in speed can be gained by scaling the design to
+process 32-bits or 64-bits per clock cycle." This bench generates the
+XML-RPC tagger at 1/2/4/8 bytes per cycle and reports the emergent
+trade-off on the Virtex 4 model: logic depth and LUTs grow with lane
+count, frequency falls, and net bandwidth = frequency × 8 × lanes
+still climbs — with diminishing returns.
+"""
+
+import pytest
+
+from repro.core.wide import WideGateLevelTagger, WideTaggerGenerator
+from repro.fpga.device import get_device
+from repro.fpga.techmap import techmap
+from repro.fpga.timing import analyze_timing
+from repro.grammar.examples import xmlrpc
+from repro.rtl.analysis import max_logic_depth
+
+
+def test_wide_scaling_report(report_sink, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    grammar = xmlrpc()
+    device = get_device("virtex4-lx200")
+    lines = ["lanes  depth  LUTs   MHz   net-Gbps"]
+    previous_bw = 0.0
+    previous_freq = None
+    for lanes in (1, 2, 4, 8):
+        circuit = WideTaggerGenerator(lanes).generate(grammar)
+        mapping = techmap(circuit.netlist)
+        timing = analyze_timing(mapping, device)
+        bandwidth = timing.frequency_mhz * 8 * lanes / 1000
+        lines.append(
+            f"{lanes:>5} {max_logic_depth(circuit.netlist):>6} "
+            f"{mapping.n_luts:>5} {timing.frequency_mhz:>5.0f} "
+            f"{bandwidth:>9.2f}"
+        )
+        assert bandwidth > previous_bw  # net win at every width
+        if previous_freq is not None:
+            assert timing.frequency_mhz < previous_freq  # clock cost
+        previous_bw, previous_freq = bandwidth, timing.frequency_mhz
+    lines.append(
+        "(paper §5.2: '32-bits or 64-bits per clock cycle' — the "
+        "4-lane point is the 32-bit design)"
+    )
+    report_sink("wide_datapath", "\n".join(lines))
+
+
+@pytest.mark.parametrize("lanes", [2, 4])
+def test_wide_generation_cost(benchmark, lanes):
+    grammar = xmlrpc()
+    circuit = benchmark(lambda: WideTaggerGenerator(lanes).generate(grammar))
+    assert circuit.lanes == lanes
+
+
+def test_wide_simulation_rate(benchmark):
+    grammar = xmlrpc()
+    wide = WideGateLevelTagger(WideTaggerGenerator(4).generate(grammar))
+    message = (
+        b"<methodCall><methodName>buy</methodName>"
+        b"<params><param><i4>1</i4></param></params></methodCall>"
+    )
+    events = benchmark(lambda: wide.events(message))
+    assert events

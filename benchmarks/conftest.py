@@ -1,0 +1,42 @@
+"""Shared benchmark utilities: results directory and report sink."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+_written_this_session: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def report_sink(results_dir):
+    """Write (and echo) a named experiment report."""
+
+    def write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        _written_this_session.append(name)
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return write
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Echo every experiment report into the visible run summary."""
+    for name in _written_this_session:
+        path = RESULTS_DIR / f"{name}.txt"
+        if not path.exists():
+            continue
+        terminalreporter.section(f"experiment report: {name}")
+        terminalreporter.write(path.read_text())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The balanced-parenthesis grammar and the PDA→FSA collapse (Fig. 2).
+
+The paper's key design decision (§3.1): recursive parser state is not
+kept in hardware, collapsing the push-down automaton of Fig. 2a into
+the finite automaton of Fig. 2b. The tagger therefore accepts a
+*superset* of the language — token order is enforced, nesting balance
+is not. This example shows both sides:
+
+* balanced input tags exactly like the true (LL(1)) parser;
+* unbalanced-but-locally-legal input still streams through the tagger
+  (the superset), while the true parser rejects it.
+
+Run:  python examples/balanced_parens.py
+"""
+
+from repro import BehavioralTagger
+from repro.errors import ParseError
+from repro.grammar.examples import balanced_parens
+from repro.software import LL1Parser
+
+
+def show(tagger: BehavioralTagger, parser: LL1Parser, data: bytes) -> None:
+    tags = " ".join(f"{t.token}@{t.context}" for t in tagger.tag(data))
+    try:
+        parser.parse(data)
+        verdict = "accepted by true parser"
+    except ParseError as exc:
+        verdict = f"REJECTED by true parser ({exc})"
+    print(f"  {data.decode()!r:<12} tagger: [{tags}]")
+    print(f"  {'':<12} {verdict}")
+
+
+def main() -> None:
+    grammar = balanced_parens()
+    print(grammar.describe())
+    tagger = BehavioralTagger(grammar)
+    parser = LL1Parser(grammar)
+
+    print("\nBalanced sentences (language of the grammar):")
+    for data in (b"0", b"(0)", b"((0))", b"( ( 0 ) )"):
+        show(tagger, parser, data)
+
+    print("\nUnbalanced sentences (the FSA superset of Fig. 2b):")
+    print("every adjacent token pair is legal, so the stack-less tagger")
+    print("still tags them; only the true parser catches the imbalance:")
+    for data in (b"((0)", b"(0))"):
+        show(tagger, parser, data)
+
+    print("\nLocally illegal input (caught even without a stack):")
+    print("')' may not follow '(' in any sentence, so it is never tagged;")
+    print("after an accepting token the start tokens re-arm (streaming):")
+    for data in (b"()", b"0)("):
+        tags = [str(t) for t in tagger.tag(data)]
+        print(f"  {data.decode()!r:<8} tagger emits {tags}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Context-aware intrusion signatures and content filtering (§3.5/§5.1).
+
+Two back-ends on the same XML-RPC tagger:
+
+* a signature scanner that alerts on a byte pattern only when it
+  appears in a sensitive grammatical context (base64 payloads), while
+  the same bytes in a method name are benign — compared against a
+  context-free sweep that alarms on both;
+* a content filter that drops messages calling a forbidden method,
+  while the same word inside a string parameter passes.
+
+Run:  python examples/nids_filter.py
+"""
+
+from repro.apps.content_filter import ContentFilter, FilterRule
+from repro.apps.nids import ContextSignatureScanner, Signature
+from repro.apps.xmlrpc import Base64Value, MethodCall, StringValue
+from repro.grammar.examples import xmlrpc
+
+
+def demo_signatures() -> None:
+    grammar = xmlrpc()
+    scanner = ContextSignatureScanner(
+        grammar,
+        signatures=[
+            Signature(
+                name="shellcode-marker",
+                pattern=b"90cc90",
+                contexts=frozenset({"base64"}),
+            )
+        ],
+    )
+    stream = b"".join(
+        call.encode()
+        for call in (
+            # Malicious: the marker inside a base64 payload.
+            MethodCall("upload", (Base64Value("AAAA90cc90AAAA"),)),
+            # Benign: the same bytes as an innocent string parameter.
+            MethodCall("echo", (StringValue("90cc90"),)),
+        )
+    )
+    comparison = scanner.compare_with_naive(stream)
+    print("signature scan over two messages:")
+    for alert in comparison.alerts:
+        print(f"  ALERT {alert.signature} in <{alert.context}> "
+              f"at [{alert.start}:{alert.end}]")
+    print(f"  naive context-free sweep hits: {len(comparison.naive_hits)}")
+    print(f"  false positives avoided by context: "
+          f"{comparison.false_positives}")
+
+
+def demo_filter() -> None:
+    grammar = xmlrpc()
+    content_filter = ContentFilter(
+        grammar,
+        rules=[FilterRule(value=b"withdraw", context="methodName")],
+    )
+    stream = b"".join(
+        call.encode()
+        for call in (
+            MethodCall("withdraw", ()),                    # forbidden
+            MethodCall("deposit", (StringValue("withdraw"),)),  # fine
+        )
+    )
+    print("\ncontent filter (forbid method 'withdraw'):")
+    for decision in content_filter.filter(stream):
+        verdict = "DROP" if decision.dropped else "pass"
+        print(f"  [{decision.start}:{decision.end}] {verdict} "
+              f"{decision.flags or ''}")
+    survivors = content_filter.passed(stream)
+    print(f"  {survivors.count(b'<methodCall>')} of 2 messages pass")
+
+
+if __name__ == "__main__":
+    demo_signatures()
+    demo_filter()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The evaluation environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs cannot build; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` via the fallback) use the classic develop path.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

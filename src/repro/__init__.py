@@ -1,0 +1,82 @@
+"""repro — reproduction of "Context-Free-Grammar based Token Tagger in
+Reconfigurable Devices" (Cho, Moscola, Lockwood).
+
+The package turns a context-free grammar into a simulated FPGA token
+tagger: a gate-level netlist of character decoders, regex tokenizer
+chains, Follow-set control flow and a pipelined index encoder, plus
+the area (LUT) and timing (frequency/bandwidth) models that regenerate
+the paper's Table 1 and Figure 15.
+
+Quickstart
+----------
+>>> from repro import BehavioralTagger, grammar_from_yacc
+>>> g = grammar_from_yacc('''
+... %%
+... E: "if" C "then" E "else" E | "go" | "stop";
+... C: "true" | "false";
+... ''')
+>>> tagger = BehavioralTagger(g)
+>>> [t.token for t in tagger.tag(b"if true then go else stop")]
+['if', 'true', 'then', 'go', 'else', 'stop']
+"""
+
+from repro.core import (
+    BehavioralTagger,
+    GateLevelTagger,
+    TaggedToken,
+    TaggerCircuit,
+    TaggerGenerator,
+    TaggerOptions,
+)
+from repro.core.backend import Backend, TaggingPipeline
+from repro.core.stack import StackTagger
+from repro.core.wide import WideGateLevelTagger, WideTaggerGenerator
+from repro.core.decoder import DecoderOptions
+from repro.core.tokenizer import TokenizerTemplateOptions
+from repro.core.wiring import WiringOptions
+from repro.errors import ReproError
+from repro.fpga import Device, get_device, implement, techmap
+from repro.grammar import Grammar, LexSpec
+from repro.grammar.dtd import dtd_to_grammar, parse_dtd
+from repro.grammar.yacc_parser import load_yacc_grammar, parse_yacc_grammar
+from repro.rtl import Netlist, Simulator, emit_vhdl
+
+__version__ = "1.0.0"
+
+#: Friendly alias used throughout the examples.
+grammar_from_yacc = parse_yacc_grammar
+grammar_from_dtd = dtd_to_grammar
+
+__all__ = [
+    "Backend",
+    "BehavioralTagger",
+    "DecoderOptions",
+    "Device",
+    "GateLevelTagger",
+    "Grammar",
+    "LexSpec",
+    "Netlist",
+    "ReproError",
+    "Simulator",
+    "StackTagger",
+    "TaggedToken",
+    "TaggerCircuit",
+    "TaggerGenerator",
+    "TaggerOptions",
+    "TaggingPipeline",
+    "TokenizerTemplateOptions",
+    "WideGateLevelTagger",
+    "WideTaggerGenerator",
+    "WiringOptions",
+    "__version__",
+    "dtd_to_grammar",
+    "emit_vhdl",
+    "get_device",
+    "grammar_from_dtd",
+    "grammar_from_yacc",
+    "implement",
+    "load_yacc_grammar",
+    "parse_dtd",
+    "parse_yacc_grammar",
+    "techmap",
+]

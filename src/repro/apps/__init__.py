@@ -1,0 +1,34 @@
+"""Applications built on the token tagger (the paper's §4 and §5.1).
+
+* :mod:`repro.apps.xmlrpc` — the XML-RPC content-based message router
+  of §4 (Fig. 12), with message model, workload generator and both
+  context-aware and naive baselines;
+* :mod:`repro.apps.content_filter` — a token-context content filter;
+* :mod:`repro.apps.nids` — a context-aware signature tagger in the
+  style of the network-intrusion-detection applications of §5.1.
+"""
+
+from repro.apps.xmlrpc import (
+    ContentBasedRouter,
+    MethodCall,
+    NaiveRouter,
+    RoutedMessage,
+    ServiceTable,
+    WorkloadGenerator,
+)
+from repro.apps.content_filter import ContentFilter, FilterRule
+from repro.apps.nids import ContextSignatureScanner, Signature, SignatureAlert
+
+__all__ = [
+    "ContentBasedRouter",
+    "ContentFilter",
+    "ContextSignatureScanner",
+    "FilterRule",
+    "MethodCall",
+    "NaiveRouter",
+    "RoutedMessage",
+    "ServiceTable",
+    "Signature",
+    "SignatureAlert",
+    "WorkloadGenerator",
+]

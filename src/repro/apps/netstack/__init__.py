@@ -1,0 +1,43 @@
+"""Packet-processing substrate for the FPX deployment (§5.2).
+
+"We also plan to incorporate this work into the Field-programmable
+Port Extender (FPX). … Modules have already been developed for the
+FPX that aid in the processing of common protocols such as IP and
+TCP." (§5.2, citing the layered protocol wrappers and TCP-Splitter)
+
+The paper's tagger processes *network streams*; this package builds
+the plumbing it would sit behind on the FPX:
+
+* :mod:`repro.apps.netstack.packets` — Ethernet/IPv4/TCP header
+  model, serialization, checksums;
+* :mod:`repro.apps.netstack.flows` — a TCP-Splitter-style in-order
+  byte-stream reassembler (monitor-side: no retransmission, just
+  sequence tracking and reorder buffering);
+* :mod:`repro.apps.netstack.tracegen` — synthetic trace generation
+  (segmentation, flow interleaving, reordering, duplication);
+* :mod:`repro.apps.netstack.wrapper` — the layered wrapper: packets
+  in, per-flow tagged tokens / routed messages out.
+"""
+
+from repro.apps.netstack.packets import (
+    EthernetHeader,
+    IPv4Header,
+    Packet,
+    TCPHeader,
+    ipv4_checksum,
+)
+from repro.apps.netstack.flows import FlowKey, TCPReassembler
+from repro.apps.netstack.tracegen import TraceGenerator
+from repro.apps.netstack.wrapper import TaggingWrapper
+
+__all__ = [
+    "EthernetHeader",
+    "FlowKey",
+    "IPv4Header",
+    "Packet",
+    "TCPHeader",
+    "TCPReassembler",
+    "TaggingWrapper",
+    "TraceGenerator",
+    "ipv4_checksum",
+]

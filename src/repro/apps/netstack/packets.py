@@ -1,0 +1,205 @@
+"""Ethernet / IPv4 / TCP packet model.
+
+Binary-faithful header structures with serialization, parsing and the
+IPv4 header checksum — the protocol layers the FPX wrappers [5] strip
+before content processing. Only the fields the reproduction exercises
+are modelled; everything serializes to correct wire format so the
+parse/serialize round-trip is testable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import BackendError
+
+ETHERTYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+
+
+def ipv4_checksum(header: bytes) -> int:
+    """RFC 791 ones-complement sum over 16-bit words."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", header):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _parse_mac(text: str) -> bytes:
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise BackendError(f"bad MAC address {text!r}")
+    return bytes(int(p, 16) for p in parts)
+
+
+def _parse_ip(text: str) -> bytes:
+    parts = text.split(".")
+    if len(parts) != 4 or any(not 0 <= int(p) <= 255 for p in parts):
+        raise BackendError(f"bad IPv4 address {text!r}")
+    return bytes(int(p) for p in parts)
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """14-byte Ethernet II header."""
+
+    dst: str = "02:00:00:00:00:02"
+    src: str = "02:00:00:00:00:01"
+    ethertype: int = ETHERTYPE_IPV4
+
+    def serialize(self) -> bytes:
+        return _parse_mac(self.dst) + _parse_mac(self.src) + struct.pack(
+            "!H", self.ethertype
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["EthernetHeader", bytes]:
+        if len(data) < 14:
+            raise BackendError("truncated Ethernet header")
+        dst = ":".join(f"{b:02x}" for b in data[0:6])
+        src = ":".join(f"{b:02x}" for b in data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(dst=dst, src=src, ethertype=ethertype), data[14:]
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """20-byte IPv4 header (no options)."""
+
+    src: str
+    dst: str
+    protocol: int = PROTO_TCP
+    ttl: int = 64
+    identification: int = 0
+    total_length: int = 20
+
+    def serialize(self) -> bytes:
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,          # version + IHL
+            0,                      # DSCP/ECN
+            self.total_length,
+            self.identification,
+            0,                      # flags/fragment offset
+            self.ttl,
+            self.protocol,
+            0,                      # checksum placeholder
+            _parse_ip(self.src),
+            _parse_ip(self.dst),
+        )
+        checksum = ipv4_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["IPv4Header", bytes]:
+        if len(data) < 20:
+            raise BackendError("truncated IPv4 header")
+        (vihl, _tos, total_length, identification, _frag, ttl, protocol,
+         checksum, src, dst) = struct.unpack("!BBHHHBBH4s4s", data[:20])
+        if vihl >> 4 != 4:
+            raise BackendError(f"not IPv4 (version {vihl >> 4})")
+        ihl = (vihl & 0xF) * 4
+        if ipv4_checksum(data[:ihl]) != 0:
+            raise BackendError("IPv4 header checksum mismatch")
+        header = cls(
+            src=".".join(str(b) for b in src),
+            dst=".".join(str(b) for b in dst),
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            total_length=total_length,
+        )
+        return header, data[ihl:]
+
+
+@dataclass(frozen=True)
+class TCPHeader:
+    """20-byte TCP header (no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int = 0
+    flags: int = 0x18  # PSH|ACK
+    window: int = 65535
+
+    SYN = 0x02
+    FIN = 0x01
+    ACK_FLAG = 0x10
+
+    def serialize(self) -> bytes:
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            5 << 4,             # data offset
+            self.flags,
+            self.window,
+            0,                  # checksum (monitor-side: unchecked)
+            0,                  # urgent pointer
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["TCPHeader", bytes]:
+        if len(data) < 20:
+            raise BackendError("truncated TCP header")
+        (src_port, dst_port, seq, ack, offset_byte, flags, window,
+         _checksum, _urgent) = struct.unpack("!HHIIBBHHH", data[:20])
+        offset = (offset_byte >> 4) * 4
+        return (
+            cls(
+                src_port=src_port,
+                dst_port=dst_port,
+                seq=seq,
+                ack=ack,
+                flags=flags,
+                window=window,
+            ),
+            data[offset:],
+        )
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A full frame: Ethernet + IPv4 + TCP + payload."""
+
+    ip: IPv4Header
+    tcp: TCPHeader
+    payload: bytes = b""
+    ethernet: EthernetHeader = field(default_factory=EthernetHeader)
+
+    def serialize(self) -> bytes:
+        ip = IPv4Header(
+            src=self.ip.src,
+            dst=self.ip.dst,
+            protocol=self.ip.protocol,
+            ttl=self.ip.ttl,
+            identification=self.ip.identification,
+            total_length=20 + 20 + len(self.payload),
+        )
+        return (
+            self.ethernet.serialize()
+            + ip.serialize()
+            + self.tcp.serialize()
+            + self.payload
+        )
+
+    @classmethod
+    def parse(cls, frame: bytes) -> "Packet":
+        ethernet, rest = EthernetHeader.parse(frame)
+        if ethernet.ethertype != ETHERTYPE_IPV4:
+            raise BackendError(f"not IPv4 (ethertype {ethernet.ethertype:#x})")
+        ip, rest = IPv4Header.parse(rest)
+        if ip.protocol != PROTO_TCP:
+            raise BackendError(f"not TCP (protocol {ip.protocol})")
+        tcp, rest = TCPHeader.parse(rest)
+        payload_length = ip.total_length - 40
+        return cls(
+            ethernet=ethernet, ip=ip, tcp=tcp, payload=rest[:payload_length]
+        )

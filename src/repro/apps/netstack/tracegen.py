@@ -1,0 +1,126 @@
+"""Synthetic packet-trace generation.
+
+The paper evaluated against live 1+ Gbps traffic we do not have; this
+generator produces the closest synthetic equivalent (see DESIGN.md §2):
+application payloads segmented into TCP flows with configurable MSS,
+flow interleaving, reordering and duplication — the impairments the
+TCP-Splitter-style reassembler must undo before the tagger sees clean
+byte streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.netstack.packets import IPv4Header, Packet, TCPHeader
+
+
+@dataclass
+class TraceGenerator:
+    """Seeded builder of TCP packet traces from application payloads."""
+
+    seed: int = 2006
+    mss: int = 64
+    #: probability that two adjacent packets of the shuffled trace swap
+    reorder_rate: float = 0.0
+    #: probability that a packet is emitted twice
+    duplicate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    def flow_packets(
+        self,
+        payload: bytes,
+        src: str = "10.0.0.1",
+        dst: str = "10.0.0.2",
+        src_port: int = 40000,
+        dst_port: int = 80,
+        initial_seq: int | None = None,
+    ) -> list[Packet]:
+        """One flow: SYN, MSS-sized data segments, FIN — in order."""
+        rng = self._rng
+        seq = initial_seq if initial_seq is not None else rng.randrange(1 << 32)
+        ip = IPv4Header(src=src, dst=dst)
+        packets = [
+            Packet(ip, TCPHeader(src_port, dst_port, seq=seq, flags=TCPHeader.SYN))
+        ]
+        cursor = (seq + 1) % (1 << 32)
+        for start in range(0, len(payload), self.mss):
+            chunk = payload[start : start + self.mss]
+            packets.append(
+                Packet(ip, TCPHeader(src_port, dst_port, seq=cursor), chunk)
+            )
+            cursor = (cursor + len(chunk)) % (1 << 32)
+        packets.append(
+            Packet(
+                ip,
+                TCPHeader(
+                    src_port,
+                    dst_port,
+                    seq=cursor,
+                    flags=TCPHeader.FIN | TCPHeader.ACK_FLAG,
+                ),
+            )
+        )
+        return packets
+
+    # ------------------------------------------------------------------
+    def impair(self, packets: list[Packet]) -> list[Packet]:
+        """Apply duplication and local reordering (never across SYN)."""
+        rng = self._rng
+        result: list[Packet] = []
+        for packet in packets:
+            result.append(packet)
+            if packet.payload and rng.random() < self.duplicate_rate:
+                result.append(packet)
+        index = 1
+        while index < len(result) - 1:
+            here, there = result[index], result[index + 1]
+            if (
+                here.payload
+                and there.payload
+                and rng.random() < self.reorder_rate
+            ):
+                result[index], result[index + 1] = there, here
+                index += 2
+            else:
+                index += 1
+        return result
+
+    def interleave(self, flows: list[list[Packet]]) -> list[Packet]:
+        """Merge flows packet-by-packet in seeded random order."""
+        rng = self._rng
+        cursors = [0] * len(flows)
+        trace: list[Packet] = []
+        while any(c < len(f) for c, f in zip(cursors, flows)):
+            candidates = [
+                i for i, (c, f) in enumerate(zip(cursors, flows)) if c < len(f)
+            ]
+            chosen = rng.choice(candidates)
+            trace.append(flows[chosen][cursors[chosen]])
+            cursors[chosen] += 1
+        return trace
+
+    # ------------------------------------------------------------------
+    def trace(
+        self, payloads: list[bytes], base_port: int = 40000
+    ) -> list[Packet]:
+        """A full impaired, interleaved trace, one flow per payload."""
+        flows = [
+            self.impair(
+                self.flow_packets(
+                    payload,
+                    src=f"10.0.{i // 250}.{i % 250 + 1}",
+                    src_port=base_port + i,
+                )
+            )
+            for i, payload in enumerate(payloads)
+        ]
+        return self.interleave(flows)
+
+    def wire_bytes(self, packets: list[Packet]) -> list[bytes]:
+        """Serialized frames, as captured off the wire."""
+        return [packet.serialize() for packet in packets]

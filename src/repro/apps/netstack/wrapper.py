@@ -1,0 +1,87 @@
+"""Layered protocol wrapper: packets in, tagged content out.
+
+The FPX composes "layered protocol wrappers" [5] with content
+processors; this is that composition in the reproduction: frames are
+parsed, TCP flows reassembled, and each flow's in-order byte stream is
+run through its own tagger back-end — here the §4 XML-RPC router.
+
+Per-flow state mirrors the hardware reality: one scanning context per
+flow (the FPX TCP scanner kept per-flow matcher state the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.netstack.flows import FlowKey, TCPReassembler
+from repro.apps.netstack.packets import Packet
+from repro.apps.xmlrpc.router import ContentBasedRouter, RoutedMessage
+from repro.errors import BackendError
+
+
+@dataclass
+class FlowResult:
+    """Everything the wrapper extracted from one flow."""
+
+    key: FlowKey
+    payload: bytes = b""
+    messages: list[RoutedMessage] = field(default_factory=list)
+
+
+class TaggingWrapper:
+    """Packet-level front end for a content-based router.
+
+    Example
+    -------
+    >>> from repro.apps.netstack.tracegen import TraceGenerator
+    >>> from repro.apps.xmlrpc import MethodCall
+    >>> wrapper = TaggingWrapper()
+    >>> trace = TraceGenerator(mss=16).trace([MethodCall("buy").encode()])
+    >>> results = wrapper.process(trace)
+    >>> results[0].messages[0].port
+    1
+    """
+
+    def __init__(self, router: ContentBasedRouter | None = None) -> None:
+        self.router = router if router is not None else ContentBasedRouter()
+        self.reassembler = TCPReassembler()
+        self._payloads: dict[FlowKey, bytearray] = {}
+        self.malformed = 0
+
+    # ------------------------------------------------------------------
+    def push_frame(self, frame: bytes) -> None:
+        """Consume one wire frame (parse errors are counted, not fatal)."""
+        try:
+            self.push_packet(Packet.parse(frame))
+        except BackendError:
+            self.malformed += 1
+
+    def push_packet(self, packet: Packet) -> None:
+        key, data = self.reassembler.push(packet)
+        if data:
+            self._payloads.setdefault(key, bytearray()).extend(data)
+
+    # ------------------------------------------------------------------
+    def results(self) -> list[FlowResult]:
+        """Route every flow's reassembled stream (call after pushing)."""
+        results = []
+        for key, payload in self._payloads.items():
+            data = bytes(payload)
+            results.append(
+                FlowResult(
+                    key=key,
+                    payload=data,
+                    messages=self.router.route(data),
+                )
+            )
+        return results
+
+    def process(
+        self, packets: list[Packet] | None = None, frames: list[bytes] | None = None
+    ) -> list[FlowResult]:
+        """Convenience: push a whole trace and return the flow results."""
+        for packet in packets or ():
+            self.push_packet(packet)
+        for frame in frames or ():
+            self.push_frame(frame)
+        return self.results()

@@ -1,0 +1,40 @@
+"""XML-RPC content-based routing (the paper's §4 implementation).
+
+"As messages pass through the system, the CFG parser tagger asserts a
+signal associated with a service when that service is found in a
+message. This signal is then used to control a switch which routes
+the message to the appropriate destination." (Fig. 12)
+"""
+
+from repro.apps.xmlrpc.messages import (
+    Base64Value,
+    DateTimeValue,
+    DoubleValue,
+    I4Value,
+    IntValue,
+    MethodCall,
+    StringValue,
+    StructValue,
+    ArrayValue,
+)
+from repro.apps.xmlrpc.services import ServiceTable, BANK_SHOPPING_TABLE
+from repro.apps.xmlrpc.workload import WorkloadGenerator
+from repro.apps.xmlrpc.router import ContentBasedRouter, NaiveRouter, RoutedMessage
+
+__all__ = [
+    "ArrayValue",
+    "BANK_SHOPPING_TABLE",
+    "Base64Value",
+    "ContentBasedRouter",
+    "DateTimeValue",
+    "DoubleValue",
+    "I4Value",
+    "IntValue",
+    "MethodCall",
+    "NaiveRouter",
+    "RoutedMessage",
+    "ServiceTable",
+    "StringValue",
+    "StructValue",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,181 @@
+"""Content-based XML-RPC message router (the paper's Fig. 12).
+
+:class:`ContentBasedRouter` consumes the tagged-token stream: a STRING
+token tagged with the *methodName* context carries the requested
+service, and the accepting ``</methodCall>`` detection marks the
+message boundary at which the switch commits the route.
+
+:class:`NaiveRouter` is the context-free baseline: it string-matches
+service names anywhere in the payload, as a deep-packet-inspection
+engine would, and drives the switch with every match signal — so a
+service name planted inside a parameter value re-steers the switch
+(the false positive the paper's introduction motivates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.xmlrpc.services import BANK_SHOPPING_TABLE, ServiceTable
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.errors import BackendError
+from repro.grammar.analysis import Occurrence
+from repro.grammar.cfg import Grammar
+from repro.grammar.examples import xmlrpc
+from repro.software.naive import NaiveScanner
+
+
+@dataclass(frozen=True)
+class RoutedMessage:
+    """One message with its routing decision."""
+
+    start: int
+    end: int
+    port: int
+    service: str | None
+    payload: bytes
+
+    def __str__(self) -> str:
+        return f"[{self.start}:{self.end}] -> port {self.port} ({self.service})"
+
+
+class ContentBasedRouter:
+    """Routes a message stream using grammatical context (Fig. 12).
+
+    Example
+    -------
+    >>> router = ContentBasedRouter()
+    >>> msgs = router.route(b"<methodCall><methodName>buy</methodName>"
+    ...                     b"<params></params></methodCall>")
+    >>> msgs[0].port
+    1
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar | None = None,
+        table: ServiceTable | None = None,
+        tagger: BehavioralTagger | GateLevelTagger | None = None,
+        method_element: str = "methodName",
+    ) -> None:
+        self.grammar = grammar if grammar is not None else xmlrpc()
+        self.table = table if table is not None else BANK_SHOPPING_TABLE
+        self.tagger = tagger if tagger is not None else BehavioralTagger(self.grammar)
+
+        #: Occurrences whose detection carries the service name: any
+        #: terminal inside the methodName element's production body.
+        self.method_occurrences: set[Occurrence] = set()
+        self.accepting: set[Occurrence] = set(self._accepting_of(self.tagger))
+        for production in self.grammar.productions:
+            if production.lhs.name != method_element:
+                continue
+            for position, symbol in enumerate(production.rhs):
+                from repro.grammar.symbols import Terminal
+
+                if isinstance(symbol, Terminal) and not self.grammar.lexspec.get(
+                    symbol.name
+                ).is_literal:
+                    self.method_occurrences.add(
+                        Occurrence(production.index, position, symbol)
+                    )
+        if not self.method_occurrences:
+            raise BackendError(
+                f"grammar {self.grammar.name!r} has no data token inside "
+                f"element {method_element!r}"
+            )
+
+    @staticmethod
+    def _accepting_of(tagger) -> set[Occurrence]:
+        if isinstance(tagger, BehavioralTagger):
+            return set(tagger.accepting)
+        return set(tagger.circuit.scanner.graph.accepting)
+
+    # ------------------------------------------------------------------
+    def route(self, data: bytes) -> list[RoutedMessage]:
+        """Split and route every message in the stream."""
+        messages: list[RoutedMessage] = []
+        message_start: int | None = None
+        service: str | None = None
+        for token in self.tagger.tag(data):
+            if message_start is None:
+                message_start = token.start
+            if token.occurrence in self.method_occurrences:
+                service = token.text()
+            if token.occurrence in self.accepting:
+                messages.append(
+                    RoutedMessage(
+                        start=message_start,
+                        end=token.end,
+                        port=(
+                            self.table.port_of(service)
+                            if service is not None
+                            else self.table.default_port
+                        ),
+                        service=service,
+                        payload=data[message_start : token.end],
+                    )
+                )
+                message_start = None
+                service = None
+        return messages
+
+    def route_to_ports(self, data: bytes) -> dict[int, list[RoutedMessage]]:
+        """Messages grouped per output port (the Fig. 12 switch view)."""
+        ports: dict[int, list[RoutedMessage]] = {}
+        for message in self.route(data):
+            ports.setdefault(message.port, []).append(message)
+        return ports
+
+
+class NaiveRouter:
+    """Context-free baseline: string-match service names anywhere.
+
+    The switch follows every match signal, so the *last* hit in a
+    message decides its port — exactly how a naive hardware matcher
+    wired to the Fig. 12 switch would behave. ``policy="first"`` is
+    the software-style alternative; both misroute on planted names.
+    """
+
+    def __init__(
+        self,
+        table: ServiceTable | None = None,
+        policy: str = "last",
+        boundary: bytes = b"</methodCall>",
+    ) -> None:
+        if policy not in ("first", "last"):
+            raise BackendError(f"unknown policy {policy!r}")
+        self.table = table if table is not None else BANK_SHOPPING_TABLE
+        self.policy = policy
+        self.boundary = boundary
+        self._needles = [s.encode("ascii") for s in self.table.services]
+
+    # ------------------------------------------------------------------
+    def route(self, data: bytes) -> list[RoutedMessage]:
+        messages: list[RoutedMessage] = []
+        position = 0
+        while True:
+            boundary_at = data.find(self.boundary, position)
+            if boundary_at < 0:
+                break
+            end = boundary_at + len(self.boundary)
+            payload = data[position:end]
+            hits = NaiveScanner.find_strings(payload, self._needles)
+            if hits:
+                chosen = hits[-1] if self.policy == "last" else hits[0]
+                service: str | None = chosen.name
+                port = self.table.port_of(chosen.name)
+            else:
+                service, port = None, self.table.default_port
+            messages.append(
+                RoutedMessage(
+                    start=position,
+                    end=end,
+                    port=port,
+                    service=service,
+                    payload=payload,
+                )
+            )
+            position = end
+            while position < len(data) and data[position] in b" \t\r\n":
+                position += 1
+        return messages

@@ -1,0 +1,52 @@
+"""Service tables for content-based routing (Fig. 12).
+
+The paper's example routes XML-RPC messages for ``deposit``,
+``withdraw`` and ``acct info`` to a bank server and ``buy``, ``sell``,
+``price`` to a shopping server. (Our service names are alphanumeric —
+``acctinfo`` — because the Fig. 14 STRING token excludes spaces.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BackendError
+
+
+@dataclass
+class ServiceTable:
+    """Maps service (method) names to output port numbers."""
+
+    routes: dict[str, int] = field(default_factory=dict)
+    port_names: dict[int, str] = field(default_factory=dict)
+    default_port: int = -1
+
+    def add(self, service: str, port: int) -> None:
+        if service in self.routes:
+            raise BackendError(f"service {service!r} already routed")
+        self.routes[service] = port
+
+    def port_of(self, service: str) -> int:
+        return self.routes.get(service, self.default_port)
+
+    def name_of(self, port: int) -> str:
+        return self.port_names.get(port, f"port{port}")
+
+    @property
+    def services(self) -> list[str]:
+        return list(self.routes)
+
+
+#: Fig. 12's bank/shopping table: port 0 = bank, port 1 = shopping,
+#: port -1 = default (unknown service).
+BANK_SHOPPING_TABLE = ServiceTable(
+    routes={
+        "deposit": 0,
+        "withdraw": 0,
+        "acctinfo": 0,
+        "buy": 1,
+        "sell": 1,
+        "price": 1,
+    },
+    port_names={0: "bank-server", 1: "shopping-server", -1: "default"},
+)

@@ -1,0 +1,16 @@
+"""Benchmark harness: workload generation and experiment runners.
+
+One module per paper artifact:
+
+* :mod:`repro.bench.scaling` — the §4.3 grammar-duplication workload;
+* :mod:`repro.bench.table1` — Table 1 (device utilization rows);
+* :mod:`repro.bench.figure15` — Fig. 15 (frequency vs pattern bytes);
+* :mod:`repro.bench.falsepos` — the §1 false-positive motivation;
+* :mod:`repro.bench.ablation` — design-choice ablations (§3.4, §5.2).
+"""
+
+from repro.bench.scaling import scaled_xmlrpc
+from repro.bench.table1 import TABLE1_PAPER, run_table1
+from repro.bench.figure15 import run_figure15
+
+__all__ = ["TABLE1_PAPER", "run_figure15", "run_table1", "scaled_xmlrpc"]

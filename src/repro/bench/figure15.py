@@ -1,0 +1,113 @@
+"""Figure 15 reproduction: frequency versus grammar pattern bytes.
+
+The paper plots the Virtex 4 frequency of the five duplicated-grammar
+design points against their pattern-byte counts, annotated with
+LUTs/byte, and attributes the fall-off to "routing delay associated
+with the large fanout of the decoded character bits … just under
+2 nanoseconds" for the largest grammar (§4.3).
+
+:func:`run_figure15` regenerates the series and, for each point, the
+routing-delay breakdown of the worst nets — the quantitative form of
+the paper's timing analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.scaling import PAPER_SCALE_POINTS, scale_point_grammar
+from repro.core.generator import TaggerGenerator, TaggerOptions
+from repro.fpga.device import get_device
+from repro.fpga.report import UtilizationReport, implement
+
+#: The five Virtex 4 points of Fig. 15 as (bytes, MHz, LUTs/byte).
+FIGURE15_PAPER: tuple[tuple[int, int, float], ...] = (
+    (300, 533, 1.01),
+    (600, 497, 0.88),
+    (1200, 445, 0.81),
+    (2100, 318, 0.79),
+    (3000, 316, 0.77),
+)
+
+
+@dataclass
+class Figure15Point:
+    """One point of the frequency-vs-bytes curve."""
+
+    paper_bytes: int
+    paper_mhz: int
+    paper_luts_per_byte: float
+    measured: UtilizationReport
+
+    @property
+    def worst_route_ns(self) -> float:
+        """Worst per-net routing delay (the paper's ~2 ns observation)."""
+        nets = self.measured.timing.worst_nets
+        return nets[0].route_ns if nets else 0.0
+
+    def format(self) -> str:
+        ours = self.measured
+        return (
+            f"{ours.pattern_bytes:>5}B "
+            f"{ours.frequency_mhz:>5.0f} MHz (paper {self.paper_mhz}) "
+            f"{ours.luts_per_byte:>5.2f} L/B (paper {self.paper_luts_per_byte}) "
+            f"worst route {self.worst_route_ns:.2f} ns "
+            f"[{ours.timing.critical_kind}-bound]"
+        )
+
+
+def run_figure15(
+    device_key: str = "virtex4-lx200",
+    options: TaggerOptions | None = None,
+) -> list[Figure15Point]:
+    """Regenerate the Fig. 15 series on the given device."""
+    generator = TaggerGenerator(options)
+    device = get_device(device_key)
+    points: list[Figure15Point] = []
+    for (paper_bytes, paper_mhz, paper_ratio), (_, copies) in zip(
+        FIGURE15_PAPER, PAPER_SCALE_POINTS
+    ):
+        circuit = generator.generate(scale_point_grammar(copies))
+        report = implement(circuit, device)
+        points.append(
+            Figure15Point(
+                paper_bytes=paper_bytes,
+                paper_mhz=paper_mhz,
+                paper_luts_per_byte=paper_ratio,
+                measured=report,
+            )
+        )
+    return points
+
+
+def format_figure15(points: list[Figure15Point]) -> str:
+    lines = ["Figure 15 — frequency vs pattern bytes (Virtex 4 LX200)"]
+    lines.extend(point.format() for point in points)
+    monotone = all(
+        points[i].measured.frequency_mhz >= points[i + 1].measured.frequency_mhz
+        for i in range(len(points) - 1)
+    )
+    lines.append(f"frequency monotonically falling: {monotone}")
+    return "\n".join(lines)
+
+
+def ascii_plot(points: list[Figure15Point], width: int = 60) -> str:
+    """Terminal rendering of the Fig. 15 curve (ours vs paper)."""
+    lines = []
+    max_mhz = max(
+        max(p.measured.frequency_mhz for p in points),
+        max(p.paper_mhz for p in points),
+    )
+    for point in points:
+        ours = int(point.measured.frequency_mhz / max_mhz * width)
+        paper = int(point.paper_mhz / max_mhz * width)
+        bar = "".join(
+            "#" if i < ours else (" " if i != paper else "|")
+            for i in range(width + 1)
+        )
+        lines.append(
+            f"{point.measured.pattern_bytes:>5}B |{bar}| "
+            f"{point.measured.frequency_mhz:.0f} MHz"
+        )
+    lines.append("(# = measured, | = paper)")
+    return "\n".join(lines)

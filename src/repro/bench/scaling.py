@@ -1,0 +1,122 @@
+"""Grammar-scaling workload (the paper's §4.3).
+
+"In order to test the scalability of the architecture, larger XML
+grammars were created by repeatedly duplicating the 300 byte grammar.
+The larger grammars contained up to 400 tokens and up to 3000 bytes of
+pattern data."
+
+:func:`scaled_xmlrpc` builds a grammar containing ``copies`` renamed
+replicas of the Fig. 14 XML-RPC grammar under a fresh start symbol
+(``message: methodCall_1 | methodCall_2 | …``). Tag literals gain a
+copy suffix before the closing ``>`` (``<methodCall>`` →
+``<methodCall_3>``), named tokens gain a name suffix, and
+single-character punctuation literals stay shared — so the decoders
+are shared across copies exactly as a vendor synthesis run would share
+them, which is what drives the falling LUTs-per-byte curve of Fig. 15.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.cfg import Grammar
+from repro.grammar.examples import XMLRPC_GRAMMAR_TEXT
+from repro.grammar.lexspec import LexSpec
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.grammar.yacc_parser import parse_yacc_grammar
+
+
+def _rename_literal(text: str, copy: int) -> str:
+    """Suffix a tag literal; leave 1-char punctuation shared."""
+    if len(text) <= 2:
+        return text
+    if text.endswith(">"):
+        return f"{text[:-1]}_{copy}>"
+    return f"{text}_{copy}"
+
+
+def scaled_xmlrpc(copies: int, base_text: str | None = None) -> Grammar:
+    """Union of ``copies`` renamed XML-RPC grammars.
+
+    ``copies == 1`` returns the unmodified Fig. 14 grammar, matching
+    the paper's smallest (300-byte) design point.
+
+    >>> scaled_xmlrpc(2).lexspec.total_pattern_bytes() > 2 * 280
+    True
+    """
+    if copies < 1:
+        raise ValueError("need at least one copy")
+    base = parse_yacc_grammar(
+        base_text or XMLRPC_GRAMMAR_TEXT, name="xml-rpc-base"
+    )
+    if copies == 1:
+        base.name = "xml-rpc-x1"
+        return base
+
+    lexspec = LexSpec(delimiters=base.lexspec.delimiters)
+    grammar = Grammar(f"xml-rpc-x{copies}", lexspec)
+    start = NonTerminal("message")
+    grammar.add(start, [])  # placeholder start; replaced below
+    grammar.productions.clear()
+    grammar._by_lhs.clear()  # rebuild cleanly with the union start
+    grammar.start = start
+
+    shared_literals: set[str] = set()
+    start_alternatives: list[NonTerminal] = []
+    for copy in range(1, copies + 1):
+        def rename_terminal(terminal: Terminal) -> Terminal:
+            token = base.lexspec.get(terminal.name)
+            if token.is_literal:
+                renamed = _rename_literal(terminal.name, copy)
+                if renamed == terminal.name:
+                    if renamed not in shared_literals:
+                        lexspec.define_literal(renamed)
+                        shared_literals.add(renamed)
+                else:
+                    lexspec.define_literal(renamed)
+                return Terminal(renamed)
+            renamed = f"{terminal.name}_{copy}"
+            lexspec.define(renamed, token.pattern)
+            return Terminal(renamed)
+
+        terminal_cache: dict[str, Terminal] = {}
+
+        def mapped(symbol):
+            if isinstance(symbol, Terminal):
+                cached = terminal_cache.get(symbol.name)
+                if cached is None:
+                    cached = rename_terminal(symbol)
+                    terminal_cache[symbol.name] = cached
+                return cached
+            return NonTerminal(f"{symbol.name}_{copy}")
+
+        for production in base.productions:
+            grammar.add(
+                NonTerminal(f"{production.lhs.name}_{copy}"),
+                [mapped(symbol) for symbol in production.rhs],
+            )
+        assert base.start is not None
+        start_alternatives.append(NonTerminal(f"{base.start.name}_{copy}"))
+
+    for alternative in start_alternatives:
+        grammar.add(start, [alternative])
+    grammar.start = start
+    grammar.validate()
+    return grammar
+
+
+#: The paper's Table 1 design points: approximate pattern-byte targets
+#: mapped to duplication counts of the ~300-byte base grammar.
+PAPER_SCALE_POINTS: tuple[tuple[int, int], ...] = (
+    (300, 1),
+    (600, 2),
+    (1200, 4),
+    (2100, 6),
+    (3000, 9),
+)
+
+
+@lru_cache(maxsize=None)
+def scale_point_grammar(copies: int) -> Grammar:
+    """Cached scaled grammar (generation is pure)."""
+    return scaled_xmlrpc(copies)

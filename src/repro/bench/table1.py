@@ -1,0 +1,89 @@
+"""Table 1 reproduction: device utilization for XML token taggers.
+
+The paper's Table 1 reports, for six design points (the XML-RPC
+grammar and four duplicated enlargements on the Virtex 4 LX200, plus
+the base grammar on the VirtexE 2000): frequency, bandwidth
+(= frequency × 8 bits at one byte per cycle), pattern bytes, LUTs and
+LUTs per byte.
+
+:func:`run_table1` regenerates every row from scratch — grammar →
+tagger netlist → LUT mapping → timing model — and returns both our
+rows and the paper's for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.scaling import PAPER_SCALE_POINTS, scale_point_grammar
+from repro.core.generator import TaggerGenerator, TaggerOptions
+from repro.fpga.device import get_device
+from repro.fpga.report import UtilizationReport, implement
+
+#: The published Table 1, for comparison:
+#: (device key, MHz, Gbps, pattern bytes, LUTs, LUTs/byte).
+TABLE1_PAPER: tuple[tuple[str, int, float, int, int, float], ...] = (
+    ("virtexe-2000", 196, 1.57, 300, 310, 1.03),
+    ("virtex4-lx200", 318, 2.54, 2100, 1652, 0.79),
+    ("virtex4-lx200", 316, 2.53, 3000, 2316, 0.77),
+    ("virtex4-lx200", 533, 4.26, 300, 302, 1.01),
+    ("virtex4-lx200", 445, 3.56, 1200, 975, 0.81),
+    ("virtex4-lx200", 497, 3.97, 600, 526, 0.88),
+)
+
+
+@dataclass
+class Table1Row:
+    """One measured row next to its paper counterpart."""
+
+    paper: tuple[str, int, float, int, int, float]
+    measured: UtilizationReport
+
+    def format(self) -> str:
+        device, mhz, gbps, n_bytes, luts, ratio = self.paper
+        ours = self.measured
+        return (
+            f"{ours.device.name:<15} "
+            f"{ours.frequency_mhz:>5.0f}/{mhz:<4} "
+            f"{ours.bandwidth_gbps:>5.2f}/{gbps:<5.2f} "
+            f"{ours.pattern_bytes:>5}/{n_bytes:<5} "
+            f"{ours.n_luts:>5}/{luts:<5} "
+            f"{ours.luts_per_byte:>5.2f}/{ratio:<5.2f}"
+        )
+
+
+def _copies_for_bytes(target_bytes: int) -> int:
+    for point_bytes, copies in PAPER_SCALE_POINTS:
+        if point_bytes == target_bytes:
+            return copies
+    raise KeyError(f"no scale point for {target_bytes} pattern bytes")
+
+
+def run_table1(
+    options: TaggerOptions | None = None,
+) -> list[Table1Row]:
+    """Regenerate all six Table 1 rows (measured vs paper)."""
+    generator = TaggerGenerator(options)
+    circuits: dict[int, object] = {}
+    rows: list[Table1Row] = []
+    for paper_row in TABLE1_PAPER:
+        device_key, _mhz, _gbps, n_bytes, _luts, _ratio = paper_row
+        copies = _copies_for_bytes(n_bytes)
+        circuit = circuits.get(copies)
+        if circuit is None:
+            circuit = generator.generate(scale_point_grammar(copies))
+            circuits[copies] = circuit
+        report = implement(circuit, get_device(device_key))
+        rows.append(Table1Row(paper=paper_row, measured=report))
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Printable measured-vs-paper table."""
+    header = (
+        f"{'Device':<15} {'MHz':>10} {'Gbps':>11} "
+        f"{'Bytes':>11} {'LUTs':>11} {'L/B':>11}"
+    )
+    lines = ["Table 1 — ours/paper per cell", header]
+    lines.extend(row.format() for row in rows)
+    return "\n".join(lines)

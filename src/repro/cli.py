@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``info`` — parse a grammar, print productions and Follow sets;
+* ``tag`` — tag a byte stream (behavioral, gate-level or stack mode);
+* ``generate`` — compile a grammar to hardware, optionally emit VHDL
+  and an implementation report;
+* ``route`` — run the XML-RPC router demo on a synthetic workload;
+* ``table1`` / ``figure15`` / ``ablation`` — print the experiment
+  reproductions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.generator import TaggerGenerator
+from repro.core.stack import StackTagger
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.errors import ReproError
+from repro.fpga.device import DEVICES, get_device
+from repro.fpga.report import implement
+from repro.grammar.examples import balanced_parens, if_then_else, xmlrpc
+from repro.grammar.yacc_parser import load_yacc_grammar
+from repro.rtl.vhdl import emit_vhdl
+
+_BUILTIN_GRAMMARS = {
+    "xmlrpc": xmlrpc,
+    "if-then-else": if_then_else,
+    "balanced-parens": balanced_parens,
+}
+
+
+def _load_grammar(spec: str):
+    builder = _BUILTIN_GRAMMARS.get(spec)
+    if builder is not None:
+        return builder()
+    return load_yacc_grammar(spec)
+
+
+def _read_input(path: str | None) -> bytes:
+    if path is None or path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+# ----------------------------------------------------------------------
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.grammar.analysis import analyze_grammar
+
+    grammar = _load_grammar(args.grammar)
+    print(grammar.describe())
+    print(f"\ntokens: {len(grammar.lexspec)}, "
+          f"pattern bytes: {grammar.lexspec.total_pattern_bytes()}")
+    print("\nFollow sets (paper Fig. 10 style):")
+    print(analyze_grammar(grammar).describe_follow())
+    return 0
+
+
+def _cmd_tag(args: argparse.Namespace) -> int:
+    grammar = _load_grammar(args.grammar)
+    data = _read_input(args.input)
+    if args.stack:
+        tagger = StackTagger(grammar, stream=args.stream)
+        for stacked in tagger.run(data):
+            print(f"{stacked.token}  depth={stacked.depth}")
+        return 0
+    if args.gate_level:
+        circuit = TaggerGenerator().generate(grammar)
+        tokens = GateLevelTagger(circuit).tag(data)
+    else:
+        tokens = BehavioralTagger(grammar).tag(data)
+    for token in tokens:
+        print(token)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    grammar = _load_grammar(args.grammar)
+    circuit = TaggerGenerator().generate(grammar)
+    print(circuit.describe())
+    if args.vhdl:
+        text = emit_vhdl(circuit.netlist)
+        with open(args.vhdl, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines of VHDL to {args.vhdl}")
+    if args.report:
+        for key in args.device or list(DEVICES):
+            report = implement(circuit, get_device(key))
+            print(report.timing.summary(), f"({report.n_luts} LUTs, "
+                  f"{report.utilization:.2%} of device)")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.apps.xmlrpc import (
+        ContentBasedRouter,
+        NaiveRouter,
+        WorkloadGenerator,
+    )
+
+    generator = WorkloadGenerator(
+        seed=args.seed, adversarial_rate=args.adversarial
+    )
+    stream, truth = generator.stream(args.messages)
+    router = NaiveRouter() if args.naive else ContentBasedRouter()
+    routed = router.route(stream)
+    correct = sum(
+        1 for m, (_c, p, _d) in zip(routed, truth) if m.port == p
+    )
+    for message in routed[: args.show]:
+        print(message)
+    print(f"\n{correct}/{len(truth)} messages routed correctly "
+          f"({'naive' if args.naive else 'contextual'} router)")
+    return 0 if correct == len(truth) else 1
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.bench.table1 import format_table1, run_table1
+
+    print(format_table1(run_table1()))
+    return 0
+
+
+def _cmd_figure15(_args: argparse.Namespace) -> int:
+    from repro.bench.figure15 import ascii_plot, format_figure15, run_figure15
+
+    points = run_figure15()
+    print(format_figure15(points))
+    print(ascii_plot(points))
+    return 0
+
+
+def _cmd_ablation(_args: argparse.Namespace) -> int:
+    from repro.bench.ablation import format_ablation, run_ablation
+
+    print(format_ablation(run_ablation()))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CFG token tagger reproduction (Cho/Moscola/Lockwood)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a grammar")
+    info.add_argument("grammar", help="grammar file or builtin name "
+                      f"({', '.join(_BUILTIN_GRAMMARS)})")
+    info.set_defaults(func=_cmd_info)
+
+    tag = sub.add_parser("tag", help="tag a byte stream")
+    tag.add_argument("grammar")
+    tag.add_argument("input", nargs="?", help="input file (default stdin)")
+    tag.add_argument("--gate-level", action="store_true",
+                     help="simulate the generated netlist cycle by cycle")
+    tag.add_argument("--stack", action="store_true",
+                     help="strict PDA mode (§5.2 stack extension)")
+    tag.add_argument("--stream", action="store_true",
+                     help="with --stack: accept back-to-back sentences")
+    tag.set_defaults(func=_cmd_tag)
+
+    generate = sub.add_parser("generate", help="compile grammar to hardware")
+    generate.add_argument("grammar")
+    generate.add_argument("--vhdl", metavar="FILE", help="emit VHDL")
+    generate.add_argument("--device", action="append",
+                          choices=sorted(DEVICES),
+                          help="implementation report device(s)")
+    generate.add_argument("--report", action="store_true",
+                          help="print area/timing reports")
+    generate.set_defaults(func=_cmd_generate)
+
+    route = sub.add_parser("route", help="XML-RPC router demo (§4)")
+    route.add_argument("--messages", type=int, default=20)
+    route.add_argument("--seed", type=int, default=2006)
+    route.add_argument("--adversarial", type=float, default=0.0)
+    route.add_argument("--naive", action="store_true",
+                       help="use the context-free baseline router")
+    route.add_argument("--show", type=int, default=5,
+                       help="messages to print")
+    route.set_defaults(func=_cmd_route)
+
+    sub.add_parser("table1", help="reproduce Table 1").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("figure15", help="reproduce Figure 15").set_defaults(
+        func=_cmd_figure15
+    )
+    sub.add_parser("ablation", help="design-choice ablations").set_defaults(
+        func=_cmd_ablation
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's primary contribution: the grammar-to-hardware token tagger.
+
+* :mod:`repro.core.decoder` — character/class decoders (Figs. 4–5);
+* :mod:`repro.core.tokenizer` — regex tokenizer templates (Figs. 6–7);
+* :mod:`repro.core.wiring` — Follow-set syntactic control flow (Fig. 11);
+* :mod:`repro.core.encoder` — token index encoder (eqs. 1–5);
+* :mod:`repro.core.generator` — whole-tagger generation (Fig. 3);
+* :mod:`repro.core.tagger` — behavioral and gate-level tagger front ends;
+* :mod:`repro.core.backend` — back-end processor interface (§3.5).
+"""
+
+from repro.core.tokens import TaggedToken
+from repro.core.generator import TaggerCircuit, TaggerGenerator, TaggerOptions
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+
+__all__ = [
+    "BehavioralTagger",
+    "GateLevelTagger",
+    "TaggedToken",
+    "TaggerCircuit",
+    "TaggerGenerator",
+    "TaggerOptions",
+]

@@ -1,0 +1,61 @@
+"""Back-end processor interface (the paper's §3.5).
+
+"The back-end processor is customizable logic where many different
+data processing functions can be implemented." Back-ends consume the
+tagged-token stream; the applications in :mod:`repro.apps` (the XML-RPC
+router, the content filter, the NIDS tagger) implement this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.core.tokens import TaggedToken
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """A consumer of tagged tokens."""
+
+    def on_token(self, token: TaggedToken, data: bytes) -> None:
+        """Called once per detected token, in stream order."""
+
+    def on_end(self, data: bytes) -> None:
+        """Called after the final byte of the stream has been tagged."""
+
+
+class TaggingPipeline:
+    """Couples a tagger front end with one or more back-ends.
+
+    Example
+    -------
+    >>> from repro.grammar.examples import if_then_else
+    >>> class Collect:
+    ...     def __init__(self): self.seen = []
+    ...     def on_token(self, token, data): self.seen.append(token.token)
+    ...     def on_end(self, data): pass
+    >>> sink = Collect()
+    >>> pipeline = TaggingPipeline(BehavioralTagger(if_then_else()), [sink])
+    >>> _ = pipeline.process(b"go")
+    >>> sink.seen
+    ['go']
+    """
+
+    def __init__(
+        self,
+        tagger: BehavioralTagger | GateLevelTagger,
+        backends: Iterable[Backend],
+    ) -> None:
+        self.tagger = tagger
+        self.backends = list(backends)
+
+    def process(self, data: bytes) -> list[TaggedToken]:
+        """Tag ``data`` and dispatch every token to every back-end."""
+        tokens = self.tagger.tag(data)
+        for token in tokens:
+            for backend in self.backends:
+                backend.on_token(token, data)
+        for backend in self.backends:
+            backend.on_end(data)
+        return tokens

@@ -1,0 +1,299 @@
+"""Token index encoders (the paper's §3.4, equations 1–5).
+
+Three constructions:
+
+* :func:`build_or_tree_encoder` — the paper's compact pipelined binary
+  OR-tree. Input ``k`` (1-based; 0 means "no token") produces index
+  ``k``: each index bit is the OR of the *odd* nodes of one tree level
+  (equations 1–4 show the 15-input instance). Every gate level is
+  registered, so "the critical path has maximum of (log n)-1 gate
+  delays" and in our fully pipelined form exactly one gate level per
+  stage.
+* :func:`build_mask_encoder` — a direct OR-per-bit encoder for
+  arbitrary index assignments; with :func:`assign_nested_indices` it
+  realizes the priority scheme of equation 5 (simultaneous detections
+  OR to the index of the highest-priority token).
+* :func:`build_case_encoder` — the naive VHDL CASE-statement chain the
+  paper warns about ("almost always the critical path"), kept as an
+  ablation target for the timing model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import EncoderError
+from repro.rtl.netlist import Net, Netlist
+
+
+@dataclass
+class EncoderResult:
+    """Nets and metadata of a generated index encoder."""
+
+    index_bits: list[Net]  # LSB first
+    valid: Net
+    latency: int
+    #: input position (0-based) -> emitted index value
+    index_of_input: dict[int, int]
+    style: str = "or-tree"
+
+    @property
+    def width(self) -> int:
+        return len(self.index_bits)
+
+
+def _pipelined_or_tree(nl: Netlist, nets: list[Net], name: str) -> tuple[Net, int]:
+    """Balanced OR tree with a register after every level.
+
+    Returns (output net, number of register levels used).
+    """
+    level = list(nets)
+    depth = 0
+    while len(level) > 1:
+        nxt: list[Net] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(
+                nl.reg(nl.or_(level[i], level[i + 1], name=name), name=f"{name}_r")
+            )
+        if len(level) % 2:
+            nxt.append(nl.reg(level[-1], name=f"{name}_r"))
+        level = nxt
+        depth += 1
+    return level[0], depth
+
+
+def build_or_tree_encoder(
+    nl: Netlist, inputs: list[Net], name: str = "enc"
+) -> EncoderResult:
+    """Pipelined binary-OR-tree encoder (equations 1–4).
+
+    Assumes at most one input asserts per cycle ("we may assume that
+    only one tokenizer output will be asserted at any given clock
+    cycle"); when several assert, the output is the bitwise OR of
+    their indices — exactly the hardware behaviour the priority scheme
+    of equation 5 exploits.
+    """
+    if not inputs:
+        raise EncoderError("encoder needs at least one input")
+    n = len(inputs)
+    width = max(1, math.ceil(math.log2(n + 1)))
+    size = 1 << width
+
+    # Leaves: position 0 is the reserved "no token" slot.
+    leaves: list[Net] = [nl.const(0)] * size
+    for position, net in enumerate(inputs, start=1):
+        leaves[position] = net
+
+    # Build the tree level by level, registering each level. levels[l]
+    # holds the nodes of depth l from the root (levels[width] = leaves).
+    levels: list[list[Net]] = [[]] * (width + 1)
+    levels[width] = leaves
+    for depth in range(width - 1, -1, -1):
+        below = levels[depth + 1]
+        levels[depth] = [
+            nl.reg(
+                nl.or_(below[2 * i], below[2 * i + 1], name=f"{name}_t{depth}"),
+                name=f"{name}_t{depth}_r",
+            )
+            for i in range(len(below) // 2)
+        ]
+
+    # Nodes at depth d are registered d' = (width - d) times relative
+    # to the leaves... they are registered (width - d) times: leaves 0,
+    # depth width-1 once, ..., root `width` times.
+    root = levels[0][0]
+    total_latency = width  # root latency in cycles
+
+    index_bits: list[Net] = []
+    # Index bit for tree level l (1 = just below root): OR of odd nodes.
+    # MSB comes from level 1, LSB from the leaf level.
+    for level_number in range(width, 0, -1):  # leaf level .. top level
+        nodes = levels[level_number]
+        odd_nodes = [nodes[i] for i in range(1, len(nodes), 2)]
+        reduced, depth_used = _pipelined_or_tree(
+            nl, odd_nodes, name=f"{name}_ix{level_number}"
+        )
+        # Latency so far: (width - level_number) tree registers + OR
+        # tree depth. Pad every bit to the root's latency.
+        latency = (width - level_number) + depth_used
+        if latency > total_latency:
+            raise EncoderError("encoder bit latency exceeded root latency")
+        index_bits.append(
+            nl.delay(reduced, total_latency - latency, name=f"{name}_ixd{level_number}")
+        )
+    # index_bits currently MSB-last? level `width` (leaves) contributes
+    # the LSB (equation 4), level 1 the MSB (equation 1) — we iterated
+    # leaves first, so the list is LSB first already.
+
+    return EncoderResult(
+        index_bits=index_bits,
+        valid=root,
+        latency=total_latency,
+        index_of_input={i: i + 1 for i in range(n)},
+        style="or-tree",
+    )
+
+
+def assign_nested_indices(
+    n_inputs: int,
+    conflict_groups: list[list[int]],
+    width: int | None = None,
+) -> list[int]:
+    """Equation-5 priority index assignment.
+
+    Each conflict group lists input positions that may assert
+    simultaneously, ordered lowest priority first. Within a group the
+    assigned indices form a nested bit chain, so the bitwise OR of any
+    subset equals the index of the highest-priority member:
+    ``In | In-1 | … | I0 = In``. "The maximum number of indices for
+    each set is equal to the number of index output pins."
+    """
+    minimum_width = max(1, math.ceil(math.log2(n_inputs + 1)))
+    largest_group = max((len(g) for g in conflict_groups), default=0)
+    if width is not None:
+        # An explicit width is a hard cap — the number of index output
+        # pins. Equation 5 limits each conflict set to that many members.
+        if largest_group > width:
+            raise EncoderError(
+                f"conflict group of {largest_group} tokens exceeds the "
+                f"{width}-bit index width (equation 5 limit)"
+            )
+        width = max(width, minimum_width)
+    else:
+        width = max(minimum_width, largest_group)
+
+    assigned: dict[int, int] = {}
+    used: set[int] = {0}
+
+    for group in conflict_groups:
+        if len(group) > width:
+            raise EncoderError(
+                f"conflict group of {len(group)} tokens exceeds the "
+                f"{width}-bit index width (equation 5 limit)"
+            )
+        for position in group:
+            if position in assigned:
+                raise EncoderError(
+                    f"input {position} appears in two conflict groups"
+                )
+        # Nested masks: lowest priority gets the smallest submask.
+        # Choose a chain 2^a1-1 ⊂ ... avoiding collisions by shifting.
+        chain = _nested_chain(len(group), width, used)
+        for position, mask in zip(group, chain):
+            assigned[position] = mask
+            used.add(mask)
+
+    next_try = 1
+    for position in range(n_inputs):
+        if position in assigned:
+            continue
+        while next_try in used:
+            next_try += 1
+        if next_try >= (1 << width):
+            raise EncoderError("index space exhausted; widen the encoder")
+        assigned[position] = next_try
+        used.add(next_try)
+    return [assigned[i] for i in range(n_inputs)]
+
+
+def _nested_chain(length: int, width: int, used: set[int]) -> list[int]:
+    """Find ``length`` unused nested masks of ``width`` bits."""
+    # Greedy: build the chain by adding one bit at a time, preferring
+    # masks not yet used. Bit order is permuted until all chain members
+    # are fresh.
+    import itertools
+
+    for bit_order in itertools.permutations(range(width), width):
+        chain: list[int] = []
+        mask = 0
+        for bit in bit_order:
+            mask |= 1 << bit
+            chain.append(mask)
+            if len(chain) == length:
+                break
+        if len(chain) == length and not any(m in used for m in chain):
+            return chain
+    raise EncoderError(
+        f"could not find {length} fresh nested masks in {width} bits"
+    )
+
+
+def build_mask_encoder(
+    nl: Netlist,
+    inputs: list[Net],
+    indices: list[int],
+    name: str = "enc",
+) -> EncoderResult:
+    """OR-per-bit encoder for an arbitrary index assignment.
+
+    Pairs with :func:`assign_nested_indices` to realize equation 5.
+    Fully pipelined: every bit is a registered OR tree padded to a
+    common latency.
+    """
+    if len(inputs) != len(indices):
+        raise EncoderError("one index per input required")
+    if len(set(indices)) != len(indices):
+        raise EncoderError("indices must be unique per input")
+    width = max(1, max(indices).bit_length())
+
+    raw_bits: list[tuple[Net, int]] = []
+    for bit in range(width):
+        contributors = [
+            net for net, value in zip(inputs, indices) if (value >> bit) & 1
+        ]
+        if not contributors:
+            raw_bits.append((nl.const(0), 0))
+            continue
+        raw_bits.append(
+            _pipelined_or_tree(nl, contributors, name=f"{name}_b{bit}")
+        )
+    valid_raw, valid_depth = _pipelined_or_tree(nl, list(inputs), name=f"{name}_v")
+    latency = max(valid_depth, max(depth for _, depth in raw_bits))
+    index_bits = [
+        nl.delay(net, latency - depth, name=f"{name}_bd") for net, depth in raw_bits
+    ]
+    valid = nl.delay(valid_raw, latency - valid_depth, name=f"{name}_vd")
+    return EncoderResult(
+        index_bits=index_bits,
+        valid=valid,
+        latency=latency,
+        index_of_input={i: indices[i] for i in range(len(inputs))},
+        style="mask",
+    )
+
+
+def build_case_encoder(
+    nl: Netlist, inputs: list[Net], name: str = "enc"
+) -> EncoderResult:
+    """The naive CASE-statement priority chain (ablation baseline).
+
+    "A small index encoder module can be written in VHDL as a chain of
+    CASE statements. However … the index encoder is almost always the
+    critical path for the entire system." This builds exactly that
+    chain — a cascade of 2:1 muxes — registered only at the output, so
+    its combinational depth grows linearly with the input count and the
+    timing model exposes the problem.
+    """
+    if not inputs:
+        raise EncoderError("encoder needs at least one input")
+    width = max(1, math.ceil(math.log2(len(inputs) + 1)))
+    bits: list[Net] = [nl.const(0)] * width
+    valid: Net = nl.const(0)
+    # Highest input position wins, mirroring a last-assignment-wins
+    # VHDL process; build from the lowest so later inputs override.
+    for position, net in enumerate(inputs, start=1):
+        bits = [
+            nl.mux(net, nl.const((position >> bit) & 1), bits[bit], name=f"{name}_c")
+            for bit in range(width)
+        ]
+        valid = nl.or_(valid, net, name=f"{name}_cv")
+    index_bits = [nl.reg(bit, name=f"{name}_cb") for bit in bits]
+    valid = nl.reg(valid, name=f"{name}_cvr")
+    return EncoderResult(
+        index_bits=index_bits,
+        valid=valid,
+        latency=1,
+        index_of_input={i: i + 1 for i in range(len(inputs))},
+        style="case-chain",
+    )

@@ -1,0 +1,387 @@
+"""Tagger front ends: behavioral (fast) and gate-level (exact).
+
+:class:`BehavioralTagger` is an event-driven software implementation of
+*exactly* the hardware semantics — the same parallel per-occurrence
+detection, arming across delimiter runs, longest-match look-ahead and
+Follow-set gating — expressed over byte indices instead of pipeline
+cycles. The test suite proves it equivalent to the gate-level netlist
+simulation; applications and large benchmarks use it for speed.
+
+:class:`GateLevelTagger` drives the generated netlist through the
+cycle-accurate simulator and decodes the detect/index output pins back
+into tagged tokens. It is the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.generator import TaggerCircuit, TaggerOptions
+from repro.core.tokens import TaggedToken
+from repro.grammar.analysis import (
+    Occurrence,
+    analyze_grammar,
+    build_occurrence_graph,
+)
+from repro.grammar.cfg import Grammar
+from repro.grammar.regex import ast as rx
+from repro.grammar.regex.glushkov import Glushkov, build_glushkov
+from repro.grammar.regex.nfa import compile_nfa
+from repro.grammar.symbols import END
+from repro.rtl.simulator import Simulator, stimulus_with_valid
+
+
+@dataclass(frozen=True)
+class DetectEvent:
+    """A raw detection: ``occurrence`` matched ending at byte ``end - 1``."""
+
+    occurrence: Occurrence
+    end: int  # exclusive
+
+
+class BehavioralTagger:
+    """Software twin of the generated hardware.
+
+    Example
+    -------
+    >>> from repro.grammar.examples import if_then_else
+    >>> tagger = BehavioralTagger(if_then_else())
+    >>> [str(t) for t in tagger.tag(b"if true then go else stop")]  # doctest: +ELLIPSIS
+    [...]
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        options: TaggerOptions | None = None,
+    ) -> None:
+        self.grammar = grammar
+        self.options = options or TaggerOptions()
+        wiring = self.options.wiring
+        analysis = analyze_grammar(grammar)
+        graph = build_occurrence_graph(grammar, analysis)
+
+        if wiring.context_duplication:
+            self.units: list[Occurrence] = list(graph.occurrences)
+            edges = graph.edges
+            self.starts = set(graph.starts)
+            accepting = set(graph.accepting)
+        else:
+            representative: dict = {}
+            for occurrence in graph.occurrences:
+                representative.setdefault(occurrence.terminal, occurrence)
+            self.units = list(representative.values())
+            collapsed = graph.collapsed_edges()
+            edges = {
+                unit: frozenset(
+                    representative[t]
+                    for t in collapsed.get(unit.terminal, frozenset())
+                    if t in representative
+                )
+                for unit in self.units
+            }
+            self.starts = {representative[o.terminal] for o in graph.starts}
+            accepting = {
+                representative[t]
+                for t in representative
+                if END in analysis.follow[t]
+            }
+        self.accepting = accepting
+
+        #: unit -> units it enables (successor map, used sparsely).
+        self.successors: dict[Occurrence, frozenset[Occurrence]] = {
+            unit: frozenset(
+                target for target in edges.get(unit, frozenset())
+                if target in set(self.units)
+            )
+            for unit in self.units
+        }
+        if wiring.loop_on_accept:
+            starts_frozen = frozenset(self.starts)
+            for unit in accepting:
+                self.successors[unit] = self.successors[unit] | starts_frozen
+
+        self.automata: dict[str, Glushkov] = {}
+        for unit in self.units:
+            name = unit.terminal.name
+            if name not in self.automata:
+                self.automata[name] = build_glushkov(
+                    grammar.lexspec.get(name).pattern
+                )
+        self.delimiters = grammar.lexspec.delimiters.matched_bytes()
+
+        tmpl = wiring.tokenizer
+        self.longest_match = tmpl.longest_match
+        self._boundary: dict[str, frozenset[int]] = {}
+        for unit in self.units:
+            token = grammar.lexspec.get(unit.terminal.name)
+            extra: frozenset[int] = frozenset()
+            if tmpl.keyword_boundary and token.is_literal:
+                text = token.fixed_text()
+                if text and chr(text[-1]).isalnum():
+                    extra = rx.ALNUM.matched_bytes()
+            self._boundary[unit.terminal.name] = extra
+
+        self._index_of: dict[Occurrence, int] = {
+            unit: position + 1 for position, unit in enumerate(self.units)
+        }
+        #: stable unit ordering, so same-byte events come out in the
+        #: same order as the hardware's detect port scan.
+        self._unit_order: dict[Occurrence, int] = {
+            unit: position for position, unit in enumerate(self.units)
+        }
+
+    # ------------------------------------------------------------------
+    def index_of(self, unit: Occurrence) -> int:
+        """Default (or-tree) encoder index for a unit."""
+        return self._index_of[unit]
+
+    # ------------------------------------------------------------------
+    def events(self, data: bytes) -> list[DetectEvent]:
+        """Raw detection events, bit-exact with the hardware detects."""
+        return [event for event, _starts in self._scan(data)]
+
+    def events_and_errors(
+        self, data: bytes
+    ) -> tuple[list[DetectEvent], list[int]]:
+        """Detection events plus §5.2 error positions.
+
+        An error position ``j`` means the parser had lost all state
+        when byte ``j`` arrived and the recovery logic re-armed the
+        start tokenizers there. Requires
+        ``options.wiring.error_recovery``.
+        """
+        if not self.options.wiring.error_recovery:
+            raise ValueError("tagger built without error_recovery")
+        errors: list[int] = []
+        events = [e for e, _s in self._scan(data, error_sink=errors)]
+        return events, errors
+
+    def tag(self, data: bytes) -> list[TaggedToken]:
+        """Tagged tokens with lexemes (earliest-start reconstruction)."""
+        tokens: list[TaggedToken] = []
+        for event, start in self._scan(data):
+            tokens.append(
+                TaggedToken(
+                    token=event.occurrence.terminal.name,
+                    occurrence=event.occurrence,
+                    lexeme=data[start : event.end],
+                    start=start,
+                    end=event.end,
+                    index=self._index_of[event.occurrence],
+                )
+            )
+        return tokens
+
+    # ------------------------------------------------------------------
+    def _scan(self, data: bytes, error_sink: list[int] | None = None):
+        """Yield (DetectEvent, match_start) pairs in stream order.
+
+        State per live unit mirrors the hardware registers: the arming
+        bit and the set of lit position registers (mapped to the
+        earliest start index that lit them). With error recovery on,
+        a byte processed while *no* register anywhere holds state
+        re-arms the starts (and is reported through ``error_sink``).
+        """
+        starts_cond_always = self.options.wiring.start_mode == "always"
+        recovery = self.options.wiring.error_recovery
+        delimiters = self.delimiters
+        longest = self.longest_match
+
+        armed: set[Occurrence] = set()
+        active: dict[Occurrence, dict[int, int]] = {}
+        detected_last: list[Occurrence] = []
+        lost = False
+
+        for i, byte in enumerate(data):
+            next_byte = data[i + 1] if i + 1 < len(data) else None
+            # Units enabled this byte by last byte's detections.
+            enabled: set[Occurrence] = set()
+            for unit in detected_last:
+                enabled |= self.successors[unit]
+            if starts_cond_always or i == 0:
+                enabled |= self.starts
+            if recovery and lost:
+                enabled |= self.starts
+                if error_sink is not None:
+                    error_sink.append(i)
+
+            is_delim = byte in delimiters
+            detected_now: list[Occurrence] = []
+            results: list[tuple[DetectEvent, int]] = []
+
+            live = set(active) | armed | enabled
+            new_armed: set[Occurrence] = set()
+            for unit in live:
+                entry = unit in enabled or unit in armed
+                if entry and is_delim:
+                    new_armed.add(unit)
+                auto = self.automata[unit.terminal.name]
+                previous = active.get(unit)
+                lit: dict[int, int] = {}
+                if previous:
+                    for position, start in previous.items():
+                        for successor in auto.follow[position]:
+                            if byte in auto.position_bytes[successor]:
+                                best = lit.get(successor)
+                                if best is None or start < best:
+                                    lit[successor] = start
+                if entry:
+                    for position in auto.first:
+                        if byte in auto.position_bytes[position]:
+                            best = lit.get(position)
+                            if best is None or i < best:
+                                lit[position] = i
+                if lit:
+                    active[unit] = lit
+                elif previous:
+                    del active[unit]
+
+                # Detection with the Fig. 7 longest-match look-ahead.
+                match_start: int | None = None
+                boundary = self._boundary[unit.terminal.name]
+                for position, start in lit.items():
+                    if position not in auto.last:
+                        continue
+                    extension = (
+                        auto.extension_bytes(position) if longest else frozenset()
+                    )
+                    extension |= boundary
+                    if (
+                        extension
+                        and next_byte is not None
+                        and next_byte in extension
+                    ):
+                        continue
+                    if match_start is None or start < match_start:
+                        match_start = start
+                if match_start is not None:
+                    detected_now.append(unit)
+                    results.append(
+                        (DetectEvent(unit, i + 1), match_start)
+                    )
+
+            if recovery:
+                # Mirrors the hardware liveness cut exactly: position
+                # D inputs and arming of *this* byte, plus the
+                # registered detect of the *previous* byte.
+                lost = not (active or new_armed or detected_last)
+            armed = new_armed
+            detected_last = detected_now
+            results.sort(key=lambda pair: self._unit_order[pair[0].occurrence])
+            yield from results
+
+
+class GateLevelTagger:
+    """Runs the generated netlist and decodes its outputs.
+
+    ``run`` feeds one byte per cycle (plus flush cycles to drain the
+    pipeline) and converts detect-pin pulses back to byte positions
+    using the known pipeline latency.
+    """
+
+    def __init__(self, circuit: TaggerCircuit) -> None:
+        self.circuit = circuit
+        self.simulator = Simulator(circuit.netlist)
+        self._occurrence_of_port = {
+            port: occurrence
+            for occurrence, port in circuit.detect_ports.items()
+        }
+        self._reverse_nfas: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _flush_cycles(self) -> int:
+        latency = self.circuit.detect_latency
+        if self.circuit.encoder is not None:
+            latency += self.circuit.encoder.latency
+        return latency + 2
+
+    def events(self, data: bytes) -> list[DetectEvent]:
+        """Detection events recovered from the detect output pins."""
+        self.simulator.reset()
+        frames = stimulus_with_valid(data, self._flush_cycles())
+        latency = self.circuit.detect_latency
+        events: list[DetectEvent] = []
+        for cycle, frame in enumerate(frames):
+            outputs = self.simulator.step(frame)
+            end = cycle - latency + 1  # exclusive end position
+            if end < 1:
+                continue
+            for port, occurrence in self._occurrence_of_port.items():
+                if outputs[port]:
+                    events.append(DetectEvent(occurrence, end))
+        return events
+
+    def index_stream(self, data: bytes) -> list[tuple[int, int]]:
+        """(end, index) pairs from the encoder output pins."""
+        if self.circuit.encoder is None:
+            raise ValueError("circuit has no encoder")
+        self.simulator.reset()
+        frames = stimulus_with_valid(data, self._flush_cycles())
+        latency = self.circuit.index_latency
+        width = self.circuit.encoder.width
+        stream: list[tuple[int, int]] = []
+        for cycle, frame in enumerate(frames):
+            outputs = self.simulator.step(frame)
+            end = cycle - latency + 1
+            if end < 1 or not outputs["match_valid"]:
+                continue
+            index = sum(outputs[f"index{bit}"] << bit for bit in range(width))
+            stream.append((end, index))
+        return stream
+
+    def error_positions(self, data: bytes) -> list[int]:
+        """§5.2 error-recovery positions read off the parse_error pin.
+
+        A reported position ``j`` means the hardware had lost all
+        parser state when byte ``j`` arrived (and re-armed the start
+        tokenizers). Bit-exact with
+        :meth:`BehavioralTagger.events_and_errors`.
+        """
+        if "parse_error" not in self.circuit.netlist.outputs:
+            raise ValueError("circuit generated without error_recovery")
+        self.simulator.reset()
+        frames = stimulus_with_valid(data, self._flush_cycles())
+        latency = self.circuit.detect_latency
+        positions = []
+        for cycle, frame in enumerate(frames):
+            outputs = self.simulator.step(frame)
+            position = cycle - latency + 1
+            if outputs["parse_error"] and 0 <= position < len(data):
+                positions.append(position)
+        return positions
+
+    def tag(self, data: bytes) -> list[TaggedToken]:
+        """Tagged tokens; lexemes recovered by reversed-pattern match."""
+        tokens: list[TaggedToken] = []
+        for event in self.events(data):
+            start = self._recover_start(data, event)
+            tokens.append(
+                TaggedToken(
+                    token=event.occurrence.terminal.name,
+                    occurrence=event.occurrence,
+                    lexeme=data[start : event.end],
+                    start=start,
+                    end=event.end,
+                    index=self.circuit.index_of(event.occurrence),
+                )
+            )
+        return tokens
+
+    def _recover_start(self, data: bytes, event: DetectEvent) -> int:
+        """Earliest start of a match ending at ``event.end``.
+
+        The hardware reports only ends; the longest match of the
+        reversed pattern over the reversed prefix gives the start.
+        """
+        name = event.occurrence.terminal.name
+        nfa = self._reverse_nfas.get(name)
+        if nfa is None:
+            pattern = self.circuit.grammar.lexspec.get(name).pattern
+            nfa = compile_nfa(rx.reverse(pattern))
+            self._reverse_nfas[name] = nfa
+        reversed_prefix = bytes(reversed(data[: event.end]))
+        length = nfa.longest_match(reversed_prefix, 0)
+        if not length:
+            return event.end - 1
+        return event.end - length

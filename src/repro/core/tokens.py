@@ -1,0 +1,44 @@
+"""Tagged-token data model: what the tagger reports to the back-end.
+
+"The back-end receives the token index along with the pattern for
+application level processing." (§3.1) A :class:`TaggedToken` carries
+the token identity, its grammatical context (the duplicated-occurrence
+tag), the matched lexeme, and stream positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.analysis import Occurrence
+
+
+@dataclass(frozen=True)
+class TaggedToken:
+    """One detected token with its grammatical context.
+
+    ``end`` is exclusive: the lexeme is ``data[start:end]``. ``index``
+    is the hardware token index emitted by the encoder (§3.4); it is
+    ``None`` for behavioral runs configured without an encoder map.
+    """
+
+    token: str
+    occurrence: Occurrence
+    lexeme: bytes
+    start: int
+    end: int
+    index: int | None = None
+
+    @property
+    def context(self) -> str:
+        """Occurrence tag, e.g. ``p3.1`` = production 3, position 1."""
+        return self.occurrence.context_name()
+
+    def text(self) -> str:
+        return self.lexeme.decode("utf-8", errors="replace")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.token}@{self.context}[{self.start}:{self.end}]"
+            f"={self.text()!r}"
+        )

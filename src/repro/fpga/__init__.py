@@ -1,0 +1,27 @@
+"""FPGA device models: area (4-LUT technology mapping) and timing.
+
+This package substitutes for the paper's vendor tool flow (Synplify
+Pro + Xilinx ISE place & route): a constant sweep and greedy 4-input
+LUT covering produce the LUT counts of Table 1, and a
+fanout-aware wire-delay model produces the frequency curve of
+Fig. 15. The model constants per device are calibrated against the
+two published design points; everything else (LUT counts, fanouts,
+logic depths) is computed from the actual generated netlist.
+"""
+
+from repro.fpga.device import DEVICES, Device, get_device
+from repro.fpga.techmap import TechMapResult, techmap
+from repro.fpga.timing import TimingReport, analyze_timing
+from repro.fpga.report import UtilizationReport, implement
+
+__all__ = [
+    "DEVICES",
+    "Device",
+    "TechMapResult",
+    "TimingReport",
+    "UtilizationReport",
+    "analyze_timing",
+    "get_device",
+    "implement",
+    "techmap",
+]

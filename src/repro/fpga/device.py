@@ -1,0 +1,102 @@
+"""FPGA device models.
+
+The paper evaluates on a Xilinx VirtexE 2000 and a Virtex 4 LX200.
+Each :class:`Device` carries the architectural facts needed by the
+area and timing models:
+
+* 4-input LUTs with a paired flip-flop per slice (both families);
+* capacity (total LUTs);
+* delay constants: LUT logic delay, clock-to-Q + setup overhead, and
+  a linear routing-delay-vs-fanout curve.
+
+The delay constants are *calibrated*, not measured: vendor place &
+route is unavailable offline, so the two published anchor points per
+family (533 MHz at 300 pattern bytes and 316 MHz at 3000 bytes on the
+Virtex 4; 196 MHz at 300 bytes on the VirtexE) pin the constants, and
+every other frequency in Table 1 / Fig. 15 is then a prediction of the
+model from the actual mapped netlist's fanout structure. DESIGN.md §2
+documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class Device:
+    """Delay/area model of one FPGA part."""
+
+    name: str
+    family: str
+    n_luts: int
+    lut_inputs: int
+    #: LUT logic delay, ns.
+    t_lut: float
+    #: register clock-to-Q plus setup, ns (lumped).
+    t_ff: float
+    #: routing delay = r_base + r_fanout * fanout, ns.
+    r_base: float
+    r_fanout: float
+
+    def route_delay(self, fanout: int) -> float:
+        """Routing delay of a net with the given mapped fanout, ns."""
+        return self.r_base + self.r_fanout * max(fanout, 1)
+
+    def check_capacity(self, n_luts: int) -> None:
+        if n_luts > self.n_luts:
+            raise DeviceError(
+                f"design needs {n_luts} LUTs but {self.name} has "
+                f"only {self.n_luts}"
+            )
+
+
+#: Xilinx Virtex 4 LX200: 178,176 4-input LUTs (89,088 slices x 2).
+#: r_base/r_fanout calibrated so the generated XML-RPC tagger hits the
+#: paper's two anchors: 533 MHz at the 300-byte point and 316 MHz at
+#: the 3000-byte point. With these constants the model independently
+#: reproduces the paper's §4.3 observation that the decoded-bit
+#: routing delay of the largest grammar is "just under 2 ns" (we get
+#: 1.98 ns on the highest-fanout decoded net).
+VIRTEX4_LX200 = Device(
+    name="Virtex4 LX200",
+    family="virtex4",
+    n_luts=178_176,
+    lut_inputs=4,
+    t_lut=0.20,
+    t_ff=0.30,
+    r_base=0.2346,
+    r_fanout=0.0042126,
+)
+
+#: Xilinx VirtexE 2000: 38,400 4-input LUTs (19,200 slices x 2).
+#: All delays scaled 2.72x from the Virtex 4 constants, pinning the
+#: paper's remaining anchor: 196 MHz on the 300-byte design.
+_VE_SCALE = 2.7197
+VIRTEXE_2000 = Device(
+    name="VirtexE 2000",
+    family="virtexe",
+    n_luts=38_400,
+    lut_inputs=4,
+    t_lut=0.20 * _VE_SCALE,
+    t_ff=0.30 * _VE_SCALE,
+    r_base=0.2346 * _VE_SCALE,
+    r_fanout=0.0042126 * _VE_SCALE,
+)
+
+DEVICES: dict[str, Device] = {
+    "virtex4-lx200": VIRTEX4_LX200,
+    "virtexe-2000": VIRTEXE_2000,
+}
+
+
+def get_device(name: str) -> Device:
+    """Look up a device preset by key (case-insensitive)."""
+    device = DEVICES.get(name.lower())
+    if device is None:
+        raise DeviceError(
+            f"unknown device {name!r}; known: {', '.join(sorted(DEVICES))}"
+        )
+    return device

@@ -1,0 +1,91 @@
+"""Implementation reports: the rows of the paper's Table 1.
+
+:func:`implement` runs the full back-end model — LUT mapping then
+static timing — for a generated tagger on a device and returns a
+:class:`UtilizationReport` holding exactly the columns the paper
+reports: device, frequency (MHz), bandwidth (Gbps), pattern bytes,
+LUTs, and LUTs per byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.generator import TaggerCircuit
+from repro.fpga.device import Device
+from repro.fpga.techmap import TechMapResult, techmap
+from repro.fpga.timing import TimingReport, analyze_timing
+
+
+@dataclass
+class UtilizationReport:
+    """One Table 1 row plus the underlying model artifacts."""
+
+    design: str
+    device: Device
+    frequency_mhz: float
+    bandwidth_gbps: float
+    pattern_bytes: int
+    n_luts: int
+    n_registers: int
+    mapping: TechMapResult
+    timing: TimingReport
+
+    @property
+    def luts_per_byte(self) -> float:
+        if self.pattern_bytes == 0:
+            return float("nan")
+        return self.n_luts / self.pattern_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the device's LUTs consumed."""
+        return self.n_luts / self.device.n_luts
+
+    def row(self) -> tuple[str, int, float, int, int, float]:
+        """(device, MHz, Gbps, bytes, LUTs, LUTs/byte) — Table 1 order."""
+        return (
+            self.device.name,
+            round(self.frequency_mhz),
+            round(self.bandwidth_gbps, 2),
+            self.pattern_bytes,
+            self.n_luts,
+            round(self.luts_per_byte, 2),
+        )
+
+    def format_row(self) -> str:
+        device, mhz, gbps, n_bytes, luts, ratio = self.row()
+        return (
+            f"{device:<15} {mhz:>5} {gbps:>6.2f} {n_bytes:>7} "
+            f"{luts:>6} {ratio:>6.2f}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'Device':<15} {'MHz':>5} {'Gbps':>6} {'Bytes':>7} "
+            f"{'LUTs':>6} {'L/B':>6}"
+        )
+
+
+def implement(
+    circuit: TaggerCircuit,
+    device: Device,
+    check_capacity: bool = True,
+) -> UtilizationReport:
+    """Map and time ``circuit`` on ``device``; return the Table 1 row."""
+    mapping = techmap(circuit.netlist, lut_inputs=device.lut_inputs)
+    if check_capacity:
+        device.check_capacity(mapping.n_luts)
+    timing = analyze_timing(mapping, device)
+    return UtilizationReport(
+        design=circuit.grammar.name,
+        device=device,
+        frequency_mhz=timing.frequency_mhz,
+        bandwidth_gbps=timing.bandwidth_gbps,
+        pattern_bytes=circuit.pattern_bytes(),
+        n_luts=mapping.n_luts,
+        n_registers=mapping.n_registers,
+        mapping=mapping,
+        timing=timing,
+    )

@@ -1,0 +1,33 @@
+"""Context-free-grammar substrate.
+
+Symbols, productions, the nullable/FIRST/FOLLOW analysis of the paper's
+Fig. 8, a Lex-style token specification, front-ends for Yacc-style
+grammar files (Fig. 14) and DTDs (Fig. 13), and the built-in example
+grammars used throughout the paper.
+"""
+
+from repro.grammar.symbols import EPSILON, NonTerminal, Symbol, Terminal
+from repro.grammar.cfg import Grammar, Production
+from repro.grammar.lexspec import LexSpec, TokenDef
+from repro.grammar.analysis import GrammarAnalysis, analyze_grammar
+from repro.grammar.yacc_parser import parse_yacc_grammar
+from repro.grammar.writer import save_yacc_grammar, write_yacc_grammar
+from repro.grammar.dtd import dtd_to_grammar, parse_dtd
+
+__all__ = [
+    "EPSILON",
+    "Grammar",
+    "GrammarAnalysis",
+    "LexSpec",
+    "NonTerminal",
+    "Production",
+    "Symbol",
+    "Terminal",
+    "TokenDef",
+    "analyze_grammar",
+    "dtd_to_grammar",
+    "parse_dtd",
+    "parse_yacc_grammar",
+    "save_yacc_grammar",
+    "write_yacc_grammar",
+]

@@ -1,0 +1,322 @@
+"""DTD parsing and DTD → BNF conversion (the paper's Fig. 13 → Fig. 14).
+
+"Before we can automatically generate VHDL to parse XML-RPC messages,
+the DTD … is first converted into a grammar in Bachus Naur Form (BNF)
+which is compatible with our code generator implementation." (§4.1)
+
+:func:`parse_dtd` reads ``<!ELEMENT name (content)>`` declarations into
+a content-model AST; :func:`dtd_to_grammar` lowers them to a
+:class:`~repro.grammar.cfg.Grammar`: every element ``e`` becomes
+
+    e: "<e>" <content> "</e>";
+
+``#PCDATA`` becomes a token whose pattern defaults to the paper's
+``STRING`` (``[a-zA-Z0-9]+``) and can be overridden per element, which
+is how Fig. 14 assigns ``INT`` to ``<i4>``, ``DOUBLE`` to ``<double>``
+and so on. The XML repetition operators lower to fresh helper
+non-terminals exactly the way Fig. 14 writes ``param`` and ``data``
+(right-recursive list rules with an epsilon alternative).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import DTDSyntaxError
+from repro.grammar.cfg import Grammar
+from repro.grammar.lexspec import LexSpec
+from repro.grammar.symbols import NonTerminal, Symbol, Terminal
+
+_ELEMENT_DECL = re.compile(
+    r"<!ELEMENT\s+(?P<name>[A-Za-z_][\w.\-]*)\s+(?P<content>.*?)>",
+    re.DOTALL,
+)
+_COMMENT = re.compile(r"<!--.*?-->", re.DOTALL)
+
+#: Default #PCDATA pattern: the paper's STRING token.
+DEFAULT_PCDATA_PATTERN = "[a-zA-Z0-9]+"
+
+
+# ----------------------------------------------------------------------
+# content-model AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PCData:
+    """``#PCDATA`` — character data."""
+
+    def __str__(self) -> str:
+        return "#PCDATA"
+
+
+@dataclass(frozen=True)
+class ElementRef:
+    """A child element reference."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ContentSeq:
+    """``(a, b, c)`` — ordered sequence."""
+
+    items: tuple["Content", ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class ContentChoice:
+    """``(a | b | c)`` — alternatives."""
+
+    options: tuple["Content", ...]
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(o) for o in self.options) + ")"
+
+
+@dataclass(frozen=True)
+class ContentRepeat:
+    """``x?``, ``x*`` or ``x+``."""
+
+    item: "Content"
+    operator: str  # one of "?", "*", "+"
+
+    def __str__(self) -> str:
+        return f"{self.item}{self.operator}"
+
+
+@dataclass(frozen=True)
+class EmptyContent:
+    """``EMPTY`` declared content."""
+
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+Content = Union[PCData, ElementRef, ContentSeq, ContentChoice, ContentRepeat, EmptyContent]
+
+
+# ----------------------------------------------------------------------
+# DTD text -> content models
+# ----------------------------------------------------------------------
+class _ContentParser:
+    def __init__(self, text: str, element: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.element = element
+
+    def error(self, message: str) -> DTDSyntaxError:
+        return DTDSyntaxError(
+            f"element {self.element!r}: {message} "
+            f"(near {self.text[self.pos:self.pos + 12]!r})"
+        )
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse(self) -> Content:
+        self.skip_ws()
+        if self.text[self.pos:].strip() == "EMPTY":
+            return EmptyContent()
+        if self.text[self.pos:].strip() == "ANY":
+            raise self.error("ANY content is not supported")
+        node = self.group()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing characters after content model")
+        return node
+
+    def group(self) -> Content:
+        self.skip_ws()
+        if self.peek() != "(":
+            raise self.error("expected '('")
+        self.pos += 1
+        items = [self.item()]
+        self.skip_ws()
+        separator = ""
+        while self.peek() and self.peek() in ",|":
+            char = self.peek()
+            if separator and char != separator:
+                raise self.error("cannot mix ',' and '|' in one group")
+            separator = char
+            self.pos += 1
+            items.append(self.item())
+            self.skip_ws()
+        if self.peek() != ")":
+            raise self.error("expected ')'")
+        self.pos += 1
+        node: Content
+        if separator == "|":
+            node = ContentChoice(tuple(items))
+        elif len(items) == 1:
+            node = items[0]
+        else:
+            node = ContentSeq(tuple(items))
+        return self.suffix(node)
+
+    def item(self) -> Content:
+        self.skip_ws()
+        if self.peek() == "(":
+            return self.group()
+        if self.text.startswith("#PCDATA", self.pos):
+            self.pos += len("#PCDATA")
+            return PCData()
+        match = re.match(r"[A-Za-z_][\w.\-]*", self.text[self.pos:])
+        if match is None:
+            raise self.error("expected an element name")
+        self.pos += match.end()
+        return self.suffix(ElementRef(match.group()))
+
+    def suffix(self, node: Content) -> Content:
+        if self.peek() and self.peek() in "?*+":
+            operator = self.peek()
+            self.pos += 1
+            return ContentRepeat(node, operator)
+        return node
+
+
+def parse_dtd(text: str) -> dict[str, Content]:
+    """Parse ``<!ELEMENT>`` declarations into content models.
+
+    Declaration order is preserved (Python dicts are ordered); the
+    first element is treated as the document root by default.
+    """
+    text = _COMMENT.sub("", text)
+    declarations: dict[str, Content] = {}
+    for match in _ELEMENT_DECL.finditer(text):
+        name = match.group("name")
+        if name in declarations:
+            raise DTDSyntaxError(f"element {name!r} declared twice")
+        declarations[name] = _ContentParser(
+            match.group("content").strip(), name
+        ).parse()
+    if not declarations:
+        raise DTDSyntaxError("no <!ELEMENT> declarations found")
+    return declarations
+
+
+# ----------------------------------------------------------------------
+# content models -> Grammar
+# ----------------------------------------------------------------------
+def dtd_to_grammar(
+    declarations: dict[str, Content] | str,
+    root: str | None = None,
+    pcdata_patterns: dict[str, tuple[str, str]] | None = None,
+    name: str = "dtd",
+) -> Grammar:
+    """Lower a DTD to a BNF grammar with literal tag tokens.
+
+    ``pcdata_patterns`` maps element name → (token name, regex text),
+    overriding the default ``STRING``/``[a-zA-Z0-9]+`` for elements
+    whose character data has a more specific shape (Fig. 14 uses INT,
+    DOUBLE, BASE64, …).
+
+    >>> g = dtd_to_grammar("<!ELEMENT note (#PCDATA)>")
+    >>> [str(p) for p in g.productions]
+    ['note → <note> STRING </note>']
+    """
+    if isinstance(declarations, str):
+        declarations = parse_dtd(declarations)
+    pcdata_patterns = pcdata_patterns or {}
+
+    lexspec = LexSpec()
+    grammar = Grammar(name, lexspec)
+    defined_tokens: dict[str, str] = {}
+
+    def pcdata_terminal(element: str) -> Terminal:
+        token_name, pattern = pcdata_patterns.get(
+            element, ("STRING", DEFAULT_PCDATA_PATTERN)
+        )
+        known = defined_tokens.get(token_name)
+        if known is None:
+            lexspec.define(token_name, pattern)
+            defined_tokens[token_name] = pattern
+        elif known != pattern:
+            raise DTDSyntaxError(
+                f"token {token_name!r} mapped to two patterns "
+                f"({known!r} vs {pattern!r})"
+            )
+        return Terminal(token_name)
+
+    helper_count = 0
+
+    def fresh_helper(base: str) -> NonTerminal:
+        nonlocal helper_count
+        helper_count += 1
+        return NonTerminal(f"{base}_rep{helper_count}")
+
+    pending: list[tuple[NonTerminal, Content, str]] = []
+
+    def lower(content: Content, element: str) -> list[Symbol]:
+        """Lower a content model to a symbol sequence, queueing helper
+        rules for repetition/choice as needed."""
+        if isinstance(content, EmptyContent):
+            return []
+        if isinstance(content, PCData):
+            return [pcdata_terminal(element)]
+        if isinstance(content, ElementRef):
+            if content.name not in declarations:
+                raise DTDSyntaxError(
+                    f"element {content.name!r} referenced but not declared"
+                )
+            return [NonTerminal(content.name)]
+        if isinstance(content, ContentSeq):
+            symbols: list[Symbol] = []
+            for item in content.items:
+                symbols.extend(lower(item, element))
+            return symbols
+        if isinstance(content, (ContentChoice, ContentRepeat)):
+            helper = fresh_helper(element)
+            pending.append((helper, content, element))
+            return [helper]
+        raise DTDSyntaxError(f"unsupported content model node: {content!r}")
+
+    # Element rules in declaration order: e -> "<e>" content "</e>".
+    for element, content in declarations.items():
+        lexspec.define_literal(f"<{element}>")
+        lexspec.define_literal(f"</{element}>")
+        body = lower(content, element)
+        grammar.add(
+            NonTerminal(element),
+            [Terminal(f"<{element}>"), *body, Terminal(f"</{element}>")],
+        )
+
+    # Helper rules for choices and repetitions (right-recursive lists,
+    # matching the shape of Fig. 14's `param` and `data` rules).
+    while pending:
+        helper, content, element = pending.pop(0)
+        if isinstance(content, ContentChoice):
+            for option in content.options:
+                grammar.add(helper, lower(option, element))
+        elif isinstance(content, ContentRepeat):
+            body = lower(content.item, element)
+            if content.operator == "?":
+                grammar.add(helper, [])
+                grammar.add(helper, body)
+            elif content.operator == "*":
+                grammar.add(helper, [])
+                grammar.add(helper, [*body, helper])
+            else:  # "+"
+                tail = fresh_helper(element)
+                grammar.add(helper, [*body, tail])
+                grammar.add(tail, [])
+                grammar.add(tail, [*body, tail])
+        else:  # pragma: no cover - only choice/repeat are queued
+            raise DTDSyntaxError(f"bad helper content: {content!r}")
+
+    root_name = root if root is not None else next(iter(declarations))
+    if root_name not in declarations:
+        raise DTDSyntaxError(f"root element {root_name!r} not declared")
+    grammar.start = NonTerminal(root_name)
+    grammar.validate()
+    return grammar

@@ -1,0 +1,126 @@
+"""Lexical specification: the grammar's token list.
+
+"The input data is scanned to determine the sequence of regular
+expressions separated by delimiters. These regular expressions are
+called the tokens. The token list is often defined separately from the
+production list." (§3.1)
+
+A :class:`LexSpec` holds the named token patterns (e.g. ``STRING:
+[a-zA-Z0-9]+`` from Fig. 14), the literal keyword tokens that appear
+quoted inside productions (e.g. ``"<methodCall>"``), and the delimiter
+set that separates tokens in the stream ("In addition to these
+decoders, delimiters are also defined for the tokens", §3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GrammarError
+from repro.grammar.regex import ast as rx
+from repro.grammar.regex.ast import CharClass, Regex
+from repro.grammar.regex.parser import parse_regex
+from repro.grammar.symbols import Terminal
+
+#: Default delimiter set: whitespace, as in typical Lex token streams.
+DEFAULT_DELIMITERS = rx.WHITESPACE
+
+
+@dataclass(frozen=True)
+class TokenDef:
+    """A named token pattern.
+
+    ``is_literal`` marks tokens created from quoted strings in the
+    production list; their name is the quoted text itself.
+    """
+
+    name: str
+    pattern: Regex
+    is_literal: bool = False
+    source: str | None = None
+
+    @property
+    def terminal(self) -> Terminal:
+        return Terminal(self.name)
+
+    def fixed_text(self) -> bytes | None:
+        """The exact byte string when the pattern is a literal string."""
+        return rx.fixed_string(self.pattern)
+
+    def pattern_bytes(self) -> int:
+        """Pattern-byte contribution (the Table 1 '# of Bytes' metric)."""
+        return rx.pattern_byte_count(self.pattern)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.pattern}"
+
+
+@dataclass
+class LexSpec:
+    """Ordered collection of token definitions plus the delimiter class."""
+
+    tokens: list[TokenDef] = field(default_factory=list)
+    delimiters: CharClass = DEFAULT_DELIMITERS
+
+    def __post_init__(self) -> None:
+        self._by_name = {token.name: token for token in self.tokens}
+        if len(self._by_name) != len(self.tokens):
+            raise GrammarError("duplicate token names in lexical specification")
+
+    # ------------------------------------------------------------------
+    def define(
+        self, name: str, pattern: str | Regex, source: str | None = None
+    ) -> TokenDef:
+        """Add a named token; ``pattern`` may be regex text or an AST."""
+        if name in self._by_name:
+            raise GrammarError(f"token {name!r} already defined")
+        if isinstance(pattern, str):
+            token = TokenDef(name, parse_regex(pattern), source=pattern)
+        else:
+            token = TokenDef(name, pattern, source=source)
+        self.tokens.append(token)
+        self._by_name[name] = token
+        return token
+
+    def define_literal(self, text: str) -> TokenDef:
+        """Add (or fetch) the literal keyword token for quoted ``text``."""
+        existing = self._by_name.get(text)
+        if existing is not None:
+            if not existing.is_literal:
+                raise GrammarError(
+                    f"literal {text!r} collides with a named token"
+                )
+            return existing
+        token = TokenDef(text, rx.literal_string(text), is_literal=True, source=text)
+        self.tokens.append(token)
+        self._by_name[text] = token
+        return token
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> TokenDef:
+        token = self._by_name.get(name)
+        if token is None:
+            raise GrammarError(f"unknown token {name!r}")
+        return token
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    # ------------------------------------------------------------------
+    def is_delimiter(self, byte: int) -> bool:
+        return self.delimiters.contains(byte)
+
+    def total_pattern_bytes(self) -> int:
+        """Sum of pattern bytes over all tokens (Table 1 '# of Bytes')."""
+        return sum(token.pattern_bytes() for token in self.tokens)
+
+    def describe(self) -> str:
+        lines = [str(token) for token in self.tokens]
+        lines.append(f"delimiters: {self.delimiters}")
+        return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Regular-expression substrate for token definitions.
+
+The paper's tokens are "regular expressions separated by delimiters"
+(§3.1) written in Lex notation (Fig. 14), and its hardware templates
+implement the operators sequence, Not, One-or-None, One-or-More and
+Zero-or-More (Fig. 6). This package provides the matching AST, a
+parser for the Lex subset, and Thompson-NFA / subset-construction-DFA
+software matchers used as the reference oracle.
+"""
+
+from repro.grammar.regex.ast import (
+    Alt,
+    AnyChar,
+    CharClass,
+    Empty,
+    Literal,
+    Regex,
+    Repeat,
+    Seq,
+    literal_string,
+)
+from repro.grammar.regex.parser import parse_regex
+from repro.grammar.regex.nfa import NFA, compile_nfa
+from repro.grammar.regex.dfa import DFA, compile_dfa
+
+__all__ = [
+    "Alt",
+    "AnyChar",
+    "CharClass",
+    "DFA",
+    "Empty",
+    "Literal",
+    "NFA",
+    "Regex",
+    "Repeat",
+    "Seq",
+    "compile_dfa",
+    "compile_nfa",
+    "literal_string",
+    "parse_regex",
+]

@@ -1,0 +1,365 @@
+"""Regular-expression abstract syntax.
+
+The AST models the operator set the paper's hardware templates support
+(Fig. 6): character literals, character classes (including the
+pre-decoded special classes of Fig. 5), sequence, alternation,
+single-character Not (modelled as a negated class), One-or-None (`?`),
+One-or-More (`+`) and Zero-or-More (`*`).
+
+All nodes are immutable and hashable so they can key caches in the
+hardware generator (shared decoder terms, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Optional, Union
+
+#: The byte alphabet the hardware decoders operate over (Fig. 4).
+ALPHABET_SIZE = 256
+
+
+def _char_set(chars: str) -> frozenset[int]:
+    return frozenset(ord(c) for c in chars)
+
+
+@dataclass(frozen=True)
+class Empty:
+    """Matches the empty string (epsilon)."""
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """Matches one exact byte."""
+
+    byte: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte < ALPHABET_SIZE:
+            raise ValueError(f"byte out of range: {self.byte}")
+
+    @property
+    def char(self) -> str:
+        return chr(self.byte)
+
+    def __str__(self) -> str:
+        char = self.char
+        return char if char.isprintable() and char not in "\\[]()|*+?.!\"" else f"\\x{self.byte:02x}"
+
+
+@dataclass(frozen=True)
+class CharClass:
+    """Matches one byte drawn from a set.
+
+    ``negated`` classes implement the paper's single-character *Not*
+    template (Fig. 6b): the matched set is the complement of ``bytes``.
+    ``label`` optionally names a pre-decoded term (Fig. 5), e.g.
+    ``"alphanumeric"``; labels participate only in display, not in
+    equality of the matched set.
+    """
+
+    bytes: frozenset[int]
+    negated: bool = False
+    label: Optional[str] = field(default=None, compare=False)
+
+    def matched_bytes(self) -> frozenset[int]:
+        """The concrete set of bytes this class accepts."""
+        if self.negated:
+            return frozenset(range(ALPHABET_SIZE)) - self.bytes
+        return self.bytes
+
+    def contains(self, byte: int) -> bool:
+        return (byte in self.bytes) != self.negated
+
+    def __str__(self) -> str:
+        if self.label:
+            return f"[:{self.label}:]" if not self.negated else f"[^:{self.label}:]"
+        chars = "".join(sorted(chr(b) for b in self.bytes if chr(b).isprintable()))
+        prefix = "^" if self.negated else ""
+        return f"[{prefix}{chars}]"
+
+
+@dataclass(frozen=True)
+class AnyChar:
+    """Matches any byte (Lex ``.`` minus newline by convention)."""
+
+    include_newline: bool = False
+
+    def matched_bytes(self) -> frozenset[int]:
+        full = frozenset(range(ALPHABET_SIZE))
+        return full if self.include_newline else full - {ord("\n")}
+
+    def contains(self, byte: int) -> bool:
+        return self.include_newline or byte != ord("\n")
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class Seq:
+    """Concatenation of sub-expressions."""
+
+    items: tuple["Regex", ...]
+
+    def __str__(self) -> str:
+        return "".join(_wrap(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Alt:
+    """Alternation between sub-expressions."""
+
+    options: tuple["Regex", ...]
+
+    def __str__(self) -> str:
+        return "|".join(_wrap(option) for option in self.options)
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """Repetition: ``?`` (0-1), ``*`` (0-inf), ``+`` (1-inf).
+
+    ``max_count`` of ``None`` means unbounded.
+    """
+
+    item: "Regex"
+    min_count: int
+    max_count: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.min_count < 0:
+            raise ValueError("min_count must be >= 0")
+        if self.max_count is not None and self.max_count < self.min_count:
+            raise ValueError("max_count must be >= min_count")
+
+    @property
+    def operator(self) -> str:
+        if (self.min_count, self.max_count) == (0, 1):
+            return "?"
+        if (self.min_count, self.max_count) == (0, None):
+            return "*"
+        if (self.min_count, self.max_count) == (1, None):
+            return "+"
+        upper = "" if self.max_count is None else str(self.max_count)
+        return f"{{{self.min_count},{upper}}}"
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.item)}{self.operator}"
+
+
+Regex = Union[Empty, Literal, CharClass, AnyChar, Seq, Alt, Repeat]
+
+_ATOMIC = (Empty, Literal, CharClass, AnyChar)
+
+
+def _wrap(node: Regex) -> str:
+    if isinstance(node, _ATOMIC) or isinstance(node, Repeat):
+        return str(node)
+    return f"({node})"
+
+
+# ----------------------------------------------------------------------
+# constructors and helpers
+# ----------------------------------------------------------------------
+def literal_string(text: str) -> Regex:
+    """Sequence of literals matching ``text`` exactly."""
+    if not text:
+        return Empty()
+    items = tuple(Literal(ord(c)) for c in text)
+    return items[0] if len(items) == 1 else Seq(items)
+
+
+def seq(*items: Regex) -> Regex:
+    """Concatenate, flattening nested sequences and dropping epsilons."""
+    flat: list[Regex] = []
+    for item in items:
+        if isinstance(item, Empty):
+            continue
+        if isinstance(item, Seq):
+            flat.extend(item.items)
+        else:
+            flat.append(item)
+    if not flat:
+        return Empty()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def alt(*options: Regex) -> Regex:
+    """Alternate, flattening nested alternations and deduplicating."""
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    for option in options:
+        nested = option.options if isinstance(option, Alt) else (option,)
+        for item in nested:
+            if item not in seen:
+                seen.add(item)
+                flat.append(item)
+    if not flat:
+        raise ValueError("alternation needs at least one option")
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(tuple(flat))
+
+
+def char_class(chars: str = "", ranges: tuple[tuple[str, str], ...] = (),
+               negated: bool = False, label: Optional[str] = None) -> CharClass:
+    """Build a class from explicit chars plus inclusive ranges."""
+    members = set(_char_set(chars))
+    for low, high in ranges:
+        members.update(range(ord(low), ord(high) + 1))
+    return CharClass(frozenset(members), negated=negated, label=label)
+
+
+#: Pre-decoded special-character terms of Fig. 5.
+NOCASE = {
+    c: CharClass(_char_set(c.lower() + c.upper()), label=f"nocase_{c.lower()}")
+    for c in "abcdefghijklmnopqrstuvwxyz"
+}
+ALPHA = char_class(ranges=(("a", "z"), ("A", "Z")), label="alphabet")
+DIGIT = char_class(ranges=(("0", "9"),), label="digit")
+ALNUM = char_class(
+    ranges=(("a", "z"), ("A", "Z"), ("0", "9")), label="alphanumeric"
+)
+WHITESPACE = CharClass(_char_set(" \t\r\n"), label="whitespace")
+
+
+def nocase(char: str) -> CharClass:
+    """Case-insensitive single character class (Fig. 5, ``nocase a``)."""
+    return NOCASE[char.lower()]
+
+
+# ----------------------------------------------------------------------
+# structural queries used by the generator and analyses
+# ----------------------------------------------------------------------
+def nullable(node: Regex) -> bool:
+    """Whether the expression matches the empty string."""
+    if isinstance(node, Empty):
+        return True
+    if isinstance(node, (Literal, CharClass, AnyChar)):
+        return False
+    if isinstance(node, Seq):
+        return all(nullable(item) for item in node.items)
+    if isinstance(node, Alt):
+        return any(nullable(option) for option in node.options)
+    if isinstance(node, Repeat):
+        return node.min_count == 0 or nullable(node.item)
+    raise TypeError(f"not a regex node: {node!r}")
+
+
+def first_bytes(node: Regex) -> frozenset[int]:
+    """Set of bytes a match can start with."""
+    if isinstance(node, Empty):
+        return frozenset()
+    if isinstance(node, Literal):
+        return frozenset({node.byte})
+    if isinstance(node, (CharClass, AnyChar)):
+        return node.matched_bytes()
+    if isinstance(node, Seq):
+        result: frozenset[int] = frozenset()
+        for item in node.items:
+            result |= first_bytes(item)
+            if not nullable(item):
+                break
+        return result
+    if isinstance(node, Alt):
+        return reduce(
+            frozenset.union, (first_bytes(o) for o in node.options), frozenset()
+        )
+    if isinstance(node, Repeat):
+        return first_bytes(node.item)
+    raise TypeError(f"not a regex node: {node!r}")
+
+
+def alphabet(node: Regex) -> frozenset[int]:
+    """All bytes that appear anywhere in the expression."""
+    if isinstance(node, (Empty,)):
+        return frozenset()
+    if isinstance(node, Literal):
+        return frozenset({node.byte})
+    if isinstance(node, (CharClass, AnyChar)):
+        return node.matched_bytes()
+    if isinstance(node, Seq):
+        return reduce(frozenset.union, (alphabet(i) for i in node.items), frozenset())
+    if isinstance(node, Alt):
+        return reduce(
+            frozenset.union, (alphabet(o) for o in node.options), frozenset()
+        )
+    if isinstance(node, Repeat):
+        return alphabet(node.item)
+    raise TypeError(f"not a regex node: {node!r}")
+
+
+def fixed_string(node: Regex) -> Optional[bytes]:
+    """If the expression matches exactly one string, return it.
+
+    Used by the generator to pick the plain pipelined AND-chain template
+    (Fig. 6a) instead of the general regex templates.
+    """
+    if isinstance(node, Empty):
+        return b""
+    if isinstance(node, Literal):
+        return bytes([node.byte])
+    if isinstance(node, CharClass):
+        matched = node.matched_bytes()
+        if len(matched) == 1:
+            return bytes([next(iter(matched))])
+        return None
+    if isinstance(node, Seq):
+        parts = [fixed_string(item) for item in node.items]
+        if any(part is None for part in parts):
+            return None
+        return b"".join(parts)  # type: ignore[arg-type]
+    if isinstance(node, Repeat) and node.min_count == node.max_count:
+        part = fixed_string(node.item)
+        if part is None:
+            return None
+        return part * node.min_count
+    return None
+
+
+def reverse(node: Regex) -> Regex:
+    """Mirror a pattern: ``reverse(e)`` matches reversed strings of ``e``.
+
+    Used to recover a token's start position from its end position —
+    the hardware only reports match *ends*, so the lexeme is found by
+    the longest match of the reversed pattern over the reversed data.
+    """
+    if isinstance(node, (Empty, Literal, CharClass, AnyChar)):
+        return node
+    if isinstance(node, Seq):
+        return Seq(tuple(reverse(item) for item in reversed(node.items)))
+    if isinstance(node, Alt):
+        return Alt(tuple(reverse(option) for option in node.options))
+    if isinstance(node, Repeat):
+        return Repeat(reverse(node.item), node.min_count, node.max_count)
+    raise TypeError(f"not a regex node: {node!r}")
+
+
+def pattern_byte_count(node: Regex) -> int:
+    """Number of "pattern bytes" an expression contributes.
+
+    This is the metric of the paper's Table 1 ("# of Bytes"): the size
+    of the pattern data in the grammar. Literals and single-position
+    classes count 1; repetitions count their body once (the hardware
+    template loops in place, Fig. 6d); alternations count all branches.
+    """
+    if isinstance(node, Empty):
+        return 0
+    if isinstance(node, (Literal, CharClass, AnyChar)):
+        return 1
+    if isinstance(node, Seq):
+        return sum(pattern_byte_count(item) for item in node.items)
+    if isinstance(node, Alt):
+        return sum(pattern_byte_count(option) for option in node.options)
+    if isinstance(node, Repeat):
+        if node.max_count is not None and node.max_count == node.min_count:
+            return node.min_count * pattern_byte_count(node.item)
+        return pattern_byte_count(node.item)
+    raise TypeError(f"not a regex node: {node!r}")

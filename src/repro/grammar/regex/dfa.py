@@ -1,0 +1,156 @@
+"""Subset-construction DFA with Hopcroft-style minimization.
+
+The DFA backs the fast software lexer baseline
+(:mod:`repro.software.lexer`) — the sequential-software counterpart the
+paper's parallel hardware is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.regex.ast import ALPHABET_SIZE, Regex
+from repro.grammar.regex.nfa import NFA, compile_nfa
+
+_DEAD = -1
+
+
+@dataclass
+class DFA:
+    """Deterministic automaton over the byte alphabet.
+
+    ``table[state * 256 + byte]`` holds the next state or ``-1``.
+    """
+
+    n_states: int
+    start: int
+    accepting: frozenset[int]
+    table: list[int]
+
+    def next_state(self, state: int, byte: int) -> int:
+        return self.table[state * ALPHABET_SIZE + byte]
+
+    def matches(self, data: bytes) -> bool:
+        """Whether the whole of ``data`` matches."""
+        state = self.start
+        for byte in data:
+            state = self.table[state * ALPHABET_SIZE + byte]
+            if state == _DEAD:
+                return False
+        return state in self.accepting
+
+    def longest_match(self, data: bytes, start: int = 0) -> int | None:
+        """Length of the longest match beginning at ``start``."""
+        state = self.start
+        best: int | None = 0 if state in self.accepting else None
+        table = self.table
+        accepting = self.accepting
+        for offset in range(start, len(data)):
+            state = table[state * ALPHABET_SIZE + data[offset]]
+            if state == _DEAD:
+                break
+            if state in accepting:
+                best = offset - start + 1
+        return best
+
+
+def _subset_construction(nfa: NFA) -> DFA:
+    start_set = nfa.epsilon_closure({nfa.start})
+    index: dict[frozenset[int], int] = {start_set: 0}
+    worklist = [start_set]
+    table: list[int] = []
+    accepting: set[int] = set()
+    if nfa.accept in start_set:
+        accepting.add(0)
+    while worklist:
+        current = worklist.pop()
+        state_id = index[current]
+        # Group outgoing bytes so each distinct successor set is built once.
+        successors: dict[int, set[int]] = {}
+        for nfa_state in current:
+            for byte_set, target in nfa.transitions[nfa_state]:
+                for byte in byte_set:
+                    successors.setdefault(byte, set()).add(target)
+        row = [_DEAD] * ALPHABET_SIZE
+        closure_cache: dict[frozenset[int], frozenset[int]] = {}
+        for byte, targets in successors.items():
+            key = frozenset(targets)
+            closed = closure_cache.get(key)
+            if closed is None:
+                closed = nfa.epsilon_closure(set(key))
+                closure_cache[key] = closed
+            next_id = index.get(closed)
+            if next_id is None:
+                next_id = len(index)
+                index[closed] = next_id
+                worklist.append(closed)
+                if nfa.accept in closed:
+                    accepting.add(next_id)
+            row[byte] = next_id
+        # Rows may be discovered out of order; grow the table as needed.
+        needed = (state_id + 1) * ALPHABET_SIZE
+        if len(table) < needed:
+            table.extend([_DEAD] * (needed - len(table)))
+        table[state_id * ALPHABET_SIZE : needed] = row
+    total = len(index) * ALPHABET_SIZE
+    if len(table) < total:
+        table.extend([_DEAD] * (total - len(table)))
+    return DFA(
+        n_states=len(index),
+        start=0,
+        accepting=frozenset(accepting),
+        table=table,
+    )
+
+
+def _minimize(dfa: DFA) -> DFA:
+    """Moore-style partition refinement (adequate for token automata)."""
+    n = dfa.n_states
+    partition = [1 if s in dfa.accepting else 0 for s in range(n)]
+    # The dead state behaves as an extra, permanently non-accepting class.
+    while True:
+        signatures: dict[tuple, int] = {}
+        updated = [0] * n
+        for state in range(n):
+            row = tuple(
+                partition[dfa.table[state * ALPHABET_SIZE + byte]]
+                if dfa.table[state * ALPHABET_SIZE + byte] != _DEAD
+                else _DEAD
+                for byte in range(ALPHABET_SIZE)
+            )
+            key = (partition[state], row)
+            cls = signatures.setdefault(key, len(signatures))
+            updated[state] = cls
+        if updated == partition:
+            break
+        partition = updated
+    n_classes = max(partition) + 1
+    table = [_DEAD] * (n_classes * ALPHABET_SIZE)
+    representative: dict[int, int] = {}
+    for state in range(n):
+        representative.setdefault(partition[state], state)
+    for cls, state in representative.items():
+        for byte in range(ALPHABET_SIZE):
+            target = dfa.table[state * ALPHABET_SIZE + byte]
+            table[cls * ALPHABET_SIZE + byte] = (
+                partition[target] if target != _DEAD else _DEAD
+            )
+    accepting = frozenset(partition[s] for s in dfa.accepting)
+    return DFA(
+        n_states=n_classes,
+        start=partition[dfa.start],
+        accepting=accepting,
+        table=table,
+    )
+
+
+def compile_dfa(node: Regex, minimize: bool = True) -> DFA:
+    """Compile a regex AST to a (minimized) DFA.
+
+    >>> from repro.grammar.regex.parser import parse_regex
+    >>> dfa = compile_dfa(parse_regex("[0-9]+"))
+    >>> dfa.matches(b"2006"), dfa.matches(b"20a6")
+    (True, False)
+    """
+    dfa = _subset_construction(compile_nfa(node))
+    return _minimize(dfa) if minimize else dfa

@@ -1,0 +1,194 @@
+"""Thompson NFA construction and simulation.
+
+This is the *software oracle* for token patterns: the hardware
+templates of Fig. 6 are checked against NFA longest-match semantics in
+the test suite. The construction is the textbook one from the paper's
+compiler reference [Aho/Sethi/Ullman].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grammar.regex.ast import (
+    Alt,
+    AnyChar,
+    CharClass,
+    Empty,
+    Literal,
+    Regex,
+    Repeat,
+    Seq,
+)
+
+
+@dataclass
+class NFA:
+    """Epsilon-NFA with a single start and single accept state."""
+
+    start: int
+    accept: int
+    #: per-state list of (byte_set, target) character transitions
+    transitions: list[list[tuple[frozenset[int], int]]] = field(default_factory=list)
+    #: per-state list of epsilon targets
+    epsilon: list[list[int]] = field(default_factory=list)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.transitions)
+
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: set[int]) -> frozenset[int]:
+        """All states reachable through epsilon edges."""
+        stack = list(states)
+        closure = set(states)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilon[state]:
+                if target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def step(self, states: frozenset[int], byte: int) -> frozenset[int]:
+        """One byte of subset simulation (closure included)."""
+        moved: set[int] = set()
+        for state in states:
+            for byte_set, target in self.transitions[state]:
+                if byte in byte_set:
+                    moved.add(target)
+        if not moved:
+            return frozenset()
+        return self.epsilon_closure(moved)
+
+    # ------------------------------------------------------------------
+    def matches(self, data: bytes) -> bool:
+        """Whether the whole of ``data`` matches."""
+        current = self.epsilon_closure({self.start})
+        for byte in data:
+            current = self.step(current, byte)
+            if not current:
+                return False
+        return self.accept in current
+
+    def longest_match(self, data: bytes, start: int = 0) -> int | None:
+        """Length of the longest match beginning at ``start``.
+
+        Returns ``None`` when not even the empty string matches, and
+        ``0`` when only the empty string matches.
+        """
+        current = self.epsilon_closure({self.start})
+        best: int | None = 0 if self.accept in current else None
+        for offset in range(start, len(data)):
+            current = self.step(current, data[offset])
+            if not current:
+                break
+            if self.accept in current:
+                best = offset - start + 1
+        return best
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.transitions: list[list[tuple[frozenset[int], int]]] = []
+        self.epsilon: list[list[int]] = []
+
+    def state(self) -> int:
+        self.transitions.append([])
+        self.epsilon.append([])
+        return len(self.transitions) - 1
+
+    def add_edge(self, src: int, byte_set: frozenset[int], dst: int) -> None:
+        self.transitions[src].append((byte_set, dst))
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilon[src].append(dst)
+
+    # ------------------------------------------------------------------
+    def build(self, node: Regex) -> tuple[int, int]:
+        """Return (start, accept) fragment for ``node``."""
+        if isinstance(node, Empty):
+            start = self.state()
+            accept = self.state()
+            self.add_epsilon(start, accept)
+            return start, accept
+        if isinstance(node, Literal):
+            return self._char_fragment(frozenset({node.byte}))
+        if isinstance(node, (CharClass, AnyChar)):
+            return self._char_fragment(node.matched_bytes())
+        if isinstance(node, Seq):
+            return self._seq_fragment(node.items)
+        if isinstance(node, Alt):
+            return self._alt_fragment(node.options)
+        if isinstance(node, Repeat):
+            return self._repeat_fragment(node)
+        raise TypeError(f"not a regex node: {node!r}")
+
+    def _char_fragment(self, byte_set: frozenset[int]) -> tuple[int, int]:
+        start = self.state()
+        accept = self.state()
+        self.add_edge(start, byte_set, accept)
+        return start, accept
+
+    def _seq_fragment(self, items: tuple[Regex, ...]) -> tuple[int, int]:
+        if not items:
+            return self.build(Empty())
+        start, accept = self.build(items[0])
+        for item in items[1:]:
+            nxt_start, nxt_accept = self.build(item)
+            self.add_epsilon(accept, nxt_start)
+            accept = nxt_accept
+        return start, accept
+
+    def _alt_fragment(self, options: tuple[Regex, ...]) -> tuple[int, int]:
+        start = self.state()
+        accept = self.state()
+        for option in options:
+            o_start, o_accept = self.build(option)
+            self.add_epsilon(start, o_start)
+            self.add_epsilon(o_accept, accept)
+        return start, accept
+
+    def _repeat_fragment(self, node: Repeat) -> tuple[int, int]:
+        # Expand the mandatory prefix, then the optional tail.
+        start = self.state()
+        cursor = start
+        for _ in range(node.min_count):
+            f_start, f_accept = self.build(node.item)
+            self.add_epsilon(cursor, f_start)
+            cursor = f_accept
+        if node.max_count is None:
+            # Kleene loop on one more copy.
+            loop_start, loop_accept = self.build(node.item)
+            accept = self.state()
+            self.add_epsilon(cursor, loop_start)
+            self.add_epsilon(cursor, accept)
+            self.add_epsilon(loop_accept, loop_start)
+            self.add_epsilon(loop_accept, accept)
+            return start, accept
+        accept = self.state()
+        self.add_epsilon(cursor, accept)
+        for _ in range(node.max_count - node.min_count):
+            f_start, f_accept = self.build(node.item)
+            self.add_epsilon(cursor, f_start)
+            cursor = f_accept
+            self.add_epsilon(cursor, accept)
+        return start, accept
+
+
+def compile_nfa(node: Regex) -> NFA:
+    """Compile a regex AST into an epsilon-NFA.
+
+    >>> from repro.grammar.regex.parser import parse_regex
+    >>> nfa = compile_nfa(parse_regex("ab+"))
+    >>> nfa.matches(b"abbb"), nfa.matches(b"a")
+    (True, False)
+    """
+    builder = _Builder()
+    start, accept = builder.build(node)
+    return NFA(
+        start=start,
+        accept=accept,
+        transitions=builder.transitions,
+        epsilon=builder.epsilon,
+    )

@@ -1,0 +1,238 @@
+"""Parser for the Lex-style regular-expression subset.
+
+Grammar of accepted patterns (the notation used by the paper's token
+lists, e.g. Fig. 14)::
+
+    regex   := concat ('|' concat)*
+    concat  := repeat+
+    repeat  := atom ('?' | '*' | '+' | '{' n (',' n?)? '}')*
+    atom    := CHAR | '\\' escape | '.' | '!' atom
+             | '[' '^'? class-items ']' | '(' regex ')'
+
+``!`` is the single-character *Not* of Fig. 6b and must be applied to a
+single-byte atom; it produces a negated character class.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegexSyntaxError
+from repro.grammar.regex import ast
+from repro.grammar.regex.ast import (
+    ALPHABET_SIZE,
+    AnyChar,
+    CharClass,
+    Literal,
+    Regex,
+    Repeat,
+)
+
+_SPECIAL = set("|?*+{}()[].!\\")
+
+_ESCAPE_LITERALS = {
+    "n": ord("\n"),
+    "t": ord("\t"),
+    "r": ord("\r"),
+    "f": ord("\f"),
+    "v": ord("\v"),
+    "0": 0,
+}
+
+_ESCAPE_CLASSES = {
+    "d": ast.DIGIT,
+    "w": CharClass(
+        ast.ALNUM.bytes | frozenset({ord("_")}), label="word"
+    ),
+    "s": ast.WHITESPACE,
+}
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.pos)
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def take(self) -> str:
+        char = self.peek()
+        if char is None:
+            raise self.error("unexpected end of pattern")
+        self.pos += 1
+        return char
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Regex:
+        node = self.alternation()
+        if self.pos != len(self.pattern):
+            raise self.error(f"unexpected character {self.peek()!r}")
+        return node
+
+    def alternation(self) -> Regex:
+        options = [self.concatenation()]
+        while self.peek() == "|":
+            self.take()
+            options.append(self.concatenation())
+        return ast.alt(*options)
+
+    def concatenation(self) -> Regex:
+        items: list[Regex] = []
+        while True:
+            char = self.peek()
+            if char is None or char in "|)":
+                break
+            items.append(self.repetition())
+        if not items:
+            return ast.Empty()
+        return ast.seq(*items)
+
+    def repetition(self) -> Regex:
+        node = self.atom()
+        while True:
+            char = self.peek()
+            if char == "?":
+                self.take()
+                node = Repeat(node, 0, 1)
+            elif char == "*":
+                self.take()
+                node = Repeat(node, 0, None)
+            elif char == "+":
+                self.take()
+                node = Repeat(node, 1, None)
+            elif char == "{":
+                node = self.bounded_repeat(node)
+            else:
+                return node
+
+    def bounded_repeat(self, node: Regex) -> Regex:
+        self.expect("{")
+        low = self.integer()
+        high: int | None = low
+        if self.peek() == ",":
+            self.take()
+            high = None if self.peek() == "}" else self.integer()
+        self.expect("}")
+        if high is not None and high < low:
+            raise self.error("bad repeat bounds")
+        return Repeat(node, low, high)
+
+    def integer(self) -> int:
+        digits = ""
+        while (char := self.peek()) is not None and char.isdigit():
+            digits += self.take()
+        if not digits:
+            raise self.error("expected a number")
+        return int(digits)
+
+    # ------------------------------------------------------------------
+    def atom(self) -> Regex:
+        char = self.peek()
+        if char is None:
+            raise self.error("unexpected end of pattern")
+        if char == "(":
+            self.take()
+            node = self.alternation()
+            self.expect(")")
+            return node
+        if char == "[":
+            return self.char_class()
+        if char == ".":
+            self.take()
+            return AnyChar()
+        if char == "!":
+            self.take()
+            return self.negate(self.atom())
+        if char == "\\":
+            self.take()
+            return self.escape()
+        if char in _SPECIAL:
+            raise self.error(f"misplaced special character {char!r}")
+        self.take()
+        return Literal(ord(char))
+
+    def negate(self, node: Regex) -> Regex:
+        """Single-character Not (Fig. 6b)."""
+        if isinstance(node, Literal):
+            return CharClass(frozenset({node.byte}), negated=True)
+        if isinstance(node, CharClass):
+            return CharClass(node.matched_bytes(), negated=True)
+        if isinstance(node, AnyChar):
+            raise self.error("'!.' matches nothing")
+        raise self.error("'!' applies to a single-character atom only")
+
+    def escape(self) -> Regex:
+        char = self.take()
+        if char in _ESCAPE_LITERALS:
+            return Literal(_ESCAPE_LITERALS[char])
+        if char in _ESCAPE_CLASSES:
+            return _ESCAPE_CLASSES[char]
+        if char == "x":
+            hex_digits = self.take() + self.take()
+            try:
+                value = int(hex_digits, 16)
+            except ValueError:
+                raise self.error(f"bad hex escape \\x{hex_digits}") from None
+            return Literal(value)
+        return Literal(ord(char))
+
+    # ------------------------------------------------------------------
+    def char_class(self) -> Regex:
+        self.expect("[")
+        negated = False
+        if self.peek() == "^":
+            self.take()
+            negated = True
+        members: set[int] = set()
+        first = True
+        while True:
+            char = self.peek()
+            if char is None:
+                raise self.error("unterminated character class")
+            if char == "]" and not first:
+                self.take()
+                break
+            low = self.class_char()
+            if self.peek() == "-" and self.pos + 1 < len(self.pattern) and \
+                    self.pattern[self.pos + 1] != "]":
+                self.take()  # '-'
+                high = self.class_char()
+                if high < low:
+                    raise self.error("reversed character range")
+                members.update(range(low, high + 1))
+            else:
+                members.add(low)
+            first = False
+        if any(byte >= ALPHABET_SIZE for byte in members):
+            raise self.error("character out of byte range")
+        return CharClass(frozenset(members), negated=negated)
+
+    def class_char(self) -> int:
+        char = self.take()
+        if char == "\\":
+            escaped = self.take()
+            if escaped in _ESCAPE_LITERALS:
+                return _ESCAPE_LITERALS[escaped]
+            if escaped == "x":
+                return int(self.take() + self.take(), 16)
+            return ord(escaped)
+        return ord(char)
+
+
+def parse_regex(pattern: str) -> Regex:
+    """Parse a Lex-subset pattern into a :mod:`repro.grammar.regex.ast` tree.
+
+    >>> str(parse_regex("[a-zA-Z0-9]+"))
+    '[0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz]+'
+    """
+    return _Parser(pattern).parse()

@@ -1,0 +1,39 @@
+"""Grammar symbols: terminals, non-terminals, and the end marker.
+
+Terminology follows the paper (§3.1): a CFG "consists of tokens,
+non-terminals, a start symbol, and productions"; the symbols in the
+token list are used as *terminals* in the production list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """Base class for grammar symbols; equality is by name and kind."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Terminal(Symbol):
+    """A token of the language (an entry of the token list)."""
+
+
+@dataclass(frozen=True)
+class NonTerminal(Symbol):
+    """A production variable (left-hand side of productions)."""
+
+
+#: End-of-input marker. The paper's Fig. 10 writes it as "ε" in the
+#: Follow sets of tokens that may end a sentence; the parser-generator
+#: literature writes "$". It behaves as a terminal in Follow sets only.
+END = Terminal("$end")
+
+#: The empty string, used when displaying epsilon productions.
+EPSILON = Symbol("ε")

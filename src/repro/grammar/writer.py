@@ -1,0 +1,91 @@
+"""Grammar serialization back to the Yacc/Lex file format.
+
+The inverse of :mod:`repro.grammar.yacc_parser`: render any
+:class:`~repro.grammar.cfg.Grammar` as a Fig. 14-style text file that
+re-parses to an equivalent grammar (a property the test suite checks).
+Used to persist generated grammars — e.g. the §4.3 scaled duplicates —
+and to diff grammar transformations.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.cfg import Grammar
+from repro.grammar.lexspec import DEFAULT_DELIMITERS
+from repro.grammar.symbols import NonTerminal, Symbol, Terminal
+
+
+def _format_symbol(grammar: Grammar, symbol: Symbol) -> str:
+    if isinstance(symbol, NonTerminal):
+        return symbol.name
+    assert isinstance(symbol, Terminal)
+    token = grammar.lexspec.get(symbol.name)
+    if token.is_literal:
+        return f'"{token.name}"'
+    return token.name
+
+
+def write_yacc_grammar(grammar: Grammar) -> str:
+    """Render ``grammar`` as Yacc/Lex-style text.
+
+    >>> from repro.grammar.examples import if_then_else
+    >>> print(write_yacc_grammar(if_then_else()))  # doctest: +ELLIPSIS
+    %%
+    E: "if" C "then" E "else" E
+     | "go"
+     | "stop";
+    ...
+    """
+    lines: list[str] = []
+
+    named = [token for token in grammar.lexspec if not token.is_literal]
+    if named:
+        width = max(len(token.name) for token in named) + 2
+        for token in named:
+            pattern = token.source if token.source else str(token.pattern)
+            lines.append(f"{token.name:<{width}}{pattern}")
+    if grammar.lexspec.delimiters != DEFAULT_DELIMITERS:
+        # Render the delimiter class as an explicit character set.
+        chars = "".join(
+            _escape_class_char(byte)
+            for byte in sorted(grammar.lexspec.delimiters.matched_bytes())
+        )
+        lines.append(f"%delim [{chars}]")
+    lines.append("%%")
+
+    # Group productions by left-hand side, in first-definition order.
+    for lhs in grammar.nonterminals:
+        alternatives = []
+        for production in grammar.productions_for(lhs):
+            body = " ".join(
+                _format_symbol(grammar, symbol) for symbol in production.rhs
+            )
+            alternatives.append(body)
+        rendered = "\n | ".join(alternatives)
+        lines.append(f"{lhs.name}: {rendered};".replace(":  |", ": |"))
+
+    if grammar.start != grammar.nonterminals[0]:
+        assert grammar.start is not None
+        lines.insert(len(named), f"%start {grammar.start.name}")
+    lines.append("%%")
+    return "\n".join(lines) + "\n"
+
+
+def _escape_class_char(byte: int) -> str:
+    char = chr(byte)
+    if char in "]\\^-":
+        return "\\" + char
+    if char == "\n":
+        return "\\n"
+    if char == "\t":
+        return "\\t"
+    if char == "\r":
+        return "\\r"
+    if not char.isprintable():
+        return f"\\x{byte:02x}"
+    return char
+
+
+def save_yacc_grammar(grammar: Grammar, path: str) -> None:
+    """Write the grammar to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_yacc_grammar(grammar))

@@ -1,0 +1,230 @@
+"""Front-end for Yacc/Lex-style grammar files (the paper's Fig. 14).
+
+"We've chosen the input format that is used with the Lex and Yacc
+tools … we can take advantage of the numerous grammars already
+available and use them as input to our parser." (§4.1)
+
+The accepted file layout::
+
+    NAME        pattern            # token definitions, one per line
+    NAME2, NAME3  pattern          # several names may share a pattern
+    %delim      [ \\t\\r\\n]       # optional: delimiter class override
+    %start      methodCall        # optional: explicit start symbol
+    %%
+    lhs:  alternative | alternative ;   # productions
+    %%                                   # optional trailer, ignored
+
+Inside productions, ``"quoted text"`` denotes a literal keyword token,
+``'c'`` and the Lex-manual backquote form ``` `c' ``` denote a
+single-character literal, an identifier that was defined in the token
+section is a terminal, and any other identifier is a non-terminal.
+An empty alternative (``lhs: | x y;``) is an epsilon production.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import GrammarSyntaxError
+from repro.grammar.cfg import Grammar
+from repro.grammar.lexspec import LexSpec
+from repro.grammar.regex.parser import parse_regex
+from repro.grammar.regex.ast import CharClass
+from repro.grammar.symbols import NonTerminal, Symbol, Terminal
+
+_TOKEN_LINE = re.compile(
+    r"^(?P<names>[A-Za-z_][A-Za-z0-9_.]*(?:\s*,\s*[A-Za-z_][A-Za-z0-9_.]*)*)"
+    r"\s+(?P<pattern>\S.*?)\s*$"
+)
+
+_PROD_TOKEN = re.compile(
+    r"""
+      "(?P<dq>[^"]*)"          # double-quoted literal
+    | '(?P<sq>[^'])'           # single-quoted character
+    | `(?P<bq>[^'])'           # Lex-manual backquote character
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+    | (?P<punct>[:|;])
+    """,
+    re.VERBOSE,
+)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.rstrip()
+
+
+def parse_yacc_grammar(text: str, name: str = "grammar") -> Grammar:
+    """Parse a Fig. 14-style grammar file into a :class:`Grammar`.
+
+    >>> g = parse_yacc_grammar('''
+    ... WORD [a-z]+
+    ... %%
+    ... s: "go" WORD;
+    ... ''')
+    >>> [str(p) for p in g.productions]
+    ['s → go WORD']
+    """
+    sections = _split_sections(text)
+    lexspec, start_name = _parse_definitions(sections[0])
+    grammar = Grammar(name, lexspec)
+    _parse_productions(sections[1], grammar)
+    if start_name is not None:
+        start = NonTerminal(start_name)
+        if not grammar.productions_for(start):
+            raise GrammarSyntaxError(
+                f"%start symbol {start_name!r} has no productions"
+            )
+        grammar.start = start
+    grammar.validate()
+    return grammar
+
+
+def load_yacc_grammar(path: str, name: str | None = None) -> Grammar:
+    """Read and parse a grammar file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_yacc_grammar(text, name=name or path)
+
+
+def _split_sections(text: str) -> tuple[list[str], list[str]]:
+    definitions: list[str] = []
+    productions: list[str] = []
+    section = 0
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line)
+        if line.strip() == "%%":
+            section += 1
+            if section > 2:
+                raise GrammarSyntaxError("too many %% separators")
+            continue
+        if section == 0:
+            definitions.append(line)
+        elif section == 1:
+            productions.append(line)
+        # section 2: trailer, ignored (Yacc convention)
+    if section == 0:
+        raise GrammarSyntaxError("missing %% separator before productions")
+    return definitions, productions
+
+
+def _parse_definitions(lines: list[str]) -> tuple[LexSpec, str | None]:
+    lexspec = LexSpec()
+    start_name: str | None = None
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("%delim"):
+            pattern_text = stripped[len("%delim"):].strip()
+            try:
+                pattern = parse_regex(pattern_text)
+            except Exception as exc:
+                raise GrammarSyntaxError(
+                    f"bad %delim pattern: {exc}", line=number
+                ) from exc
+            if not isinstance(pattern, CharClass):
+                raise GrammarSyntaxError(
+                    "%delim must be a character class", line=number
+                )
+            lexspec.delimiters = pattern
+            continue
+        if stripped.startswith("%start"):
+            start_name = stripped[len("%start"):].strip()
+            if not start_name:
+                raise GrammarSyntaxError("%start needs a symbol", line=number)
+            continue
+        match = _TOKEN_LINE.match(stripped)
+        if match is None:
+            raise GrammarSyntaxError(
+                f"bad token definition: {stripped!r}", line=number
+            )
+        pattern_text = match.group("pattern")
+        try:
+            pattern = parse_regex(pattern_text)
+        except Exception as exc:
+            raise GrammarSyntaxError(
+                f"bad pattern for {match.group('names')}: {exc}", line=number
+            ) from exc
+        for token_name in re.split(r"\s*,\s*", match.group("names")):
+            lexspec.define(token_name, pattern, source=pattern_text)
+    return lexspec, start_name
+
+
+def _parse_productions(lines: list[str], grammar: Grammar) -> None:
+    text = "\n".join(lines)
+    tokens = _scan_production_tokens(text)
+    position = 0
+
+    def peek() -> tuple[str, str] | None:
+        return tokens[position] if position < len(tokens) else None
+
+    while position < len(tokens):
+        kind, value = tokens[position]
+        if kind != "ident":
+            raise GrammarSyntaxError(
+                f"expected a rule name, found {value!r}"
+            )
+        lhs = NonTerminal(value)
+        position += 1
+        if position >= len(tokens) or tokens[position] != ("punct", ":"):
+            raise GrammarSyntaxError(f"expected ':' after rule {value!r}")
+        position += 1
+        alternative: list[Symbol] = []
+        alternatives: list[list[Symbol]] = []
+        while True:
+            if position >= len(tokens):
+                raise GrammarSyntaxError(
+                    f"rule {value!r} not terminated with ';'"
+                )
+            kind, item = tokens[position]
+            position += 1
+            if (kind, item) == ("punct", ";"):
+                alternatives.append(alternative)
+                break
+            if (kind, item) == ("punct", "|"):
+                alternatives.append(alternative)
+                alternative = []
+                continue
+            if kind == "literal":
+                grammar.lexspec.define_literal(item)
+                alternative.append(Terminal(item))
+            elif kind == "ident":
+                if item in grammar.lexspec:
+                    alternative.append(Terminal(item))
+                else:
+                    alternative.append(NonTerminal(item))
+            else:  # pragma: no cover - scanner emits only these kinds
+                raise GrammarSyntaxError(f"unexpected token {item!r}")
+        for rhs in alternatives:
+            grammar.add(lhs, rhs)
+
+
+def _scan_production_tokens(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        match = _PROD_TOKEN.match(text, position)
+        if match is None:
+            raise GrammarSyntaxError(
+                f"unexpected character {char!r} in productions"
+            )
+        if match.group("dq") is not None:
+            tokens.append(("literal", match.group("dq")))
+        elif match.group("sq") is not None:
+            tokens.append(("literal", match.group("sq")))
+        elif match.group("bq") is not None:
+            tokens.append(("literal", match.group("bq")))
+        elif match.group("ident") is not None:
+            tokens.append(("ident", match.group("ident")))
+        else:
+            tokens.append(("punct", match.group("punct")))
+        position = match.end()
+    return tokens

@@ -1,0 +1,38 @@
+"""Gate-level RTL substrate.
+
+This package is the "reconfigurable device" the reproduction runs on: a
+synchronous netlist of boolean gates and D-registers, a cycle-accurate
+simulator, structural analysis (logic levels, fanout, pipeline depth),
+and a VHDL emitter mirroring the paper's code generator output.
+"""
+
+from repro.rtl.netlist import Gate, GateKind, Net, Netlist, Register
+from repro.rtl.simulator import Simulator
+from repro.rtl.bitsim import BitParallelSimulator
+from repro.rtl.analysis import NetlistStats, analyze, fanout_map, logic_levels
+from repro.rtl.stack import build_counter_stack, build_stack
+from repro.rtl.vhdl import emit_vhdl
+from repro.rtl.testbench import emit_testbench
+from repro.rtl.vcd import VCDWriter, dump_vcd
+from repro.rtl.waveform import Waveform
+
+__all__ = [
+    "BitParallelSimulator",
+    "Gate",
+    "GateKind",
+    "Net",
+    "Netlist",
+    "NetlistStats",
+    "Register",
+    "Simulator",
+    "VCDWriter",
+    "Waveform",
+    "analyze",
+    "build_counter_stack",
+    "build_stack",
+    "dump_vcd",
+    "emit_testbench",
+    "emit_vhdl",
+    "fanout_map",
+    "logic_levels",
+]

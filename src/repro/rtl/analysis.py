@@ -1,0 +1,136 @@
+"""Structural analysis of netlists.
+
+The paper's performance argument rests on two structural properties of
+the generated hardware: the design is pipelined down to *one level of
+logic between registers* (§3.4), and the critical path of large
+grammars is the *routing fanout of decoded character bits* (§4.3).
+This module measures both directly from a netlist: combinational logic
+levels per register stage, per-net fanout, and the driver composition
+of the highest-fanout nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtl.netlist import Gate, Netlist, Register, collect_fanout
+
+
+def logic_levels(netlist: Netlist) -> dict[int, int]:
+    """Combinational depth (in gates) of every net, keyed by net uid.
+
+    Primary inputs, constants and register Q pins are level 0; a gate's
+    output is one more than its deepest input.
+    """
+    levels: dict[int, int] = {}
+    for net in netlist.nets:
+        if not isinstance(net.driver, Gate):
+            levels[net.uid] = 0
+    for gate in netlist.levelize():
+        levels[gate.output.uid] = 1 + max(
+            (levels[n.uid] for n in gate.inputs), default=0
+        )
+    return levels
+
+
+def max_logic_depth(netlist: Netlist) -> int:
+    """Deepest combinational path between registers/ports, in gates."""
+    levels = logic_levels(netlist)
+    depth = 0
+    for register in netlist.registers:
+        depth = max(depth, levels[register.d.uid])
+        if register.enable is not None:
+            depth = max(depth, levels[register.enable.uid])
+    for net in netlist.outputs.values():
+        depth = max(depth, levels[net.uid])
+    return depth
+
+
+def fanout_map(netlist: Netlist) -> dict[int, int]:
+    """Per-net fanout (number of reading pins), keyed by net uid."""
+    return collect_fanout(netlist)
+
+
+def pipeline_depth(netlist: Netlist, output: str) -> int:
+    """Longest register chain from any primary input to ``output``.
+
+    This is the detection latency in cycles of the named output: the
+    number of clock edges a change at an input needs to reach the port.
+    """
+    target = netlist.outputs.get(output)
+    if target is None:
+        raise KeyError(f"no output named {output!r}")
+    memo: dict[int, int] = {}
+    active: set[int] = set()
+
+    def depth_of(uid: int) -> int:
+        if uid in memo:
+            return memo[uid]
+        if uid in active:
+            # Sequential feedback loop (e.g. the arming register); its
+            # contribution to input-to-output latency is the acyclic
+            # part, so treat the back edge as depth 0.
+            return 0
+        active.add(uid)
+        driver = netlist.nets[uid].driver
+        if isinstance(driver, Gate):
+            result = max(depth_of(n.uid) for n in driver.inputs)
+        elif isinstance(driver, Register):
+            result = 1 + depth_of(driver.d.uid)
+        else:
+            result = 0
+        active.discard(uid)
+        memo[uid] = result
+        return result
+
+    return depth_of(target.uid)
+
+
+@dataclass
+class NetlistStats:
+    """Aggregate structural statistics of a netlist."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    n_registers: int
+    gate_counts: dict[str, int]
+    max_logic_depth: int
+    max_fanout: int
+    max_fanout_net: str
+    fanout_top: list[tuple[str, int]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph report."""
+        gates = ", ".join(f"{k}={v}" for k, v in sorted(self.gate_counts.items()))
+        top = ", ".join(f"{name}:{fo}" for name, fo in self.fanout_top[:5])
+        return (
+            f"{self.name}: {self.n_gates} gates ({gates}), "
+            f"{self.n_registers} registers, depth {self.max_logic_depth}, "
+            f"max fanout {self.max_fanout} on {self.max_fanout_net} "
+            f"(top fanouts: {top})"
+        )
+
+
+def analyze(netlist: Netlist, top_n: int = 10) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a netlist."""
+    fanout = fanout_map(netlist)
+    ranked = sorted(
+        ((netlist.nets[uid].name, count) for uid, count in fanout.items()),
+        key=lambda item: item[1],
+        reverse=True,
+    )
+    best_name, best_fanout = ranked[0] if ranked else ("", 0)
+    return NetlistStats(
+        name=netlist.name,
+        n_inputs=len(netlist.inputs),
+        n_outputs=len(netlist.outputs),
+        n_gates=netlist.n_gates,
+        n_registers=netlist.n_registers,
+        gate_counts=netlist.gate_counts(),
+        max_logic_depth=max_logic_depth(netlist),
+        max_fanout=best_fanout,
+        max_fanout_net=best_name,
+        fanout_top=ranked[:top_n],
+    )

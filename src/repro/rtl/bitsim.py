@@ -1,0 +1,172 @@
+"""Bit-parallel netlist simulation: many streams per pass.
+
+Python integers are arbitrary-width bit vectors, and the netlist is
+pure boolean logic — so one interpreter pass over the gate list can
+evaluate the same cycle of *W independent input streams* at once,
+lane ``w`` living in bit ``w`` of every net's value. This is the
+classic bit-slicing trick; it makes whole-corpus equivalence checks
+(hypothesis fuzzing, regression sweeps) roughly ``W``× cheaper than
+stepping the scalar :class:`~repro.rtl.simulator.Simulator` per input.
+
+Semantics are identical to the scalar simulator by construction and
+asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.rtl.netlist import GateKind, Netlist
+
+_KIND = {
+    GateKind.BUF: 0,
+    GateKind.NOT: 1,
+    GateKind.AND: 2,
+    GateKind.OR: 3,
+    GateKind.XOR: 4,
+}
+
+
+class BitParallelSimulator:
+    """Cycle-accurate simulation of W parallel streams.
+
+    Inputs and outputs are integers whose bit ``w`` belongs to lane
+    ``w``. All lanes share the clock; per-lane stimulus of different
+    lengths is handled by padding (e.g. holding ``in_valid`` low).
+
+    Example
+    -------
+    >>> nl = Netlist()
+    >>> a = nl.input("a")
+    >>> nl.output("q", nl.reg(a))
+    >>> sim = BitParallelSimulator(nl, lanes=3)
+    >>> _ = sim.step({"a": 0b101})
+    >>> sim.step({"a": 0b000})["q"]
+    5
+    """
+
+    def __init__(self, netlist: Netlist, lanes: int) -> None:
+        if lanes < 1:
+            raise SimulationError("need at least one lane")
+        self.netlist = netlist
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        netlist.validate()
+        self._values: list[int] = [0] * len(netlist.nets)
+        self._input_uids = {net.name: net.uid for net in netlist.inputs}
+        self._output_pins = [
+            (name, net.uid) for name, net in netlist.outputs.items()
+        ]
+        self._ops = [
+            (
+                _KIND[gate.kind],
+                gate.output.uid,
+                tuple(n.uid for n in gate.inputs),
+            )
+            for gate in netlist.levelize()
+        ]
+        self._reg_plan = [
+            (r.d.uid, r.q.uid, r.enable.uid if r.enable is not None else -1)
+            for r in netlist.registers
+        ]
+        self.cycle = 0
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._values = [0] * len(self.netlist.nets)
+        mask = self.mask
+        for net in self.netlist.nets:
+            if net.driver == "const1":
+                self._values[net.uid] = mask
+        for register in self.netlist.registers:
+            self._values[register.q.uid] = mask if register.init else 0
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]:
+        """Advance one cycle across all lanes."""
+        values = self._values
+        mask = self.mask
+        if inputs:
+            uids = self._input_uids
+            for name, value in inputs.items():
+                uid = uids.get(name)
+                if uid is None:
+                    raise SimulationError(f"unknown input port {name!r}")
+                values[uid] = value & mask
+        for op, out, ins in self._ops:
+            if op == 2:  # AND
+                result = mask
+                for uid in ins:
+                    result &= values[uid]
+                    if not result:
+                        break
+            elif op == 3:  # OR
+                result = 0
+                for uid in ins:
+                    result |= values[uid]
+                    if result == mask:
+                        break
+            elif op == 1:  # NOT
+                result = values[ins[0]] ^ mask
+            elif op == 4:  # XOR
+                result = values[ins[0]] ^ values[ins[1]]
+            else:  # BUF
+                result = values[ins[0]]
+            values[out] = result
+        outputs = {name: values[uid] for name, uid in self._output_pins}
+        sampled = [
+            (
+                q,
+                values[d]
+                if en < 0
+                else (values[d] & values[en]) | (values[q] & ~values[en] & mask),
+            )
+            for d, q, en in self._reg_plan
+        ]
+        for q, value in sampled:
+            values[q] = value
+        self.cycle += 1
+        return outputs
+
+    def run(
+        self, stimulus: Sequence[Mapping[str, int]]
+    ) -> list[dict[str, int]]:
+        return [self.step(frame) for frame in stimulus]
+
+
+def pack_byte_streams(
+    streams: Sequence[bytes],
+    data_port_prefix: str = "data",
+    valid_port: str = "in_valid",
+    flush: int = 0,
+) -> list[dict[str, int]]:
+    """Per-cycle bit-packed frames for W byte streams of any lengths.
+
+    Lane ``w`` carries ``streams[w]``; shorter lanes idle with their
+    valid bit low. ``flush`` extra all-idle cycles are appended.
+    """
+    longest = max((len(s) for s in streams), default=0)
+    frames: list[dict[str, int]] = []
+    for position in range(longest + flush):
+        frame = {f"{data_port_prefix}{bit}": 0 for bit in range(8)}
+        valid = 0
+        for lane, stream in enumerate(streams):
+            if position < len(stream):
+                byte = stream[position]
+                valid |= 1 << lane
+                for bit in range(8):
+                    if (byte >> bit) & 1:
+                        frame[f"{data_port_prefix}{bit}"] |= 1 << lane
+        frame[valid_port] = valid
+        frames.append(frame)
+    return frames
+
+
+def unpack_output_lane(
+    outputs: Sequence[Mapping[str, int]], port: str, lane: int
+) -> list[int]:
+    """Extract one lane's per-cycle trace of an output port."""
+    return [(frame[port] >> lane) & 1 for frame in outputs]

@@ -1,0 +1,482 @@
+"""Synchronous gate/register netlist.
+
+The netlist is the common representation shared by the hardware
+generator (:mod:`repro.core`), the cycle-accurate simulator
+(:mod:`repro.rtl.simulator`), the technology mapper
+(:mod:`repro.fpga.techmap`) and the VHDL emitter
+(:mod:`repro.rtl.vhdl`).
+
+A :class:`Netlist` contains:
+
+* *nets* — single-bit wires, each driven by exactly one source
+  (a primary input, a constant, a gate output or a register Q pin);
+* *gates* — combinational AND/OR/NOT/XOR/BUF nodes of arbitrary arity;
+* *registers* — positive-edge D flip-flops with an optional active-high
+  clock enable, matching the paper's pipeline registers and the
+  delimiter-stalled first-stage registers of the tokenizers (Fig. 6).
+
+The builder methods (:meth:`Netlist.and_`, :meth:`Netlist.or_`, …)
+perform light constant folding and operand deduplication so that
+generated hardware does not carry degenerate gates; structural
+validation lives in :meth:`Netlist.validate`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.errors import NetlistError
+
+
+class GateKind(enum.Enum):
+    """Combinational gate primitive kinds."""
+
+    CONST = "const"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+
+
+class Net:
+    """A single-bit wire.
+
+    Nets are created through :class:`Netlist` builder methods and carry
+    a unique integer ``uid`` (their index in ``netlist.nets``) plus a
+    human-readable ``name`` used in reports and emitted VHDL.
+    """
+
+    __slots__ = ("uid", "name", "driver")
+
+    def __init__(self, uid: int, name: str) -> None:
+        self.uid = uid
+        self.name = name
+        #: The driving object: ``None`` (undriven), a :class:`Gate`,
+        #: a :class:`Register`, or the strings ``"input"`` / ``"const0"``
+        #: / ``"const1"``.
+        self.driver: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Net({self.uid}, {self.name!r})"
+
+
+class Gate:
+    """A combinational gate driving exactly one output net."""
+
+    __slots__ = ("kind", "inputs", "output")
+
+    def __init__(self, kind: GateKind, inputs: tuple[Net, ...], output: Net) -> None:
+        self.kind = kind
+        self.inputs = inputs
+        self.output = output
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ins = ",".join(n.name for n in self.inputs)
+        return f"Gate({self.kind.value}: {ins} -> {self.output.name})"
+
+
+class Register:
+    """A positive-edge D flip-flop with optional clock enable.
+
+    When ``enable`` is ``None`` the register loads ``d`` every cycle;
+    otherwise it loads only on cycles where ``enable`` is high and holds
+    its value when low ("stalled", in the paper's terminology).
+    """
+
+    __slots__ = ("d", "q", "enable", "init")
+
+    def __init__(self, d: Net, q: Net, enable: Optional[Net], init: int) -> None:
+        self.d = d
+        self.q = q
+        self.enable = enable
+        self.init = init
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        en = f", en={self.enable.name}" if self.enable is not None else ""
+        return f"Register({self.d.name} -> {self.q.name}{en}, init={self.init})"
+
+
+class Netlist:
+    """A flat synchronous netlist with builder-style construction.
+
+    Example
+    -------
+    >>> nl = Netlist("toy")
+    >>> a = nl.input("a")
+    >>> b = nl.input("b")
+    >>> q = nl.reg(nl.and_(a, b), name="q")
+    >>> nl.output("out", q)
+    >>> nl.validate()
+    """
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self.nets: list[Net] = []
+        self.gates: list[Gate] = []
+        self.registers: list[Register] = []
+        self.inputs: list[Net] = []
+        self.outputs: dict[str, Net] = {}
+        self._const_nets: dict[int, Net] = {}
+        self._name_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # net and name management
+    # ------------------------------------------------------------------
+    def _unique_name(self, base: str) -> str:
+        count = self._name_counts.get(base)
+        if count is None:
+            self._name_counts[base] = 1
+            return base
+        self._name_counts[base] = count + 1
+        return f"{base}_{count}"
+
+    def new_net(self, name: str = "n") -> Net:
+        """Create a fresh, undriven net."""
+        net = Net(len(self.nets), self._unique_name(name))
+        self.nets.append(net)
+        return net
+
+    # ------------------------------------------------------------------
+    # sources
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> Net:
+        """Declare a primary input port and return its net."""
+        net = self.new_net(name)
+        net.driver = "input"
+        self.inputs.append(net)
+        return net
+
+    def const(self, value: int) -> Net:
+        """Return the shared constant-0 or constant-1 net."""
+        value = 1 if value else 0
+        cached = self._const_nets.get(value)
+        if cached is not None:
+            return cached
+        net = self.new_net(f"const{value}")
+        net.driver = f"const{value}"
+        self._const_nets[value] = net
+        return net
+
+    def is_const(self, net: Net) -> Optional[int]:
+        """Return 0/1 if ``net`` is a constant net, else ``None``."""
+        if net.driver == "const0":
+            return 0
+        if net.driver == "const1":
+            return 1
+        return None
+
+    # ------------------------------------------------------------------
+    # combinational builders
+    # ------------------------------------------------------------------
+    def _emit_gate(self, kind: GateKind, inputs: tuple[Net, ...], name: str) -> Net:
+        out = self.new_net(name)
+        gate = Gate(kind, inputs, out)
+        out.driver = gate
+        self.gates.append(gate)
+        return out
+
+    def buf(self, a: Net, name: str = "buf") -> Net:
+        """Buffer (identity). Mostly useful to give a net a new name."""
+        return self._emit_gate(GateKind.BUF, (a,), name)
+
+    def not_(self, a: Net, name: str = "inv") -> Net:
+        """Logical inverse of ``a`` (constant-folded when possible)."""
+        const = self.is_const(a)
+        if const is not None:
+            return self.const(1 - const)
+        return self._emit_gate(GateKind.NOT, (a,), name)
+
+    def _nary(
+        self,
+        kind: GateKind,
+        nets: Sequence[Net],
+        name: str,
+        identity: int,
+        absorbing: int,
+    ) -> Net:
+        operands: list[Net] = []
+        seen: set[int] = set()
+        for net in nets:
+            const = self.is_const(net)
+            if const == identity:
+                continue
+            if const == absorbing:
+                return self.const(absorbing)
+            if net.uid in seen:
+                continue
+            seen.add(net.uid)
+            operands.append(net)
+        if not operands:
+            return self.const(identity)
+        if len(operands) == 1:
+            return operands[0]
+        return self._emit_gate(kind, tuple(operands), name)
+
+    def and_(self, *nets: Net, name: str = "and") -> Net:
+        """N-ary AND with constant folding and operand dedup."""
+        return self._nary(GateKind.AND, nets, name, identity=1, absorbing=0)
+
+    def or_(self, *nets: Net, name: str = "or") -> Net:
+        """N-ary OR with constant folding and operand dedup."""
+        return self._nary(GateKind.OR, nets, name, identity=0, absorbing=1)
+
+    def xor(self, a: Net, b: Net, name: str = "xor") -> Net:
+        """Two-input XOR."""
+        ca, cb = self.is_const(a), self.is_const(b)
+        if ca is not None and cb is not None:
+            return self.const(ca ^ cb)
+        if ca == 0:
+            return b
+        if cb == 0:
+            return a
+        if ca == 1:
+            return self.not_(b)
+        if cb == 1:
+            return self.not_(a)
+        if a.uid == b.uid:
+            return self.const(0)
+        return self._emit_gate(GateKind.XOR, (a, b), name)
+
+    def mux(self, sel: Net, if1: Net, if0: Net, name: str = "mux") -> Net:
+        """2:1 multiplexer built from AND/OR/NOT primitives."""
+        const = self.is_const(sel)
+        if const == 1:
+            return if1
+        if const == 0:
+            return if0
+        take1 = self.and_(sel, if1, name=f"{name}_t")
+        take0 = self.and_(self.not_(sel), if0, name=f"{name}_f")
+        return self.or_(take1, take0, name=name)
+
+    def and_tree(self, nets: Sequence[Net], name: str = "andt") -> Net:
+        """Balanced binary AND tree; keeps logic depth logarithmic."""
+        return self._tree(self.and_, nets, name)
+
+    def or_tree(self, nets: Sequence[Net], name: str = "ort") -> Net:
+        """Balanced binary OR tree; keeps logic depth logarithmic."""
+        return self._tree(self.or_, nets, name)
+
+    def _tree(self, op, nets: Sequence[Net], name: str) -> Net:
+        level = list(nets)
+        if not level:
+            raise NetlistError("cannot build a gate tree with no operands")
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(op(level[i], level[i + 1], name=name))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    # ------------------------------------------------------------------
+    # sequential builders
+    # ------------------------------------------------------------------
+    def reg(
+        self,
+        d: Net,
+        enable: Optional[Net] = None,
+        init: int = 0,
+        name: str = "r",
+    ) -> Net:
+        """Add a D register and return its Q net.
+
+        ``enable`` is an active-high clock enable: when low the register
+        holds its previous value, which is how the paper stalls the
+        first register of each token chain on delimiters.
+        """
+        if enable is not None and self.is_const(enable) == 1:
+            enable = None
+        q = self.new_net(name)
+        register = Register(d, q, enable, 1 if init else 0)
+        q.driver = register
+        self.registers.append(register)
+        return q
+
+    # ------------------------------------------------------------------
+    # forward references (feedback loops, two-pass wiring)
+    # ------------------------------------------------------------------
+    def placeholder(self, name: str = "fwd") -> Net:
+        """Create an undriven net to be driven later.
+
+        Used for sequential feedback (the paper's arming registers) and
+        for the two-pass Follow-set wiring where tokenizer enables are
+        OR-ed together only after every tokenizer exists.
+        """
+        return self.new_net(name)
+
+    def _check_undriven(self, target: Net) -> None:
+        if target.driver is not None:
+            raise NetlistError(f"net {target.name!r} is already driven")
+
+    def drive_gate(self, target: Net, kind: GateKind, inputs: Sequence[Net]) -> None:
+        """Drive a placeholder net with a new gate."""
+        self._check_undriven(target)
+        gate = Gate(kind, tuple(inputs), target)
+        target.driver = gate
+        self.gates.append(gate)
+
+    def drive_or(self, target: Net, inputs: Sequence[Net]) -> None:
+        """Drive a placeholder with an OR (BUF for a single input)."""
+        if len(inputs) == 1:
+            self.drive_gate(target, GateKind.BUF, inputs)
+        else:
+            self.drive_gate(target, GateKind.OR, inputs)
+
+    def drive_const(self, target: Net, value: int) -> None:
+        """Drive a placeholder from a constant net."""
+        self.drive_gate(target, GateKind.BUF, (self.const(value),))
+
+    def close_reg(
+        self,
+        q: Net,
+        d: Net,
+        enable: Optional[Net] = None,
+        init: int = 0,
+    ) -> None:
+        """Turn a placeholder net into a register Q pin (feedback loop)."""
+        self._check_undriven(q)
+        register = Register(d, q, enable, 1 if init else 0)
+        q.driver = register
+        self.registers.append(register)
+
+    def delay(self, net: Net, cycles: int, name: str = "dly") -> Net:
+        """Pipeline ``net`` through ``cycles`` back-to-back registers."""
+        if cycles < 0:
+            raise NetlistError("delay cycles must be non-negative")
+        out = net
+        for stage in range(cycles):
+            out = self.reg(out, name=f"{name}{stage}")
+        return out
+
+    # ------------------------------------------------------------------
+    # outputs and validation
+    # ------------------------------------------------------------------
+    def output(self, name: str, net: Net) -> None:
+        """Bind ``net`` to an output port called ``name``."""
+        if name in self.outputs:
+            raise NetlistError(f"duplicate output port {name!r}")
+        self.outputs[name] = net
+
+    def validate(self) -> None:
+        """Check structural sanity; raise :class:`NetlistError` if broken.
+
+        Verifies that every net referenced by a gate, register or output
+        has a driver and that the combinational portion is acyclic.
+        """
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net.driver is None:
+                    raise NetlistError(
+                        f"gate {gate!r} reads undriven net {net.name!r}"
+                    )
+        for register in self.registers:
+            if register.d.driver is None:
+                raise NetlistError(f"register {register!r} has undriven D input")
+            if register.enable is not None and register.enable.driver is None:
+                raise NetlistError(f"register {register!r} has undriven enable")
+        for name, net in self.outputs.items():
+            if net.driver is None:
+                raise NetlistError(f"output {name!r} is undriven")
+        # Acyclicity is established by levelization.
+        self.levelize()
+
+    def levelize(self) -> list[Gate]:
+        """Topologically order the gates; registers break all cycles.
+
+        Raises :class:`NetlistError` when a combinational loop exists.
+        """
+        # Kahn's algorithm over gate-to-gate combinational edges.
+        consumers: dict[int, list[Gate]] = {}
+        indegree: dict[int, int] = {}
+        for gate in self.gates:
+            count = 0
+            for net in gate.inputs:
+                if isinstance(net.driver, Gate):
+                    consumers.setdefault(net.driver.output.uid, []).append(gate)
+                    count += 1
+            indegree[gate.output.uid] = count
+        ready = [g for g in self.gates if indegree[g.output.uid] == 0]
+        order: list[Gate] = []
+        while ready:
+            gate = ready.pop()
+            order.append(gate)
+            for consumer in consumers.get(gate.output.uid, ()):
+                indegree[consumer.output.uid] -= 1
+                if indegree[consumer.output.uid] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.gates):
+            raise NetlistError(
+                "combinational loop detected "
+                f"({len(self.gates) - len(order)} gates unreachable)"
+            )
+        return order
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def gate_counts(self) -> dict[str, int]:
+        """Histogram of gate kinds, e.g. ``{"and": 120, "or": 14}``."""
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.kind.value] = counts.get(gate.kind.value, 0) + 1
+        return counts
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def n_registers(self) -> int:
+        return len(self.registers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist({self.name!r}, gates={self.n_gates}, "
+            f"registers={self.n_registers}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)})"
+        )
+
+
+def iter_net_consumers(netlist: Netlist) -> dict[int, list[object]]:
+    """Map each net uid to the gates/registers/outputs reading it."""
+    readers: dict[int, list[object]] = {net.uid: [] for net in netlist.nets}
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            readers[net.uid].append(gate)
+    for register in netlist.registers:
+        readers[register.d.uid].append(register)
+        if register.enable is not None:
+            readers[register.enable.uid].append(register)
+    for name, net in netlist.outputs.items():
+        readers[net.uid].append(name)
+    return readers
+
+
+def collect_fanout(netlist: Netlist) -> dict[int, int]:
+    """Number of sinks per net uid (gate pins + register pins + ports)."""
+    return {uid: len(sinks) for uid, sinks in iter_net_consumers(netlist).items()}
+
+
+def check_unused(netlist: Netlist) -> list[Net]:
+    """Return driven nets that nothing reads (dead logic detector)."""
+    readers = iter_net_consumers(netlist)
+    return [
+        net
+        for net in netlist.nets
+        if net.driver is not None and not readers[net.uid]
+    ]
+
+
+def flatten_inputs(nets: Iterable[Net | Iterable[Net]]) -> list[Net]:
+    """Flatten possibly-nested net collections into a flat list."""
+    flat: list[Net] = []
+    for item in nets:
+        if isinstance(item, Net):
+            flat.append(item)
+        else:
+            flat.extend(flatten_inputs(item))
+    return flat

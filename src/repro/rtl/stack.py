@@ -1,0 +1,141 @@
+"""Hardware stack module (the §5.2 extension substrate).
+
+"Additionally, a stack can be added to the architecture to give the
+hardware parser all the power of a software parser." (§5.2)
+
+The netlist has no memory primitive, so the stack is built the way a
+small FPGA stack is: a bank of ``depth`` frame registers operated as a
+shift register. ``push`` shifts every frame down and loads the top;
+``pop`` shifts up. Simultaneous push+pop replaces the top. Overflow
+and underflow raise sticky error flags — the error-detection behaviour
+the paper says is the point of keeping recursive state (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rtl.netlist import Net, Netlist
+
+
+@dataclass
+class StackPorts:
+    """Nets of one instantiated hardware stack."""
+
+    push: Net
+    pop: Net
+    data_in: list[Net]
+    top: list[Net]
+    empty: Net
+    overflow: Net
+    underflow: Net
+    #: Q nets of every frame, frame 0 = top (for waveform inspection).
+    frames: list[list[Net]]
+
+
+def build_stack(
+    nl: Netlist,
+    push: Net,
+    pop: Net,
+    data_in: list[Net],
+    depth: int,
+    name: str = "stk",
+) -> StackPorts:
+    """Instantiate a ``depth``-frame, ``len(data_in)``-bit-wide stack.
+
+    Control semantics per clock edge:
+
+    * ``push & !pop``  — shift down, frame0 <= data_in;
+    * ``pop & !push``  — shift up, deepest frame clears;
+    * ``push & pop``   — replace top (frame0 <= data_in);
+    * neither          — hold.
+    """
+    if depth < 1:
+        raise ValueError("stack depth must be >= 1")
+    width = len(data_in)
+
+    # Occupancy: a one-hot-ish valid bit per frame.
+    valid_q = [nl.placeholder(f"{name}_v{d}") for d in range(depth)]
+    frame_q = [
+        [nl.placeholder(f"{name}_f{d}_b{b}") for b in range(width)]
+        for d in range(depth)
+    ]
+
+    push_only = nl.and_(push, nl.not_(pop), name=f"{name}_pushonly")
+    pop_only = nl.and_(pop, nl.not_(push), name=f"{name}_poponly")
+    replace = nl.and_(push, pop, name=f"{name}_replace")
+    hold = nl.and_(nl.not_(push), nl.not_(pop), name=f"{name}_hold")
+
+    for d in range(depth):
+        above_valid = valid_q[d - 1] if d > 0 else push  # new top on push
+        below_valid = valid_q[d + 1] if d + 1 < depth else nl.const(0)
+        valid_d = nl.or_(
+            nl.and_(push_only, above_valid if d > 0 else nl.const(1)),
+            nl.and_(pop_only, below_valid),
+            nl.and_(nl.or_(replace, hold), valid_q[d]),
+            name=f"{name}_v{d}_d",
+        )
+        nl.close_reg(valid_q[d], valid_d)
+        for b in range(width):
+            above_bit = frame_q[d - 1][b] if d > 0 else data_in[b]
+            below_bit = frame_q[d + 1][b] if d + 1 < depth else nl.const(0)
+            top_load = data_in[b] if d == 0 else above_bit
+            bit_d = nl.or_(
+                nl.and_(push_only, above_bit if d > 0 else data_in[b]),
+                nl.and_(pop_only, below_bit),
+                nl.and_(replace, top_load if d == 0 else frame_q[d][b]),
+                nl.and_(hold, frame_q[d][b]),
+                name=f"{name}_f{d}_b{b}_d",
+            )
+            nl.close_reg(frame_q[d][b], bit_d)
+
+    empty = nl.not_(valid_q[0], name=f"{name}_empty")
+
+    # Sticky error flags.
+    overflow_q = nl.placeholder(f"{name}_ovf")
+    nl.close_reg(
+        overflow_q,
+        nl.or_(
+            overflow_q,
+            nl.and_(push_only, valid_q[depth - 1]),
+            name=f"{name}_ovf_d",
+        ),
+    )
+    underflow_q = nl.placeholder(f"{name}_unf")
+    nl.close_reg(
+        underflow_q,
+        nl.or_(
+            underflow_q,
+            nl.and_(nl.or_(pop_only, replace), empty),
+            name=f"{name}_unf_d",
+        ),
+    )
+
+    return StackPorts(
+        push=push,
+        pop=pop,
+        data_in=data_in,
+        top=frame_q[0],
+        empty=empty,
+        overflow=overflow_q,
+        underflow=underflow_q,
+        frames=frame_q,
+    )
+
+
+def build_counter_stack(
+    nl: Netlist,
+    push: Net,
+    pop: Net,
+    depth: int,
+    name: str = "cnt",
+) -> StackPorts:
+    """Degenerate stack with identical frames: a depth counter.
+
+    For self-embedding grammars whose recursion frames carry no data
+    (the balanced-parenthesis grammar of Fig. 1: every frame is "a ')'
+    is owed"), the full stack reduces to a saturating counter — the
+    cheapest hardware realization of the §5.2 stack. Exposes the same
+    ports with a zero-width frame.
+    """
+    return build_stack(nl, push, pop, data_in=[], depth=depth, name=name)

@@ -1,0 +1,68 @@
+"""Lightweight waveform capture for netlist simulations.
+
+Used by tests and examples to observe internal signals over time — the
+textual equivalent of attaching a logic analyzer to the generated
+hardware.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.rtl.netlist import Net
+from repro.rtl.simulator import Simulator
+
+
+class Waveform:
+    """Records named signals cycle by cycle during simulation.
+
+    Example
+    -------
+    >>> wave = Waveform(sim, watch=[some_net])          # doctest: +SKIP
+    >>> wave.run(stimulus)                              # doctest: +SKIP
+    >>> print(wave.render())                            # doctest: +SKIP
+    """
+
+    def __init__(self, simulator: Simulator, watch: Sequence[Net]) -> None:
+        self.simulator = simulator
+        self.watch = list(watch)
+        self.samples: dict[str, list[int]] = {net.name: [] for net in self.watch}
+        self.outputs: list[dict[str, int]] = []
+
+    def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]:
+        """Advance one cycle, recording watched nets and outputs.
+
+        Watched nets are sampled mid-cycle (after combinational settle,
+        before the clock edge), consistent with the output view.
+        """
+        out, sampled = self.simulator.step_observe(inputs, self.watch)
+        self.outputs.append(out)
+        for net in self.watch:
+            self.samples[net.name].append(sampled[net.name])
+        return out
+
+    def run(self, stimulus: Sequence[Mapping[str, int]]) -> list[dict[str, int]]:
+        """Advance through a full stimulus sequence."""
+        return [self.step(frame) for frame in stimulus]
+
+    def signal(self, name: str) -> list[int]:
+        """The recorded trace of one watched net."""
+        return self.samples[name]
+
+    def rising_edges(self, name: str) -> list[int]:
+        """Cycle indices at which a watched net transitions 0 -> 1."""
+        trace = self.samples[name]
+        return [
+            i
+            for i, value in enumerate(trace)
+            if value and (i == 0 or not trace[i - 1])
+        ]
+
+    def render(self, width: int = 72) -> str:
+        """ASCII art rendering (``_`` low, ``#`` high), one row per net."""
+        rows = []
+        label_width = max((len(n) for n in self.samples), default=0)
+        for name, trace in self.samples.items():
+            bits = "".join("#" if v else "_" for v in trace[:width])
+            rows.append(f"{name.rjust(label_width)} {bits}")
+        return "\n".join(rows)

@@ -1,0 +1,129 @@
+"""Sequential software lexers (the baseline lexical scanners).
+
+:class:`Lexer` is the classic maximal-munch scanner: at each position
+it skips delimiters, runs every token DFA, and keeps the longest match
+(ties broken by token-list order). This is what a sequential processor
+does instead of the paper's parallel tokenizer array.
+
+:class:`ContextSensitiveLexer` restricts each scan to a caller-provided
+set of *allowed* tokens; the predictive parsers drive it with the
+FIRST sets of their current expectation, mirroring how the hardware's
+Follow-set wiring only arms grammatically legal tokenizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.grammar.lexspec import LexSpec
+from repro.grammar.regex.dfa import DFA, compile_dfa
+from repro.grammar.symbols import Terminal
+
+
+@dataclass(frozen=True)
+class LexedToken:
+    """A token produced by a software lexer (``end`` exclusive)."""
+
+    name: str
+    start: int
+    end: int
+    lexeme: bytes
+
+    @property
+    def terminal(self) -> Terminal:
+        return Terminal(self.name)
+
+
+class Lexer:
+    """Maximal-munch DFA lexer over a lexical specification.
+
+    Example
+    -------
+    >>> from repro.grammar.lexspec import LexSpec
+    >>> spec = LexSpec()
+    >>> _ = spec.define("WORD", "[a-z]+")
+    >>> _ = spec.define("NUM", "[0-9]+")
+    >>> [t.name for t in Lexer(spec).tokenize(b"abc 42")]
+    ['WORD', 'NUM']
+    """
+
+    def __init__(self, lexspec: LexSpec) -> None:
+        self.lexspec = lexspec
+        self._dfas: dict[str, DFA] = {
+            token.name: compile_dfa(token.pattern) for token in lexspec
+        }
+        self._order = [token.name for token in lexspec]
+
+    # ------------------------------------------------------------------
+    def skip_delimiters(self, data: bytes, position: int) -> int:
+        while position < len(data) and self.lexspec.is_delimiter(data[position]):
+            position += 1
+        return position
+
+    def match_at(
+        self,
+        data: bytes,
+        position: int,
+        allowed: set[str] | None = None,
+    ) -> LexedToken | None:
+        """Longest match at ``position`` among (optionally) allowed tokens."""
+        best: LexedToken | None = None
+        for name in self._order:
+            if allowed is not None and name not in allowed:
+                continue
+            length = self._dfas[name].longest_match(data, position)
+            if not length:
+                continue
+            if best is None or length > best.end - best.start:
+                best = LexedToken(
+                    name=name,
+                    start=position,
+                    end=position + length,
+                    lexeme=data[position : position + length],
+                )
+        return best
+
+    def tokenize(self, data: bytes) -> list[LexedToken]:
+        """Scan the whole input; raise :class:`ParseError` on junk."""
+        tokens: list[LexedToken] = []
+        position = self.skip_delimiters(data, 0)
+        while position < len(data):
+            token = self.match_at(data, position)
+            if token is None:
+                raise ParseError(
+                    f"no token matches at byte {position} "
+                    f"({data[position:position + 10]!r}…)",
+                    position=position,
+                )
+            tokens.append(token)
+            position = self.skip_delimiters(data, token.end)
+        return tokens
+
+
+class ContextSensitiveLexer(Lexer):
+    """Lexer driven by the parser's current expectation set.
+
+    ``next_token(data, position, allowed)`` behaves like
+    :meth:`Lexer.match_at` after delimiter skipping, but only considers
+    the allowed token names — the software analogue of the hardware's
+    context gating.
+    """
+
+    def next_token(
+        self,
+        data: bytes,
+        position: int,
+        allowed: set[str],
+    ) -> tuple[LexedToken | None, int]:
+        """Return (token or None at end-of-input, resume position)."""
+        position = self.skip_delimiters(data, position)
+        if position >= len(data):
+            return None, position
+        token = self.match_at(data, position, allowed=allowed)
+        if token is None:
+            raise ParseError(
+                f"expected one of {sorted(allowed)} at byte {position}",
+                position=position,
+            )
+        return token, token.end

@@ -1,0 +1,122 @@
+"""Naive context-free pattern scanner (the false-positive baseline).
+
+"The naive pattern searches used in these implementations do not
+consider the context of the text in the data. Therefore, they are
+susceptible to false positive identifications." (§1)
+
+:class:`NaiveScanner` matches every token pattern at every position —
+the deep-packet-inspection style of matching the paper's introduction
+criticizes. Comparing its hits against the context-aware tagger
+quantifies the false-positive reduction, which
+``benchmarks/bench_false_positive.py`` turns into the paper's
+motivating number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.lexspec import LexSpec
+from repro.grammar.regex.dfa import DFA, compile_dfa
+from repro.grammar.regex.ast import first_bytes
+
+
+@dataclass(frozen=True)
+class ScanHit:
+    """One pattern occurrence found without grammatical context."""
+
+    name: str
+    start: int
+    end: int
+    lexeme: bytes
+
+
+class NaiveScanner:
+    """Match all token patterns everywhere, with no grammar context.
+
+    ``boundary_aligned`` restricts starts to delimiter boundaries (the
+    behaviour of a pattern matcher with word-boundary anchoring); the
+    default scans every byte offset like a network signature engine.
+
+    Example
+    -------
+    >>> from repro.grammar.lexspec import LexSpec
+    >>> spec = LexSpec()
+    >>> _ = spec.define("NUM", "[0-9]+")
+    >>> [h.lexeme for h in NaiveScanner(spec).scan(b"a12b3")]
+    [b'12', b'3']
+    """
+
+    def __init__(self, lexspec: LexSpec, boundary_aligned: bool = False) -> None:
+        self.lexspec = lexspec
+        self.boundary_aligned = boundary_aligned
+        self._dfas: dict[str, DFA] = {}
+        self._first: dict[str, frozenset[int]] = {}
+        for token in lexspec:
+            self._dfas[token.name] = compile_dfa(token.pattern)
+            self._first[token.name] = first_bytes(token.pattern)
+
+    # ------------------------------------------------------------------
+    def _start_ok(self, data: bytes, position: int) -> bool:
+        if not self.boundary_aligned:
+            return True
+        return position == 0 or self.lexspec.is_delimiter(data[position - 1])
+
+    def scan(
+        self, data: bytes, names: set[str] | None = None
+    ) -> list[ScanHit]:
+        """All longest matches of every (or the named) token patterns.
+
+        Overlapping matches of different tokens are all reported —
+        exactly what a context-free signature engine sees. For one
+        token, matches that are suffixes of a longer match at an
+        earlier start are still reported only once per start position.
+        """
+        hits: list[ScanHit] = []
+        for token in self.lexspec:
+            if names is not None and token.name not in names:
+                continue
+            dfa = self._dfas[token.name]
+            first = self._first[token.name]
+            covered_until = -1
+            for position in range(len(data)):
+                if data[position] not in first:
+                    continue
+                if not self._start_ok(data, position):
+                    continue
+                if position <= covered_until:
+                    continue  # inside the previous longest match
+                length = dfa.longest_match(data, position)
+                if length:
+                    hits.append(
+                        ScanHit(
+                            name=token.name,
+                            start=position,
+                            end=position + length,
+                            lexeme=data[position : position + length],
+                        )
+                    )
+                    covered_until = position + length - 1
+        hits.sort(key=lambda hit: (hit.start, hit.end, hit.name))
+        return hits
+
+    @staticmethod
+    def find_strings(data: bytes, needles: list[bytes]) -> list[ScanHit]:
+        """Plain multi-string search (worm-signature style), for the
+        router false-positive experiment: report every occurrence of
+        every needle anywhere in the payload."""
+        hits: list[ScanHit] = []
+        for needle in needles:
+            position = data.find(needle)
+            while position >= 0:
+                hits.append(
+                    ScanHit(
+                        name=needle.decode("latin-1"),
+                        start=position,
+                        end=position + len(needle),
+                        lexeme=needle,
+                    )
+                )
+                position = data.find(needle, position + 1)
+        hits.sort(key=lambda hit: (hit.start, hit.end, hit.name))
+        return hits

@@ -1,0 +1,92 @@
+"""Content filter and context-signature scanner back-ends."""
+
+import pytest
+
+from repro.apps.content_filter import ContentFilter, FilterRule
+from repro.apps.nids import ContextSignatureScanner, Signature
+from repro.apps.xmlrpc import Base64Value, MethodCall, StringValue
+
+
+@pytest.fixture(scope="module")
+def two_messages():
+    forbidden = MethodCall("withdraw").encode()
+    benign = MethodCall("deposit", (StringValue("withdraw"),)).encode()
+    return forbidden + benign
+
+
+class TestContentFilter:
+    def test_context_rule_drops_only_in_context(
+        self, xmlrpc_grammar, two_messages
+    ):
+        content_filter = ContentFilter(
+            xmlrpc_grammar,
+            [FilterRule(value=b"withdraw", context="methodName")],
+        )
+        decisions = content_filter.filter(two_messages)
+        assert [d.dropped for d in decisions] == [True, False]
+
+    def test_contextless_rule_drops_both(self, xmlrpc_grammar, two_messages):
+        content_filter = ContentFilter(
+            xmlrpc_grammar, [FilterRule(value=b"withdraw", context=None)]
+        )
+        decisions = content_filter.filter(two_messages)
+        assert [d.dropped for d in decisions] == [True, True]
+
+    def test_flag_action_does_not_drop(self, xmlrpc_grammar, two_messages):
+        content_filter = ContentFilter(
+            xmlrpc_grammar,
+            [FilterRule(value=b"withdraw", context="methodName",
+                        action="flag")],
+        )
+        decisions = content_filter.filter(two_messages)
+        assert not any(d.dropped for d in decisions)
+        assert decisions[0].flags
+
+    def test_passed_stream(self, xmlrpc_grammar, two_messages):
+        content_filter = ContentFilter(
+            xmlrpc_grammar,
+            [FilterRule(value=b"withdraw", context="methodName")],
+        )
+        survivors = content_filter.passed(two_messages)
+        assert survivors.count(b"<methodCall>") == 1
+        assert b"deposit" in survivors
+
+
+class TestSignatureScanner:
+    @pytest.fixture(scope="class")
+    def scanner(self, xmlrpc_grammar):
+        return ContextSignatureScanner(
+            xmlrpc_grammar,
+            [
+                Signature(
+                    name="marker",
+                    pattern=b"90cc90",
+                    contexts=frozenset({"base64"}),
+                )
+            ],
+        )
+
+    def test_alert_in_scoped_context(self, scanner):
+        bad = MethodCall("up", (Base64Value("xx90cc90xx"),)).encode()
+        alerts = scanner.scan(bad)
+        assert len(alerts) == 1
+        assert alerts[0].context == "base64"
+
+    def test_no_alert_outside_context(self, scanner):
+        benign = MethodCall("up", (StringValue("90cc90"),)).encode()
+        assert scanner.scan(benign) == []
+
+    def test_alert_positions(self, scanner):
+        bad = MethodCall("up", (Base64Value("90cc90"),)).encode()
+        alert = scanner.scan(bad)[0]
+        assert bad[alert.start : alert.end] == b"90cc90"
+
+    def test_comparison_counts_false_positives(self, scanner):
+        stream = (
+            MethodCall("up", (Base64Value("90cc90"),)).encode()
+            + MethodCall("up", (StringValue("90cc90"),)).encode()
+        )
+        comparison = scanner.compare_with_naive(stream)
+        assert len(comparison.alerts) == 1
+        assert len(comparison.naive_hits) == 2
+        assert comparison.false_positives == 1

@@ -1,0 +1,107 @@
+"""XML-RPC message model: serialization and lexical restrictions."""
+
+import pytest
+
+from repro.apps.xmlrpc.messages import (
+    ArrayValue,
+    Base64Value,
+    DateTimeValue,
+    DoubleValue,
+    I4Value,
+    IntValue,
+    MethodCall,
+    StringValue,
+    StructValue,
+)
+from repro.errors import BackendError
+
+
+class TestValues:
+    def test_int_and_i4(self):
+        assert IntValue(-7).serialize() == "<int>-7</int>"
+        assert I4Value(42).serialize() == "<i4>42</i4>"
+
+    def test_i4_range_checked(self):
+        with pytest.raises(BackendError):
+            I4Value(2**31)
+
+    def test_string_alnum_only(self):
+        assert StringValue("abc123").serialize() == "<string>abc123</string>"
+        with pytest.raises(BackendError):
+            StringValue("has space")
+        with pytest.raises(BackendError):
+            StringValue("")
+
+    def test_double_format(self):
+        assert DoubleValue(3.5).serialize() == "<double>3.5</double>"
+        assert "<double>-0.25</double>" == DoubleValue(-0.25).serialize()
+        assert DoubleValue(2.0).serialize() == "<double>2.0</double>"
+
+    def test_datetime_format(self):
+        value = DateTimeValue(2006, 7, 4, 12, 30, 5)
+        assert value.serialize() == (
+            "<dateTime.iso8601>20060704T12:30:05</dateTime.iso8601>"
+        )
+
+    def test_datetime_validation(self):
+        with pytest.raises(BackendError):
+            DateTimeValue(2006, 13, 1, 0, 0, 0)
+        with pytest.raises(BackendError):
+            DateTimeValue(206, 1, 1, 0, 0, 0)
+
+    def test_base64_alphabet(self):
+        assert Base64Value("ab+/9").serialize() == "<base64>ab+/9</base64>"
+        with pytest.raises(BackendError):
+            Base64Value("has=padding")
+
+    def test_struct_members(self):
+        value = StructValue((("k", IntValue(1)),))
+        assert value.serialize() == (
+            "<struct><member><name>k</name><int>1</int></member></struct>"
+        )
+        with pytest.raises(BackendError):
+            StructValue(())
+        with pytest.raises(BackendError):
+            StructValue((("bad name", IntValue(1)),))
+
+    def test_array_fig14_shape(self):
+        assert ArrayValue(None).serialize() == "<array></array>"
+        assert ArrayValue(IntValue(1)).serialize() == (
+            "<array><data><int>1</int></data></array>"
+        )
+
+
+class TestMethodCall:
+    def test_serialization(self):
+        call = MethodCall("buy", (I4Value(5),))
+        assert call.serialize() == (
+            "<methodCall><methodName>buy</methodName><params>"
+            "<param><i4>5</i4></param></params></methodCall>"
+        )
+
+    def test_method_name_checked(self):
+        with pytest.raises(BackendError):
+            MethodCall("not ok")
+
+    def test_encode_ascii(self):
+        assert isinstance(MethodCall("ping").encode(), bytes)
+
+
+class TestGrammarConformance:
+    """Everything the model serializes must parse under Fig. 14."""
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            MethodCall("ping"),
+            MethodCall("buy", (I4Value(1), StringValue("x"))),
+            MethodCall("d1", (DateTimeValue(1999, 12, 31, 23, 59, 59),)),
+            MethodCall("n", (StructValue((("a", DoubleValue(1.5)),
+                                          ("b", Base64Value("Zm9v")))),)),
+            MethodCall("arr", (ArrayValue(IntValue(9)), ArrayValue(None))),
+        ],
+    )
+    def test_parses_with_ll1(self, xmlrpc_grammar, call):
+        from repro.software.ll1 import LL1Parser
+
+        LL1Parser(xmlrpc_grammar).parse(call.encode())

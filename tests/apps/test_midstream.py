@@ -1,0 +1,82 @@
+"""Mid-stream join scenarios (§3.3's always-enabled start mode).
+
+"If the beginning of the text is known, then the starting tokenizers
+can be enabled once at the beginning of the data. Otherwise, starting
+tokenizers can be enabled at all times. … such a configuration will
+look for all sequences of tokens starting at every byte alignment."
+
+A network monitor joining a flow mid-capture needs exactly this: the
+stream's head is missing and the tagger must synchronize on the next
+message boundary.
+"""
+
+import pytest
+
+from repro.apps.xmlrpc import ContentBasedRouter, WorkloadGenerator
+from repro.core.generator import TaggerGenerator, TaggerOptions
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.core.wiring import WiringOptions
+from repro.grammar.examples import xmlrpc
+
+ALWAYS = TaggerOptions(wiring=WiringOptions(start_mode="always"))
+RECOVERY = TaggerOptions(wiring=WiringOptions(error_recovery=True))
+
+
+@pytest.fixture(scope="module")
+def truncated_stream():
+    """A 5-message stream with the first 40% chopped off mid-message."""
+    generator = WorkloadGenerator(seed=55)
+    stream, truth = generator.stream(5)
+    cut = int(len(stream) * 0.4)
+    # Ensure the cut lands strictly inside a message.
+    while stream[cut : cut + 1] == b"\n":
+        cut += 1
+    return stream[cut:], truth
+
+
+class TestMidStreamJoin:
+    def test_once_mode_misses_everything(self, truncated_stream):
+        """Start-once cannot sync: the enabling pulse hit garbage."""
+        data, _truth = truncated_stream
+        tagger = BehavioralTagger(xmlrpc())
+        closers = [
+            t for t in tagger.tag(data) if t.token == "</methodCall>"
+        ]
+        assert closers == []
+
+    def test_always_mode_syncs_on_next_message(self, truncated_stream):
+        data, truth = truncated_stream
+        tagger = BehavioralTagger(xmlrpc(), ALWAYS)
+        router = ContentBasedRouter(grammar=xmlrpc(), tagger=tagger)
+        routed = router.route(data)
+        # Whole messages remaining in the suffix are routed correctly.
+        whole = [
+            (call, port)
+            for call, port, _d in truth
+            if call.encode() in data
+        ]
+        assert len(routed) >= len(whole) >= 3
+        matched = [m for m in routed if m.payload.startswith(b"<methodCall>")]
+        for message, (call, port) in zip(matched[-len(whole):], whole):
+            assert message.port == port
+
+    def test_error_recovery_also_syncs(self, truncated_stream):
+        """§5.2 recovery achieves the same resync with start-once."""
+        data, truth = truncated_stream
+        tagger = BehavioralTagger(xmlrpc(), RECOVERY)
+        events, errors = tagger.events_and_errors(data)
+        assert errors  # the truncated head was flagged
+        closers = [
+            e for e in events if e.occurrence.terminal.name == "</methodCall>"
+        ]
+        whole = sum(1 for call, _p, _d in truth if call.encode() in data)
+        assert len(closers) >= whole
+
+    def test_always_mode_gate_level_agrees(self):
+        grammar = xmlrpc()
+        data = (b"runt tail></param></params></methodCall>"
+                b"<methodCall><methodName>buy</methodName>"
+                b"<params></params></methodCall>")
+        behavioral = BehavioralTagger(grammar, ALWAYS)
+        gate = GateLevelTagger(TaggerGenerator(ALWAYS).generate(grammar))
+        assert behavioral.events(data) == gate.events(data)

@@ -1,0 +1,198 @@
+"""Packet substrate: headers, TCP reassembly, traces, wrapper."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.netstack import (
+    FlowKey,
+    IPv4Header,
+    Packet,
+    TCPHeader,
+    TCPReassembler,
+    TaggingWrapper,
+    TraceGenerator,
+    ipv4_checksum,
+)
+from repro.apps.netstack.packets import EthernetHeader
+from repro.errors import BackendError
+
+IP = IPv4Header(src="10.0.0.1", dst="10.0.0.2")
+
+
+def _data_packet(seq, payload, src_port=1000):
+    return Packet(IP, TCPHeader(src_port, 80, seq=seq), payload)
+
+
+class TestHeaders:
+    def test_ipv4_checksum_rfc_example(self):
+        # Classic RFC 1071 example header.
+        header = bytes.fromhex("4500003c1c4640004006b1e6ac100a63ac100a0c")
+        assert ipv4_checksum(header) == 0  # checksum of valid header is 0
+
+    def test_ipv4_roundtrip(self):
+        raw = IP.serialize()
+        parsed, rest = IPv4Header.parse(raw + b"xy")
+        assert parsed.src == "10.0.0.1" and parsed.dst == "10.0.0.2"
+        assert rest == b"xy"
+
+    def test_ipv4_checksum_enforced(self):
+        raw = bytearray(IP.serialize())
+        raw[8] ^= 0xFF  # corrupt TTL
+        with pytest.raises(BackendError, match="checksum"):
+            IPv4Header.parse(bytes(raw))
+
+    def test_tcp_roundtrip(self):
+        tcp = TCPHeader(40000, 80, seq=12345, flags=TCPHeader.SYN)
+        parsed, rest = TCPHeader.parse(tcp.serialize() + b"pp")
+        assert parsed.seq == 12345
+        assert parsed.flags & TCPHeader.SYN
+        assert rest == b"pp"
+
+    def test_ethernet_roundtrip(self):
+        eth = EthernetHeader()
+        parsed, _ = EthernetHeader.parse(eth.serialize())
+        assert parsed.src == "02:00:00:00:00:01"
+
+    def test_full_packet_roundtrip(self):
+        packet = _data_packet(77, b"hello world")
+        parsed = Packet.parse(packet.serialize())
+        assert parsed.payload == b"hello world"
+        assert parsed.tcp.seq == 77
+        assert parsed.ip.total_length == 40 + 11
+
+    def test_truncated_rejected(self):
+        with pytest.raises(BackendError):
+            Packet.parse(b"\x00" * 20)
+
+    def test_bad_addresses_rejected(self):
+        with pytest.raises(BackendError):
+            IPv4Header(src="999.0.0.1", dst="10.0.0.2").serialize()
+
+
+class TestReassembly:
+    def test_in_order_delivery(self):
+        r = TCPReassembler()
+        r.push(Packet(IP, TCPHeader(1000, 80, seq=9, flags=TCPHeader.SYN)))
+        _key, a = r.push(_data_packet(10, b"ab"))
+        _key, b = r.push(_data_packet(12, b"cd"))
+        assert (a, b) == (b"ab", b"cd")
+
+    def test_out_of_order_buffered(self):
+        r = TCPReassembler()
+        r.push(Packet(IP, TCPHeader(1000, 80, seq=0, flags=TCPHeader.SYN)))
+        _k, first = r.push(_data_packet(3, b"cd"))   # hole at 1..2
+        assert first == b""
+        _k, second = r.push(_data_packet(1, b"ab"))
+        assert second == b"abcd"
+        assert r.stats.out_of_order == 1
+
+    def test_duplicates_dropped(self):
+        r = TCPReassembler()
+        r.push(Packet(IP, TCPHeader(1000, 80, seq=0, flags=TCPHeader.SYN)))
+        r.push(_data_packet(1, b"abc"))
+        _k, again = r.push(_data_packet(1, b"abc"))
+        assert again == b""
+        assert r.stats.duplicates == 1
+
+    def test_retransmission_with_new_tail(self):
+        r = TCPReassembler()
+        r.push(Packet(IP, TCPHeader(1000, 80, seq=0, flags=TCPHeader.SYN)))
+        r.push(_data_packet(1, b"abc"))
+        _k, extra = r.push(_data_packet(1, b"abcdef"))
+        assert extra == b"def"
+
+    def test_mid_stream_synchronization(self):
+        r = TCPReassembler()  # no SYN seen
+        _k, data = r.push(_data_packet(500, b"xy"))
+        assert data == b"xy"
+
+    def test_sequence_wraparound(self):
+        r = TCPReassembler()
+        start = (1 << 32) - 2
+        r.push(Packet(IP, TCPHeader(1000, 80, seq=start - 1, flags=TCPHeader.SYN)))
+        _k, a = r.push(_data_packet(start, b"abcd"))  # crosses 2^32
+        _k, b = r.push(_data_packet((start + 4) % (1 << 32), b"ef"))
+        assert a + b == b"abcdef"
+
+    def test_flows_are_independent(self):
+        r = TCPReassembler()
+        _k1, a = r.push(_data_packet(0, b"flow1", src_port=1111))
+        _k2, b = r.push(_data_packet(0, b"flow2", src_port=2222))
+        assert (a, b) == (b"flow1", b"flow2")
+        assert r.stats.flows == 2
+
+    def test_fin_marks_finished(self):
+        r = TCPReassembler()
+        packet = Packet(IP, TCPHeader(1000, 80, seq=5, flags=TCPHeader.FIN))
+        key, _ = r.push(packet)
+        assert r.finished(key)
+
+    @given(
+        payload=st.binary(min_size=1, max_size=120),
+        mss=st.integers(1, 17),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_impairment_reassembles(self, payload, mss, seed):
+        """Permutation + duplication must reassemble to the original."""
+        generator = TraceGenerator(
+            seed=seed, mss=mss, reorder_rate=0.5, duplicate_rate=0.4
+        )
+        packets = generator.impair(generator.flow_packets(payload))
+        reassembler = TCPReassembler()
+        out = bytearray()
+        for packet in packets:
+            _key, data = reassembler.push(packet)
+            out += data
+        assert bytes(out) == payload
+
+
+class TestTraceGenerator:
+    def test_deterministic(self):
+        a = TraceGenerator(seed=4).trace([b"x" * 100])
+        b = TraceGenerator(seed=4).trace([b"x" * 100])
+        assert [p.tcp.seq for p in a] == [p.tcp.seq for p in b]
+
+    def test_mss_respected(self):
+        packets = TraceGenerator(mss=10).flow_packets(b"a" * 35)
+        sizes = [len(p.payload) for p in packets if p.payload]
+        assert sizes == [10, 10, 10, 5]
+
+    def test_interleaving_preserves_per_flow_order(self):
+        generator = TraceGenerator(seed=3)
+        flows = [
+            generator.flow_packets(b"A" * 40, src_port=1111),
+            generator.flow_packets(b"B" * 40, src_port=2222),
+        ]
+        trace = generator.interleave(flows)
+        for port in (1111, 2222):
+            seqs = [p.tcp.seq for p in trace if p.tcp.src_port == port]
+            assert seqs == sorted(seqs, key=lambda s: (s - seqs[0]) % (1 << 32))
+
+
+class TestWrapper:
+    def test_end_to_end_routing(self):
+        from repro.apps.xmlrpc import WorkloadGenerator
+
+        workload = WorkloadGenerator(seed=21)
+        payloads, truths = [], []
+        for _ in range(4):
+            stream, truth = workload.stream(2)
+            payloads.append(stream)
+            truths.append([port for _c, port, _d in truth])
+        generator = TraceGenerator(
+            seed=13, mss=32, reorder_rate=0.4, duplicate_rate=0.2
+        )
+        frames = generator.wire_bytes(generator.trace(payloads))
+        wrapper = TaggingWrapper()
+        results = wrapper.process(frames=frames)
+        assert wrapper.malformed == 0
+        by_port = {r.key.src_port: r for r in results}
+        for i, truth in enumerate(truths):
+            flow = by_port[40000 + i]
+            assert [m.port for m in flow.messages] == truth
+
+    def test_malformed_frames_counted(self):
+        wrapper = TaggingWrapper()
+        wrapper.push_frame(b"garbage")
+        assert wrapper.malformed == 1

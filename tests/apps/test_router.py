@@ -1,0 +1,119 @@
+"""Content-based router (Fig. 12) and the naive baseline."""
+
+import pytest
+
+from repro.apps.xmlrpc import (
+    ContentBasedRouter,
+    MethodCall,
+    NaiveRouter,
+    StringValue,
+    WorkloadGenerator,
+)
+from repro.core.generator import TaggerGenerator
+from repro.core.tagger import GateLevelTagger
+
+
+@pytest.fixture(scope="module")
+def router():
+    return ContentBasedRouter()
+
+
+class TestContextualRouter:
+    def test_routes_by_method_name(self, router):
+        for service, port in (("deposit", 0), ("buy", 1), ("price", 1)):
+            message = MethodCall(service).encode()
+            routed = router.route(message)
+            assert len(routed) == 1
+            assert routed[0].port == port
+            assert routed[0].service == service
+
+    def test_unknown_service_default_port(self, router):
+        routed = router.route(MethodCall("mystery").encode())
+        assert routed[0].port == -1
+
+    def test_message_boundaries(self, router, xmlrpc_stream):
+        routed = router.route(xmlrpc_stream)
+        assert len(routed) == 8
+        for message in routed:
+            assert message.payload.startswith(b"<methodCall>")
+            assert message.payload.endswith(b"</methodCall>")
+
+    def test_payload_spans_are_disjoint(self, router, xmlrpc_stream):
+        routed = router.route(xmlrpc_stream)
+        for first, second in zip(routed, routed[1:]):
+            assert first.end <= second.start
+
+    def test_decoy_immune(self, router):
+        message = MethodCall(
+            "buy", (StringValue("deposit"),)
+        ).encode()
+        routed = router.route(message)
+        assert routed[0].port == 1  # shopping, not bank
+
+    def test_route_to_ports_partition(self, router, xmlrpc_stream):
+        ports = router.route_to_ports(xmlrpc_stream)
+        assert sum(len(v) for v in ports.values()) == 8
+
+    def test_gate_level_tagger_backend(self, xmlrpc_grammar):
+        """The router works on the cycle-accurate hardware too."""
+        circuit = TaggerGenerator().generate(xmlrpc_grammar)
+        router = ContentBasedRouter(
+            grammar=xmlrpc_grammar, tagger=GateLevelTagger(circuit)
+        )
+        message = MethodCall("withdraw").encode()
+        routed = router.route(message)
+        assert routed[0].port == 0 and routed[0].service == "withdraw"
+
+    def test_bad_method_element_rejected(self, xmlrpc_grammar):
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError):
+            ContentBasedRouter(
+                grammar=xmlrpc_grammar, method_element="nosuch"
+            )
+
+
+class TestNaiveRouter:
+    def test_clean_messages_route_fine(self):
+        stream, truth = WorkloadGenerator(seed=11).stream(10)
+        naive = NaiveRouter()
+        routed = naive.route(stream)
+        assert len(routed) == 10
+        correct = sum(
+            1 for m, (_c, p, _d) in zip(routed, truth) if m.port == p
+        )
+        assert correct == 10
+
+    def test_decoys_misroute(self):
+        stream, truth = WorkloadGenerator(
+            seed=12, adversarial_rate=1.0
+        ).stream(10)
+        naive = NaiveRouter()
+        contextual = ContentBasedRouter()
+        naive_correct = sum(
+            1 for m, (_c, p, _d) in zip(naive.route(stream), truth)
+            if m.port == p
+        )
+        contextual_correct = sum(
+            1 for m, (_c, p, _d) in zip(contextual.route(stream), truth)
+            if m.port == p
+        )
+        assert contextual_correct == 10
+        assert naive_correct < 10
+
+    def test_first_policy(self):
+        message = MethodCall("buy", (StringValue("deposit"),)).encode()
+        # first-match policy happens to survive trailing decoys ...
+        assert NaiveRouter(policy="first").route(message)[0].port == 1
+        # ... but the switch-following last-match policy does not.
+        assert NaiveRouter(policy="last").route(message)[0].port == 0
+
+    def test_unknown_policy_rejected(self):
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError):
+            NaiveRouter(policy="middle")
+
+    def test_no_service_hits_default(self):
+        message = MethodCall("zzz").encode()
+        assert NaiveRouter().route(message)[0].port == -1

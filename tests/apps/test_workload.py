@@ -1,0 +1,80 @@
+"""Workload generator: validity, determinism, adversarial mode."""
+
+import pytest
+
+from repro.apps.xmlrpc import WorkloadGenerator
+from repro.software.ll1 import LL1Parser
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, _ = WorkloadGenerator(seed=9).stream(5)
+        b, _ = WorkloadGenerator(seed=9).stream(5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a, _ = WorkloadGenerator(seed=1).stream(5)
+        b, _ = WorkloadGenerator(seed=2).stream(5)
+        assert a != b
+
+
+class TestValidity:
+    def test_every_message_parses(self, xmlrpc_grammar):
+        parser = LL1Parser(xmlrpc_grammar)
+        generator = WorkloadGenerator(seed=77, adversarial_rate=0.5)
+        for _ in range(25):
+            call, _port, _decoy = generator.message()
+            parser.parse(call.encode())
+
+    def test_stream_parses_end_to_end(self, xmlrpc_grammar):
+        parser = LL1Parser(xmlrpc_grammar)
+        stream, truth = WorkloadGenerator(seed=5).stream(10)
+        assert len(parser.parse_stream(stream)) == len(truth) == 10
+
+
+class TestGroundTruth:
+    def test_ports_match_table(self):
+        generator = WorkloadGenerator(seed=3)
+        for _ in range(20):
+            call, port, _decoy = generator.message()
+            assert port == generator.table.port_of(call.method)
+
+    def test_adversarial_rate_zero_means_no_decoys(self):
+        _, truth = WorkloadGenerator(seed=4, adversarial_rate=0.0).stream(20)
+        assert not any(decoy for _c, _p, decoy in truth)
+
+    def test_adversarial_messages_contain_foreign_service(self):
+        generator = WorkloadGenerator(seed=6, adversarial_rate=1.0)
+        call, port, decoy = generator.message()
+        assert decoy
+        other_services = [
+            s
+            for s in generator.table.services
+            if generator.table.port_of(s) != port
+        ]
+        payload = call.serialize()
+        assert any(s in payload for s in other_services)
+
+    def test_decoy_not_in_method_name(self):
+        generator = WorkloadGenerator(seed=8, adversarial_rate=1.0)
+        for _ in range(10):
+            call, port, _decoy = generator.message()
+            assert generator.table.port_of(call.method) == port
+
+
+class TestServiceTable:
+    def test_default_port_for_unknown(self):
+        from repro.apps.xmlrpc.services import BANK_SHOPPING_TABLE
+
+        assert BANK_SHOPPING_TABLE.port_of("nosuch") == -1
+        assert BANK_SHOPPING_TABLE.name_of(0) == "bank-server"
+        assert BANK_SHOPPING_TABLE.name_of(99) == "port99"
+
+    def test_duplicate_service_rejected(self):
+        from repro.apps.xmlrpc.services import ServiceTable
+        from repro.errors import BackendError
+
+        table = ServiceTable()
+        table.add("x", 0)
+        with pytest.raises(BackendError):
+            table.add("x", 1)

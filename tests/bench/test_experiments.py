@@ -1,0 +1,158 @@
+"""Experiment harness: scaling workload, Table 1, Fig. 15, ablations.
+
+These tests validate the *harness* (structure, determinism, anchor
+accuracy, curve shape); the full runs live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench.scaling import PAPER_SCALE_POINTS, scale_point_grammar, scaled_xmlrpc
+from repro.bench.falsepos import run_false_positive
+from repro.bench.table1 import TABLE1_PAPER, format_table1, run_table1
+from repro.bench.figure15 import (
+    FIGURE15_PAPER,
+    ascii_plot,
+    format_figure15,
+    run_figure15,
+)
+
+
+class TestScalingWorkload:
+    def test_single_copy_is_fig14(self):
+        g = scaled_xmlrpc(1)
+        assert g.lexspec.total_pattern_bytes() == 289
+
+    def test_copies_scale_bytes_linearly(self):
+        b1 = scaled_xmlrpc(1).lexspec.total_pattern_bytes()
+        b2 = scaled_xmlrpc(2).lexspec.total_pattern_bytes()
+        b4 = scaled_xmlrpc(4).lexspec.total_pattern_bytes()
+        assert b2 > 2 * b1 * 0.9
+        assert (b4 - b2) == pytest.approx(2 * (b2 - b1) / 2 * 2, rel=0.2)
+
+    def test_scale_points_near_paper_targets(self):
+        for target, copies in PAPER_SCALE_POINTS:
+            actual = scale_point_grammar(copies).lexspec.total_pattern_bytes()
+            assert actual == pytest.approx(target, rel=0.18), (target, actual)
+
+    def test_copies_are_disjoint_grammars(self):
+        g = scaled_xmlrpc(2)
+        names = {t.name for t in g.lexspec}
+        assert "<methodCall_1>" in names and "<methodCall_2>" in names
+
+    def test_punctuation_literals_shared(self):
+        g = scaled_xmlrpc(3)
+        colons = [t for t in g.lexspec if t.name == ":"]
+        assert len(colons) == 1
+
+    def test_scaled_grammar_tags_renamed_messages(self):
+        from repro.core.tagger import BehavioralTagger
+
+        g = scaled_xmlrpc(2)
+        message = (
+            b"<methodCall_2><methodName_2>buy</methodName_2>"
+            b"<params_2></params_2></methodCall_2>"
+        )
+        tokens = [t.token for t in BehavioralTagger(g).tag(message)]
+        assert tokens[0] == "<methodCall_2>"
+        assert "STRING_2" in tokens
+
+    def test_bad_copy_count(self):
+        with pytest.raises(ValueError):
+            scaled_xmlrpc(0)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1()
+
+
+class TestTable1:
+    def test_six_rows(self, table1_rows):
+        assert len(table1_rows) == len(TABLE1_PAPER) == 6
+
+    def test_anchor_frequencies_exact(self, table1_rows):
+        """Calibration anchors: 533/316 MHz on V4, 196 MHz on VirtexE."""
+        by_key = {
+            (row.paper[0], row.paper[3]): row.measured for row in table1_rows
+        }
+        assert by_key[("virtex4-lx200", 300)].frequency_mhz == pytest.approx(533, rel=0.02)
+        assert by_key[("virtex4-lx200", 3000)].frequency_mhz == pytest.approx(316, rel=0.02)
+        assert by_key[("virtexe-2000", 300)].frequency_mhz == pytest.approx(196, rel=0.02)
+
+    def test_all_frequencies_within_25pct(self, table1_rows):
+        for row in table1_rows:
+            paper_mhz = row.paper[1]
+            assert row.measured.frequency_mhz == pytest.approx(
+                paper_mhz, rel=0.25
+            ), row.paper
+
+    def test_bandwidth_consistent(self, table1_rows):
+        for row in table1_rows:
+            assert row.measured.bandwidth_gbps == pytest.approx(
+                row.measured.frequency_mhz * 8 / 1000, abs=0.02
+            )
+
+    def test_luts_per_byte_declines_with_size(self, table1_rows):
+        v4 = sorted(
+            (r.measured for r in table1_rows if r.measured.device.family == "virtex4"),
+            key=lambda m: m.pattern_bytes,
+        )
+        ratios = [m.luts_per_byte for m in v4]
+        assert ratios[0] > ratios[-1]
+
+    def test_format(self, table1_rows):
+        text = format_table1(table1_rows)
+        assert "Table 1" in text and "VirtexE 2000" in text
+
+
+@pytest.fixture(scope="module")
+def figure15_points():
+    return run_figure15()
+
+
+class TestFigure15:
+    def test_five_points(self, figure15_points):
+        assert len(figure15_points) == len(FIGURE15_PAPER) == 5
+
+    def test_frequency_monotonically_non_increasing(self, figure15_points):
+        freqs = [p.measured.frequency_mhz for p in figure15_points]
+        assert all(a >= b - 1e-6 for a, b in zip(freqs, freqs[1:]))
+
+    def test_ratio_monotonically_non_increasing(self, figure15_points):
+        ratios = [p.measured.luts_per_byte for p in figure15_points]
+        assert all(a >= b - 1e-6 for a, b in zip(ratios, ratios[1:]))
+
+    def test_routing_bound_at_large_sizes(self, figure15_points):
+        assert figure15_points[-1].measured.timing.critical_kind == "routing"
+
+    def test_worst_route_near_2ns_at_3000_bytes(self, figure15_points):
+        """The paper's §4.3: 'just under 2 nanoseconds'."""
+        assert figure15_points[-1].worst_route_ns == pytest.approx(2.0, abs=0.15)
+        assert figure15_points[-1].worst_route_ns < 2.0
+
+    def test_renders(self, figure15_points):
+        assert "Figure 15" in format_figure15(figure15_points)
+        assert "MHz" in ascii_plot(figure15_points)
+
+
+class TestFalsePositive:
+    def test_contextual_beats_naive(self):
+        result = run_false_positive(n_messages=40, adversarial_rate=0.5, seed=1)
+        assert result.contextual_correct == result.n_messages
+        assert result.naive_correct < result.n_messages
+        assert result.naive_false_positives >= result.n_decoys
+        assert "false-positive" in result.summary()
+
+    def test_clean_stream_both_perfect(self):
+        result = run_false_positive(n_messages=20, adversarial_rate=0.0, seed=2)
+        assert result.contextual_correct == 20
+        assert result.naive_correct == 20
+
+
+class TestAblation:
+    def test_lookahead_counts(self):
+        from repro.bench.ablation import count_repeat_detections
+
+        with_la, without = count_repeat_detections(run_length=8)
+        assert with_la == 1
+        assert without == 8

@@ -1,0 +1,162 @@
+"""DecoderBank: gate-level decode correctness and structure."""
+
+import pytest
+
+from repro.core.decoder import CUR_STAGE, NXT_STAGE, DecoderBank, DecoderOptions
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import Simulator, byte_stimulus
+
+WHITESPACE = frozenset(b" \t\r\n")
+
+
+def _bank(options=None, delimiters=WHITESPACE):
+    nl = Netlist("dec")
+    bank = DecoderBank(nl, delimiters, options=options)
+    return nl, bank
+
+
+def _run_decode(nl, bank, taps, data):
+    """Feed ``data`` and collect each tap's per-byte value."""
+    for name, net in taps.items():
+        nl.output(name, net)
+    sim = Simulator(nl)
+    frames = byte_stimulus(data, extra={"in_valid": 1})
+    idle = {f"data{b}": 0 for b in range(8)}
+    idle["in_valid"] = 0
+    frames += [dict(idle) for _ in range(CUR_STAGE + 2)]
+    history = {name: [] for name in taps}
+    for frame in frames:
+        out = sim.step(frame)
+        for name in taps:
+            history[name].append(out[name])
+    return history
+
+
+class TestCurrentDecode:
+    @pytest.mark.parametrize("nibble_sharing", [True, False])
+    def test_single_char(self, nibble_sharing):
+        nl, bank = _bank(DecoderOptions(nibble_sharing=nibble_sharing))
+        taps = {"a": bank.cur(frozenset(b"a"))}
+        data = b"banana"
+        history = _run_decode(nl, bank, taps, data)
+        for i, byte in enumerate(data):
+            assert history["a"][i + CUR_STAGE] == (byte == ord("a")), i
+
+    @pytest.mark.parametrize("nibble_sharing", [True, False])
+    def test_class_decode(self, nibble_sharing):
+        nl, bank = _bank(DecoderOptions(nibble_sharing=nibble_sharing))
+        alnum = frozenset(range(ord("a"), ord("z") + 1)) | frozenset(
+            range(ord("0"), ord("9") + 1)
+        )
+        taps = {"cls": bank.cur(alnum)}
+        data = b"a1! z9\x00"
+        history = _run_decode(nl, bank, taps, data)
+        for i, byte in enumerate(data):
+            assert history["cls"][i + CUR_STAGE] == (byte in alnum), i
+
+    def test_negated_class_via_complement(self):
+        nl, bank = _bank()
+        not_a = frozenset(range(256)) - frozenset(b"a")
+        taps = {"na": bank.cur(not_a)}
+        data = b"ab"
+        history = _run_decode(nl, bank, taps, data)
+        assert history["na"][0 + CUR_STAGE] == 0
+        assert history["na"][1 + CUR_STAGE] == 1
+
+    def test_full_byte_set_is_const(self):
+        nl, bank = _bank()
+        assert nl.is_const(bank.cur(frozenset(range(256)))) == 1
+        assert nl.is_const(bank.cur(frozenset())) == 0
+
+    def test_invalid_bytes_decode_to_zero(self):
+        nl, bank = _bank()
+        taps = {"a": bank.cur(frozenset(b"a"))}
+        for name, net in taps.items():
+            nl.output(name, net)
+        sim = Simulator(nl)
+        frames = byte_stimulus(b"a", extra={"in_valid": 0})
+        idle = {f"data{b}": 0 for b in range(8)}
+        idle["in_valid"] = 0
+        frames += [dict(idle)] * (CUR_STAGE + 1)
+        values = [sim.step(f)["a"] for f in frames]
+        assert not any(values)
+
+
+class TestLookahead:
+    def test_nxt_is_one_stage_earlier(self):
+        nl, bank = _bank()
+        byte_set = frozenset(b"x")
+        taps = {"cur": bank.cur(byte_set), "nxt": bank.nxt(byte_set)}
+        data = b"ax"
+        history = _run_decode(nl, bank, taps, data)
+        # 'x' is byte index 1: cur sees it at cycle 1+CUR_STAGE, nxt one
+        # cycle earlier — during the cycle the 'a' is current.
+        assert history["nxt"][1 + NXT_STAGE] == 1
+        assert history["cur"][1 + CUR_STAGE] == 1
+        assert NXT_STAGE + 1 == CUR_STAGE
+
+
+class TestSharing:
+    def test_identical_sets_share(self):
+        nl, bank = _bank()
+        first = bank.cur(frozenset(b"q"))
+        second = bank.cur(frozenset(b"q"))
+        assert first is second  # replicas=1: same tap
+        assert bank.n_decoded_sets >= 1
+
+    def test_replicas_produce_distinct_taps(self):
+        nl, bank = _bank(DecoderOptions(replicas=2))
+        first = bank.cur(frozenset(b"q"))
+        second = bank.cur(frozenset(b"q"))
+        third = bank.cur(frozenset(b"q"))
+        assert first is not second
+        assert third is first  # round robin wraps
+
+    def test_replicas_are_equivalent(self):
+        nl, bank = _bank(DecoderOptions(replicas=2))
+        taps = {
+            "r0": bank.cur(frozenset(b"k")),
+            "r1": bank.cur(frozenset(b"k")),
+        }
+        history = _run_decode(nl, bank, taps, b"kok")
+        assert history["r0"] == history["r1"]
+
+    def test_nibble_sharing_reduces_gates(self):
+        nl_shared, bank_shared = _bank(DecoderOptions(nibble_sharing=True))
+        nl_plain, bank_plain = _bank(DecoderOptions(nibble_sharing=False))
+        chars = [frozenset([b]) for b in b"abcdefghij"]
+        for byte_set in chars:
+            bank_shared.cur(byte_set)
+            bank_plain.cur(byte_set)
+        assert nl_shared.n_gates < nl_plain.n_gates
+
+
+class TestArmingSignals:
+    def test_delim_or_idle_true_on_delimiter_and_idle(self):
+        nl, bank = _bank()
+        nl.output("hold", bank.cur_delim_or_idle())
+        sim = Simulator(nl)
+        data = b"a b"
+        frames = byte_stimulus(data, extra={"in_valid": 1})
+        idle = {f"data{b}": 0 for b in range(8)}
+        idle["in_valid"] = 0
+        frames += [dict(idle)] * (CUR_STAGE + 1)
+        values = [sim.step(f)["hold"] for f in frames]
+        assert values[0 + CUR_STAGE] == 0  # 'a'
+        assert values[1 + CUR_STAGE] == 1  # ' '
+        assert values[2 + CUR_STAGE] == 0  # 'b'
+        assert values[-1] == 1  # idle
+
+    def test_start_pulse_exactly_once(self):
+        nl, bank = _bank()
+        nl.output("start", bank.start_pulse)
+        sim = Simulator(nl)
+        frames = byte_stimulus(b"abc", extra={"in_valid": 1})
+        values = [sim.step(f)["start"] for f in frames]
+        values += [sim.step({"in_valid": 1})["start"] for _ in range(8)]
+        assert sum(values) == 1
+        assert values[CUR_STAGE] == 1
+
+    def test_bad_replica_count_rejected(self):
+        with pytest.raises(ValueError):
+            DecoderOptions(replicas=0)

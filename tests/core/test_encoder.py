@@ -1,0 +1,169 @@
+"""Token index encoders: equations 1–4 (OR tree), equation 5
+(priority masks), and the CASE-chain ablation."""
+
+import pytest
+
+from repro.core.encoder import (
+    assign_nested_indices,
+    build_case_encoder,
+    build_mask_encoder,
+    build_or_tree_encoder,
+)
+from repro.errors import EncoderError
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import Simulator
+
+
+def _encoder_rig(n_inputs: int, builder, **kwargs):
+    nl = Netlist("enc")
+    inputs = [nl.input(f"d{k}") for k in range(n_inputs)]
+    result = builder(nl, inputs, **kwargs)
+    for bit, net in enumerate(result.index_bits):
+        nl.output(f"i{bit}", net)
+    nl.output("v", result.valid)
+    nl.validate()
+    return nl, result
+
+
+def _read_index(sim, result, pulse_inputs, n_inputs):
+    """Pulse the given inputs for one cycle; read (index, valid)."""
+    frame = {f"d{k}": (1 if k in pulse_inputs else 0) for k in range(n_inputs)}
+    sim.step(frame)
+    zero = {f"d{k}": 0 for k in range(n_inputs)}
+    out = None
+    for _ in range(result.latency):
+        out = sim.step(zero)
+    index = sum(out[f"i{b}"] << b for b in range(result.width))
+    return index, out["v"]
+
+
+class TestOrTreeEncoder:
+    def test_fifteen_input_equations(self):
+        """The paper's 15-input example: input k encodes as index k."""
+        nl, result = _encoder_rig(15, build_or_tree_encoder)
+        assert result.width == 4
+        assert result.latency == 4
+        sim = Simulator(nl)
+        for k in range(15):
+            sim.reset()
+            index, valid = _read_index(sim, result, {k}, 15)
+            assert (index, valid) == (k + 1, 1), k
+
+    def test_no_input_no_valid(self):
+        nl, result = _encoder_rig(15, build_or_tree_encoder)
+        sim = Simulator(nl)
+        index, valid = _read_index(sim, result, set(), 15)
+        assert valid == 0
+
+    def test_simultaneous_inputs_or_their_indices(self):
+        """Hardware behaviour the equation-5 scheme builds on."""
+        nl, result = _encoder_rig(15, build_or_tree_encoder)
+        sim = Simulator(nl)
+        index, valid = _read_index(sim, result, {0, 2}, 15)  # 1 | 3
+        assert valid == 1
+        assert index == (1 | 3)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 16, 33])
+    def test_arbitrary_sizes(self, n):
+        nl, result = _encoder_rig(n, build_or_tree_encoder)
+        sim = Simulator(nl)
+        for k in (0, n // 2, n - 1):
+            sim.reset()
+            index, valid = _read_index(sim, result, {k}, n)
+            assert (index, valid) == (k + 1, 1)
+
+    def test_pipelined_one_gate_per_level(self):
+        """'the longest chain of gates in the index encoder becomes the
+        critical path' — ours keeps one gate level between registers."""
+        from repro.rtl.analysis import max_logic_depth
+
+        nl, _ = _encoder_rig(32, build_or_tree_encoder)
+        assert max_logic_depth(nl) <= 1
+
+    def test_empty_inputs_rejected(self):
+        nl = Netlist()
+        with pytest.raises(EncoderError):
+            build_or_tree_encoder(nl, [])
+
+
+class TestNestedIndices:
+    def test_nested_chain_property(self):
+        """Equation 5: OR of the group's indices = highest priority."""
+        indices = assign_nested_indices(6, [[0, 1, 2]])
+        group = [indices[0], indices[1], indices[2]]
+        assert group[0] | group[1] | group[2] == group[2]
+        assert group[0] | group[1] == group[1]
+        assert len(set(indices)) == 6
+        assert 0 not in indices
+
+    def test_multiple_groups(self):
+        indices = assign_nested_indices(8, [[0, 1], [2, 3, 4]])
+        assert indices[0] | indices[1] == indices[1]
+        assert indices[2] | indices[3] | indices[4] == indices[4]
+
+    def test_group_too_large_for_width(self):
+        with pytest.raises(EncoderError, match="equation 5"):
+            assign_nested_indices(4, [[0, 1, 2, 3]], width=3)
+
+    def test_width_grows_to_group(self):
+        # 5 conflicting tokens force a 5-bit index space.
+        indices = assign_nested_indices(5, [[0, 1, 2, 3, 4]])
+        assert max(indices).bit_length() == 5
+
+    def test_duplicate_membership_rejected(self):
+        with pytest.raises(EncoderError, match="two conflict groups"):
+            assign_nested_indices(4, [[0, 1], [1, 2]])
+
+
+class TestMaskEncoder:
+    def test_emits_assigned_indices(self):
+        indices = [1, 3, 7, 4]
+        nl, result = _encoder_rig(4, build_mask_encoder, indices=indices)
+        sim = Simulator(nl)
+        for k, expected in enumerate(indices):
+            sim.reset()
+            index, valid = _read_index(sim, result, {k}, 4)
+            assert (index, valid) == (expected, 1)
+
+    def test_priority_resolution_end_to_end(self):
+        """Simultaneous detections emit the highest-priority index."""
+        indices = assign_nested_indices(3, [[0, 1, 2]])
+        nl, result = _encoder_rig(3, build_mask_encoder, indices=indices)
+        sim = Simulator(nl)
+        index, valid = _read_index(sim, result, {0, 1, 2}, 3)
+        assert index == indices[2]  # highest priority member
+
+    def test_duplicate_indices_rejected(self):
+        nl = Netlist()
+        inputs = [nl.input("a"), nl.input("b")]
+        with pytest.raises(EncoderError, match="unique"):
+            build_mask_encoder(nl, inputs, [1, 1])
+
+    def test_length_mismatch_rejected(self):
+        nl = Netlist()
+        with pytest.raises(EncoderError):
+            build_mask_encoder(nl, [nl.input("a")], [1, 2])
+
+
+class TestCaseEncoder:
+    def test_functional_but_deep(self):
+        nl, result = _encoder_rig(9, build_case_encoder)
+        sim = Simulator(nl)
+        for k in (0, 4, 8):
+            sim.reset()
+            index, valid = _read_index(sim, result, {k}, 9)
+            assert (index, valid) == (k + 1, 1)
+
+    def test_highest_position_wins(self):
+        nl, result = _encoder_rig(9, build_case_encoder)
+        sim = Simulator(nl)
+        index, _ = _read_index(sim, result, {1, 6}, 9)
+        assert index == 7
+
+    def test_depth_grows_linearly(self):
+        """The §3.4 warning: the CASE chain is the critical path."""
+        from repro.rtl.analysis import max_logic_depth
+
+        nl_small, _ = _encoder_rig(4, build_case_encoder)
+        nl_large, _ = _encoder_rig(32, build_case_encoder)
+        assert max_logic_depth(nl_large) > max_logic_depth(nl_small) * 3

@@ -1,0 +1,110 @@
+"""§5.2 error detection and recovery, behavioral == gate-level."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.generator import TaggerGenerator, TaggerOptions
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.core.wiring import WiringOptions
+from repro.grammar.examples import if_then_else, xmlrpc
+
+RECOVERY = TaggerOptions(wiring=WiringOptions(error_recovery=True))
+
+
+@pytest.fixture(scope="module")
+def pair():
+    grammar = if_then_else()
+    behavioral = BehavioralTagger(grammar, RECOVERY)
+    gate = GateLevelTagger(TaggerGenerator(RECOVERY).generate(grammar))
+    return behavioral, gate
+
+
+class TestRecoverySemantics:
+    def test_clean_input_no_errors(self, pair):
+        behavioral, gate = pair
+        events, errors = behavioral.events_and_errors(
+            b"if true then go else stop"
+        )
+        assert errors == []
+        assert len(events) == 6
+
+    def test_parsing_resumes_after_junk(self, pair):
+        behavioral, _gate = pair
+        events, errors = behavioral.events_and_errors(
+            b"if true ??? go stop"
+        )
+        tokens = [e.occurrence.terminal.name for e in events]
+        # 'go' and 'stop' recovered after the junk span.
+        assert tokens == ["if", "true", "go", "stop"]
+        assert errors  # the junk was reported
+
+    def test_error_positions_point_at_junk(self, pair):
+        behavioral, _gate = pair
+        _events, errors = behavioral.events_and_errors(b"go !! stop")
+        assert errors == [4, 5]
+
+    def test_without_recovery_stream_stays_dead(self):
+        grammar = if_then_else()
+        plain = BehavioralTagger(grammar)
+        tokens = [t.token for t in plain.tag(b"if true ??? go stop")]
+        # no recovery: 'go'/'stop' were never re-armed mid-stream
+        assert tokens == ["if", "true"]
+
+    def test_requires_option(self):
+        plain = BehavioralTagger(if_then_else())
+        with pytest.raises(ValueError):
+            plain.events_and_errors(b"go")
+
+    def test_gate_requires_option(self):
+        gate = GateLevelTagger(TaggerGenerator().generate(if_then_else()))
+        with pytest.raises(ValueError):
+            gate.error_positions(b"go")
+
+
+class TestHardwareEquivalence:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"if true ??? go stop",
+            b"go !! stop",
+            b"##",
+            b"if true then go else stop",
+            b"?? if true then go else stop ??",
+            b"go",
+            b"",
+        ],
+    )
+    def test_events_and_errors_match(self, pair, data):
+        behavioral, gate = pair
+        events, errors = behavioral.events_and_errors(data)
+        assert gate.events(data) == events, data
+        assert gate.error_positions(data) == errors, data
+
+    @given(
+        data=st.text(alphabet="gostp?! ", min_size=0, max_size=16).map(
+            lambda s: s.encode()
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_junk_equivalence(self, pair, data):
+        behavioral, gate = pair
+        events, errors = behavioral.events_and_errors(data)
+        assert gate.events(data) == events
+        assert gate.error_positions(data) == errors
+
+
+class TestXmlRpcRecovery:
+    def test_corrupt_message_resyncs_on_next(self):
+        grammar = xmlrpc()
+        behavioral = BehavioralTagger(grammar, RECOVERY)
+        good = (
+            b"<methodCall><methodName>buy</methodName>"
+            b"<params></params></methodCall>"
+        )
+        corrupted = good[:20] + b"@@@@" + good
+        events, errors = behavioral.events_and_errors(corrupted)
+        assert errors  # corruption detected
+        closers = [
+            e for e in events if e.occurrence.terminal.name == "</methodCall>"
+        ]
+        assert len(closers) == 1  # the second message parsed completely

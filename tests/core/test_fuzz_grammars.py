@@ -1,0 +1,198 @@
+"""Random-grammar fuzzing: the architecture holds for arbitrary CFGs.
+
+Two properties over hypothesis-generated grammars:
+
+1. **Model equivalence** — the behavioral tagger and the generated
+   gate-level netlist produce identical detection events on derived
+   sentences and on mutated (non-conforming) variants.
+2. **Completeness** — every token of a valid derivation is detected
+   (the tagger accepts a superset of the language, so valid sentences
+   are always fully tagged).
+"""
+
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.generator import TaggerGenerator
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.errors import GrammarError
+from repro.grammar.cfg import Grammar
+from repro.grammar.lexspec import LexSpec
+from repro.grammar.symbols import NonTerminal, Terminal
+
+_TERMINAL_CHARS = "abcdefgh"
+
+
+@st.composite
+def random_grammars(draw):
+    """Small acyclic grammars over prefix-free single-char tokens."""
+    n_terminals = draw(st.integers(2, 6))
+    n_nonterminals = draw(st.integers(1, 4))
+    lexspec = LexSpec()
+    terminals = []
+    for char in _TERMINAL_CHARS[:n_terminals]:
+        lexspec.define_literal(char)
+        terminals.append(Terminal(char))
+    grammar = Grammar("fuzz", lexspec)
+    nonterminals = [NonTerminal(f"S{i}") for i in range(n_nonterminals)]
+
+    for i, lhs in enumerate(nonterminals):
+        n_productions = draw(st.integers(1, 3))
+        for _ in range(n_productions):
+            length = draw(st.integers(0, 4))
+            rhs = []
+            for _ in range(length):
+                # Lower-indexed NTs only: acyclic, so derivations end.
+                deeper = nonterminals[i + 1 :]
+                if deeper and draw(st.booleans()):
+                    rhs.append(draw(st.sampled_from(deeper)))
+                else:
+                    rhs.append(draw(st.sampled_from(terminals)))
+            grammar.add(lhs, rhs)
+    grammar.start = nonterminals[0]
+    try:
+        grammar.validate()
+    except GrammarError:
+        assume(False)
+    # The tagger needs at least one terminal occurrence.
+    assume(grammar.used_terminals())
+    return grammar
+
+
+def _derive(grammar: Grammar, rng: random.Random, spaced: bool) -> bytes:
+    """One random sentence of the grammar (acyclic, so this ends)."""
+    out: list[bytes] = []
+
+    def expand(symbol) -> None:
+        if isinstance(symbol, Terminal):
+            out.append(symbol.name.encode())
+            return
+        production = rng.choice(grammar.productions_for(symbol))
+        for child in production.rhs:
+            expand(child)
+
+    assert grammar.start is not None
+    expand(grammar.start)
+    separator = b" " if spaced else b""
+    return separator.join(out)
+
+
+@given(
+    grammar=random_grammars(),
+    seed=st.integers(0, 10_000),
+    spaced=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_models_agree_on_derivations(grammar, seed, spaced):
+    rng = random.Random(seed)
+    behavioral = BehavioralTagger(grammar)
+    gate = GateLevelTagger(TaggerGenerator().generate(grammar))
+    for _ in range(3):
+        sentence = _derive(grammar, rng, spaced)
+        assert behavioral.events(sentence) == gate.events(sentence), sentence
+
+
+@given(
+    grammar=random_grammars(),
+    seed=st.integers(0, 10_000),
+    junk=st.text(alphabet=_TERMINAL_CHARS + "xz ", max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_models_agree_on_mutations(grammar, seed, junk):
+    """Equivalence must hold on junk too, not just valid input."""
+    rng = random.Random(seed)
+    behavioral = BehavioralTagger(grammar)
+    gate = GateLevelTagger(TaggerGenerator().generate(grammar))
+    sentence = bytearray(_derive(grammar, rng, spaced=True))
+    insert_at = rng.randrange(len(sentence) + 1)
+    mutated = bytes(sentence[:insert_at]) + junk.encode() + bytes(
+        sentence[insert_at:]
+    )
+    assert behavioral.events(mutated) == gate.events(mutated)
+
+
+@given(
+    grammar=random_grammars(),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_follow_sets_sound_on_derivations(grammar, seed):
+    """Fig. 8 soundness: adjacent tokens of any derivation respect the
+    computed Follow sets (the property the Fig. 11 wiring relies on)."""
+    from repro.grammar.analysis import analyze_grammar
+    from repro.grammar.symbols import END
+
+    analysis = analyze_grammar(grammar)
+    rng = random.Random(seed)
+    tokens: list[Terminal] = []
+
+    def expand(symbol):
+        if isinstance(symbol, Terminal):
+            tokens.append(symbol)
+            return
+        for child in rng.choice(grammar.productions_for(symbol)).rhs:
+            expand(child)
+
+    expand(grammar.start)
+    for current, following in zip(tokens, tokens[1:]):
+        assert following in analysis.follow[current], (current, following)
+    if tokens:
+        assert tokens[0] in analysis.start_terminals
+        assert END in analysis.follow[tokens[-1]]
+
+
+@given(
+    grammar=random_grammars(),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_stack_tagger_accepts_all_derivations(grammar, seed):
+    """§5.2 stack tagger: complete derivations are always accepted."""
+    from repro.core.stack import StackTagger
+
+    rng = random.Random(seed)
+    tokens: list[bytes] = []
+
+    def expand(symbol):
+        if isinstance(symbol, Terminal):
+            tokens.append(symbol.name.encode())
+            return
+        for child in rng.choice(grammar.productions_for(symbol)).rhs:
+            expand(child)
+
+    expand(grammar.start)
+    data = b" ".join(tokens)
+    assume(data)  # the empty sentence has no tokens to tag
+    assert StackTagger(grammar, max_depth=32, max_threads=256).accepts(data)
+
+
+@given(
+    grammar=random_grammars(),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_valid_derivations_fully_tagged(grammar, seed):
+    """Superset acceptance: every derived token is detected."""
+    rng = random.Random(seed)
+    behavioral = BehavioralTagger(grammar)
+    sentence_tokens: list[bytes] = []
+
+    def expand(symbol):
+        if isinstance(symbol, Terminal):
+            sentence_tokens.append(symbol.name.encode())
+            return
+        for child in rng.choice(grammar.productions_for(symbol)).rhs:
+            expand(child)
+
+    expand(grammar.start)
+    data = b" ".join(sentence_tokens)
+    detected = {
+        (event.end, event.occurrence.terminal.name)
+        for event in behavioral.events(data)
+    }
+    position = 0
+    for token in sentence_tokens:
+        end = position + len(token)
+        assert (end, token.decode()) in detected, (data, token, end)
+        position = end + 1  # the joining space

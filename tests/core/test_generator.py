@@ -1,0 +1,104 @@
+"""Whole-tagger generation: ports, metadata, options plumbing."""
+
+import pytest
+
+from repro.core.generator import TaggerGenerator, TaggerOptions
+from repro.core.decoder import DecoderOptions
+from repro.core.wiring import WiringOptions
+from repro.errors import GenerationError
+
+
+class TestCircuitShape:
+    def test_ports_present(self, ite_grammar):
+        circuit = TaggerGenerator().generate(ite_grammar)
+        outputs = circuit.netlist.outputs
+        assert "match_valid" in outputs
+        assert "accept" in outputs
+        assert any(name.startswith("index") for name in outputs)
+        assert any(name.startswith("det_") for name in outputs)
+        inputs = {net.name for net in circuit.netlist.inputs}
+        assert inputs == {f"data{b}" for b in range(8)} | {"in_valid"}
+
+    def test_detect_port_per_occurrence(self, xmlrpc_grammar):
+        circuit = TaggerGenerator().generate(xmlrpc_grammar)
+        assert len(circuit.detect_ports) == len(circuit.occurrences)
+
+    def test_encoder_metadata(self, ite_grammar):
+        circuit = TaggerGenerator().generate(ite_grammar)
+        first = circuit.occurrences[0]
+        index = circuit.index_of(first)
+        assert index == 1
+        assert circuit.occurrence_of_index(index) == first
+        assert circuit.occurrence_of_index(999) is None
+
+    def test_latencies(self, ite_grammar):
+        circuit = TaggerGenerator().generate(ite_grammar)
+        assert circuit.index_latency == (
+            circuit.detect_latency + circuit.encoder.latency
+        )
+
+    def test_pattern_bytes_counts_used_tokens(self, xmlrpc_grammar):
+        circuit = TaggerGenerator().generate(xmlrpc_grammar)
+        assert circuit.pattern_bytes() == 289
+
+    def test_describe(self, ite_grammar):
+        text = TaggerGenerator().generate(ite_grammar).describe()
+        assert "7 tokenizers" in text
+
+
+class TestOptions:
+    def test_no_encoder(self, ite_grammar):
+        options = TaggerOptions(encoder_style="none")
+        circuit = TaggerGenerator(options).generate(ite_grammar)
+        assert circuit.encoder is None
+        assert "match_valid" not in circuit.netlist.outputs
+        assert circuit.index_of(circuit.occurrences[0]) is None
+        with pytest.raises(GenerationError):
+            _ = circuit.index_latency
+
+    def test_priority_encoder(self, xmlrpc_grammar):
+        options = TaggerOptions(encoder_style="priority")
+        circuit = TaggerGenerator(options).generate(xmlrpc_grammar)
+        assert circuit.encoder.style == "mask"
+        indices = list(circuit.encoder.index_of_input.values())
+        assert len(set(indices)) == len(indices)
+
+    def test_case_encoder(self, ite_grammar):
+        options = TaggerOptions(encoder_style="case")
+        circuit = TaggerGenerator(options).generate(ite_grammar)
+        assert circuit.encoder.style == "case-chain"
+
+    def test_unknown_encoder_rejected(self, ite_grammar):
+        options = TaggerOptions(encoder_style="bogus")  # type: ignore[arg-type]
+        with pytest.raises(GenerationError, match="unknown encoder"):
+            TaggerGenerator(options).generate(ite_grammar)
+
+    def test_no_detect_ports(self, ite_grammar):
+        options = TaggerOptions(expose_detects=False, expose_accept=False)
+        circuit = TaggerGenerator(options).generate(ite_grammar)
+        assert not circuit.detect_ports
+        assert "accept" not in circuit.netlist.outputs
+
+    def test_decoder_options_flow_through(self, ite_grammar):
+        options = TaggerOptions(
+            decoder=DecoderOptions(nibble_sharing=False, replicas=2)
+        )
+        circuit = TaggerGenerator(options).generate(ite_grammar)
+        circuit.netlist.validate()
+
+    def test_custom_netlist_name(self, ite_grammar):
+        circuit = TaggerGenerator().generate(ite_grammar, name="custom")
+        assert circuit.netlist.name == "custom"
+
+
+class TestDeterminism:
+    def test_generation_is_deterministic(self, xmlrpc_grammar):
+        from repro.grammar.examples import xmlrpc
+
+        first = TaggerGenerator().generate(xmlrpc())
+        second = TaggerGenerator().generate(xmlrpc())
+        assert first.netlist.n_gates == second.netlist.n_gates
+        assert first.netlist.n_registers == second.netlist.n_registers
+        assert [str(o) for o in first.occurrences] == [
+            str(o) for o in second.occurrences
+        ]

@@ -1,0 +1,185 @@
+"""§5.2 stack extension: behavioral PDA tagger and the hardware
+counter-stack checker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.generator import TaggerGenerator
+from repro.core.stack import StackTagger
+from repro.core.stack_hw import (
+    attach_depth_checker,
+    run_with_checker,
+    self_embedding_pairs,
+)
+from repro.errors import GenerationError, GrammarError, ParseError
+from repro.grammar.examples import balanced_parens, if_then_else, xmlrpc
+from repro.grammar.symbols import Terminal
+from repro.grammar.yacc_parser import parse_yacc_grammar
+
+
+class TestStackTaggerParens:
+    @pytest.fixture(scope="class")
+    def tagger(self):
+        return StackTagger(balanced_parens())
+
+    @pytest.mark.parametrize("data", [b"0", b"(0)", b"((0))", b"( ( 0 ) )"])
+    def test_accepts_balanced(self, tagger, data):
+        assert tagger.accepts(data)
+
+    @pytest.mark.parametrize(
+        "data", [b"((0)", b"(0))", b"()", b"", b")0(", b"(((0"]
+    )
+    def test_rejects_unbalanced(self, tagger, data):
+        assert not tagger.accepts(data)
+
+    def test_depth_tags(self, tagger):
+        depths = [s.depth for s in tagger.run(b"((0))")]
+        assert depths == [0, 1, 2, 1, 0]
+
+    def test_max_observed_depth(self, tagger):
+        assert tagger.max_observed_depth(b"(((0)))") == 3
+
+    def test_superset_gap_closed(self, tagger):
+        """Exactly the strings the FSA over-accepts are now rejected."""
+        from repro.core.tagger import BehavioralTagger
+
+        fsa = BehavioralTagger(balanced_parens())
+        for data in (b"((0)", b"(0))"):
+            # the stack-less tagger happily tags every token ...
+            assert len(fsa.tag(data)) == sum(1 for b in data if b in b"()0")
+            # ... the stack tagger rejects the sentence.
+            assert not tagger.accepts(data)
+
+
+class TestStackTaggerGeneral:
+    def test_ite_nested_depths(self):
+        tagger = StackTagger(if_then_else())
+        stacked = tagger.run(
+            b"if true then if false then go else go else stop"
+        )
+        by_token = [(s.token.token, s.depth) for s in stacked]
+        # inner and outer else now distinguishable by depth
+        else_depths = [d for t, d in by_token if t == "else"]
+        assert else_depths == [1, 0]
+
+    def test_rejects_illegal_transitions(self):
+        tagger = StackTagger(if_then_else())
+        with pytest.raises(ParseError):
+            tagger.run(b"if then go")
+        assert not tagger.accepts(b"go stop")  # trailing token
+
+    def test_xmlrpc_message(self, xmlrpc_message):
+        tagger = StackTagger(xmlrpc())
+        tokens = tagger.tag(xmlrpc_message)
+        assert tokens[0].token == "<methodCall>"
+        assert tokens[-1].token == "</methodCall>"
+
+    def test_xmlrpc_matches_ll1(self, xmlrpc_message):
+        from repro.software.ll1 import LL1Parser
+
+        stack_tokens = StackTagger(xmlrpc()).tag(xmlrpc_message)
+        ll1_tokens = LL1Parser(xmlrpc()).parse(xmlrpc_message).tokens
+        assert [
+            (t.token, t.occurrence, t.start, t.end) for t in stack_tokens
+        ] == [(t.token, t.occurrence, t.start, t.end) for t in ll1_tokens]
+
+    def test_stream_mode(self):
+        tagger = StackTagger(balanced_parens(), stream=True)
+        assert tagger.accepts(b"(0) 0 ((0))")
+        assert not tagger.accepts(b"(0) (0")
+
+    def test_left_recursion_detected(self):
+        g = parse_yacc_grammar(
+            """
+            %%
+            e: e "+" t | t;
+            t: "x";
+            %%
+            """
+        )
+        tagger = StackTagger(g, max_depth=8)
+        with pytest.raises(GrammarError, match="left-recursive"):
+            tagger.accepts(b"x")
+
+
+@st.composite
+def paren_strings(draw):
+    depth = draw(st.integers(0, 6))
+    spaces = draw(st.booleans())
+    sep = b" " if spaces else b""
+    return sep.join([b"("] * depth + [b"0"] + [b")"] * depth)
+
+
+class TestStackTaggerProperties:
+    @given(data=paren_strings())
+    @settings(max_examples=40, deadline=None)
+    def test_all_balanced_accepted(self, data):
+        assert StackTagger(balanced_parens(), max_depth=16).accepts(data)
+
+    @given(
+        opens=st.integers(0, 5),
+        closes=st.integers(0, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_membership_is_exactly_balance(self, opens, closes):
+        data = b"(" * opens + b"0" + b")" * closes
+        tagger = StackTagger(balanced_parens(), max_depth=16)
+        assert tagger.accepts(data) == (opens == closes)
+
+
+class TestHardwareDepthChecker:
+    @pytest.fixture(scope="class")
+    def checked_circuit(self):
+        circuit = TaggerGenerator().generate(balanced_parens())
+        attach_depth_checker(circuit, depth=8)
+        return circuit
+
+    def test_self_embedding_detection(self):
+        pushes, pops = self_embedding_pairs(balanced_parens())
+        assert pushes == {Terminal("(")}
+        assert pops == {Terminal(")")}
+
+    def test_ite_is_self_embedding_too(self):
+        # E → if C then E else E embeds E with 'else' still owed.
+        pushes, pops = self_embedding_pairs(if_then_else())
+        assert Terminal("then") in pushes
+        assert pops == {Terminal("else")}
+
+    def test_not_applicable_without_embedding(self):
+        right_recursive = parse_yacc_grammar(
+            """
+            %%
+            list: | "x" list;
+            %%
+            """
+        )
+        with pytest.raises(GenerationError, match="self-embedding"):
+            self_embedding_pairs(right_recursive)
+
+    @pytest.mark.parametrize(
+        "data,accepted",
+        [
+            (b"0", True),
+            (b"(0)", True),
+            (b"((0))", True),
+            (b"( ( 0 ) )", True),
+            (b"((0)", False),   # unclosed: not balanced at end
+            (b"(0))", False),   # extra closer: hardware underflow
+            (b"(((0", False),
+        ],
+    )
+    def test_hardware_verdicts(self, checked_circuit, data, accepted):
+        run = run_with_checker(checked_circuit, data)
+        assert run.accepted == accepted, data
+
+    def test_agrees_with_behavioral_stack(self, checked_circuit):
+        soft = StackTagger(balanced_parens())
+        for data in (b"0", b"(0)", b"((0)", b"(0))", b"((((0))))"):
+            hard = run_with_checker(checked_circuit, data).accepted
+            assert hard == soft.accepts(data), data
+
+    def test_overflow_flag(self):
+        circuit = TaggerGenerator().generate(balanced_parens())
+        attach_depth_checker(circuit, depth=2)
+        run = run_with_checker(circuit, b"(((0)))")
+        assert run.stack_error  # nesting exceeded the hardware depth

@@ -1,0 +1,109 @@
+"""The PDA → FSA collapse (Fig. 2): superset acceptance.
+
+"Without implementing stacks, the parser is not a true CFG parser. On
+the other hand, our design can parse a language that is a superset of
+the grammar." (§3.1)
+"""
+
+import pytest
+
+from repro.core.tagger import BehavioralTagger
+from repro.errors import ParseError
+from repro.software.ll1 import LL1Parser
+
+
+@pytest.fixture(scope="module")
+def tagger(request):
+    from repro.grammar.examples import balanced_parens
+
+    return BehavioralTagger(balanced_parens())
+
+
+@pytest.fixture(scope="module")
+def true_parser():
+    from repro.grammar.examples import balanced_parens
+
+    return LL1Parser(balanced_parens())
+
+
+def _tagged(tagger, data):
+    return [t.token for t in tagger.tag(data)]
+
+
+class TestLanguageMembers:
+    """Strings in the language: tagger and true parser agree."""
+
+    @pytest.mark.parametrize(
+        "data", [b"0", b"(0)", b"((0))", b"(((0)))", b"( ( 0 ) )"]
+    )
+    def test_balanced_fully_tagged(self, tagger, true_parser, data):
+        tokens = _tagged(tagger, data)
+        n_symbols = sum(1 for b in data if b in b"()0")
+        assert len(tokens) == n_symbols
+        parsed = true_parser.parse(data)
+        assert [t.token for t in parsed.tokens] == tokens
+
+
+class TestSupersetMembers:
+    """Locally legal but unbalanced: only the tagger accepts."""
+
+    @pytest.mark.parametrize("data", [b"((0)", b"(((0", b"(0"])
+    def test_unbalanced_still_streams(self, tagger, true_parser, data):
+        tokens = _tagged(tagger, data)
+        n_symbols = sum(1 for b in data if b in b"()0")
+        assert len(tokens) == n_symbols  # every token tagged
+        with pytest.raises(ParseError):
+            true_parser.parse(data)
+
+    def test_extra_closers_restart_stream(self, tagger, true_parser):
+        # "0))" : '0' ends a sentence; one ')' is in FOLLOW(0) and one
+        # more in FOLLOW(')'), so the FSA keeps tagging. The true
+        # parser rejects.
+        tokens = _tagged(tagger, b"0))")
+        assert tokens == ["0", ")", ")"]
+        with pytest.raises(ParseError):
+            true_parser.parse(b"0))")
+
+
+class TestNonMembers:
+    """Locally illegal transitions are caught even without a stack."""
+
+    def test_close_after_open(self, tagger):
+        # ')' never follows '(' in any sentential form.
+        assert _tagged(tagger, b"()") == ["("]
+
+    def test_zero_after_zero(self, tagger):
+        # '0' may not follow '0' *within* a sentence; it can only start
+        # a new one (loop-on-accept), which is itself legal streaming.
+        tokens = tagger.tag(b"0 0")
+        assert [t.token for t in tokens] == ["0", "0"]
+
+    def test_if_then_else_illegal_transition(self):
+        from repro.grammar.examples import if_then_else
+
+        tagger = BehavioralTagger(if_then_else())
+        # "then" cannot follow "if" (a C must intervene).
+        tokens = [t.token for t in tagger.tag(b"if then")]
+        assert tokens == ["if"]
+
+
+class TestParallelDisambiguation:
+    """"if multiple transitions takes place, all of them can be
+    executed in parallel. In most cases, due to the context of the
+    data, only the correct transition path will be allowed to
+    continue." (§3.3)"""
+
+    def test_nested_if_contexts(self):
+        from repro.grammar.examples import if_then_else
+
+        tagger = BehavioralTagger(if_then_else())
+        data = b"if true then if false then go else stop else go"
+        tokens = tagger.tag(data)
+        assert [t.token for t in tokens] == [
+            "if", "true", "then", "if", "false", "then",
+            "go", "else", "stop", "else", "go",
+        ]
+        # With the stack collapsed, inner and outer "else" share one
+        # occurrence tag — the superset behaviour, not an error.
+        contexts = {t.context for t in tokens if t.token == "else"}
+        assert len(contexts) == 1

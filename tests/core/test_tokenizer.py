@@ -1,0 +1,212 @@
+"""Single-tokenizer hardware vs the software longest-match oracle.
+
+Each test builds a one-token circuit (enable = start pulse or const 1)
+and compares the detect pulses on the output pin against Glushkov/NFA
+longest-match semantics — Figs. 6 and 7 of the paper.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decoder import DecoderBank, DecoderOptions
+from repro.core.tokenizer import (
+    DETECT_LATENCY,
+    TokenizerTemplateOptions,
+    build_tokenizer,
+)
+from repro.grammar.lexspec import LexSpec
+from repro.grammar.regex.glushkov import build_glushkov
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import Simulator, stimulus_with_valid
+
+WHITESPACE = frozenset(b" \t\r\n")
+
+
+def _single_token_circuit(
+    pattern: str,
+    always_enabled: bool = True,
+    options: TokenizerTemplateOptions | None = None,
+    delimiters=WHITESPACE,
+    literal: str | None = None,
+):
+    nl = Netlist("one")
+    bank = DecoderBank(nl, delimiters)
+    spec = LexSpec()
+    token = (
+        spec.define_literal(literal)
+        if literal is not None
+        else spec.define("TOK", pattern)
+    )
+    enable = nl.const(1) if always_enabled else bank.start_pulse
+    instance = build_tokenizer(
+        nl, bank, token, enable, "tok", options=options
+    )
+    nl.output("det", instance.detect)
+    nl.validate()
+    return nl, instance
+
+
+def _detect_ends(nl, data: bytes) -> list[int]:
+    """End positions (exclusive) where the detect pin pulsed."""
+    sim = Simulator(nl)
+    ends = []
+    for cycle, frame in enumerate(stimulus_with_valid(data, DETECT_LATENCY + 2)):
+        if sim.step(frame)["det"]:
+            ends.append(cycle - DETECT_LATENCY + 1)
+    return ends
+
+
+class TestFixedStrings:
+    def test_simple_string_detects_once(self):
+        nl, _ = _single_token_circuit(None, literal="abc")
+        assert _detect_ends(nl, b"xxabcxx") == [5]
+
+    def test_multiple_occurrences(self):
+        nl, _ = _single_token_circuit(None, literal="ab")
+        assert _detect_ends(nl, b"ab ab ab") == [2, 5, 8]
+
+    def test_overlapping_starts(self):
+        nl, _ = _single_token_circuit(None, literal="aa")
+        # always-enabled: matches at every alignment
+        assert _detect_ends(nl, b"aaaa") == [2, 3, 4]
+
+    def test_xml_tag(self):
+        nl, _ = _single_token_circuit(None, literal="<i4>")
+        assert _detect_ends(nl, b"<i4>7</i4>") == [4]
+
+
+class TestRegexTemplates:
+    def test_one_or_more_longest_only(self):
+        """Fig. 7: a+ fires once, at the end of the run."""
+        nl, _ = _single_token_circuit("a+")
+        assert _detect_ends(nl, b"aaa b") == [3]
+
+    def test_one_or_more_every_cycle_without_lookahead(self):
+        """Fig. 6d without Fig. 7: detection at every cycle."""
+        nl, _ = _single_token_circuit(
+            "a+", options=TokenizerTemplateOptions(longest_match=False)
+        )
+        assert _detect_ends(nl, b"aaa b") == [1, 2, 3]
+
+    def test_optional_prefix(self):
+        nl, _ = _single_token_circuit("[+-]?[0-9]+")
+        assert _detect_ends(nl, b"+12 7") == [3, 5]
+
+    def test_alternation(self):
+        nl, _ = _single_token_circuit("cat|dog")
+        assert _detect_ends(nl, b"dog cat") == [3, 7]
+
+    def test_not_single_char(self):
+        """Fig. 6b: !a matches any single non-'a' character."""
+        nl, _ = _single_token_circuit("!a")
+        ends = _detect_ends(nl, b"ab")
+        assert 2 in ends and 1 not in ends
+
+    def test_zero_or_more_tail(self):
+        nl, _ = _single_token_circuit("ab*")
+        assert _detect_ends(nl, b"abb a") == [3, 5]
+
+    def test_double_pattern(self):
+        nl, _ = _single_token_circuit(r"[+-]?[0-9]+\.[0-9]+")
+        assert _detect_ends(nl, b"-3.50 ") == [5]
+
+
+class TestArming:
+    """The delimiter-stall of §3.2 ("only the first register of each
+    token is stalled")."""
+
+    def test_start_once_token_at_offset_not_found(self):
+        nl, _ = _single_token_circuit(None, literal="go", always_enabled=False)
+        # enabled once at stream start; "go" at offset 3 is not armed
+        assert _detect_ends(nl, b"xx go") == []
+
+    def test_arming_survives_delimiter_run(self):
+        nl, _ = _single_token_circuit(None, literal="go", always_enabled=False)
+        assert _detect_ends(nl, b"   go") == [5]
+
+    def test_armed_consumed_by_first_nondelim(self):
+        nl, _ = _single_token_circuit(None, literal="go", always_enabled=False)
+        # 'x' consumes the arming; the later "go" must not match
+        assert _detect_ends(nl, b"  x go") == []
+
+    def test_partial_tokens_not_joined_across_delimiter(self):
+        """'two partial tokens separated by a delimiter could be
+        recognized as a single token' — must NOT happen."""
+        nl, _ = _single_token_circuit(None, literal="ab", always_enabled=False)
+        assert _detect_ends(nl, b"a b") == []
+
+    def test_immediate_start_no_delimiter_needed(self):
+        nl, _ = _single_token_circuit(None, literal="go", always_enabled=False)
+        assert _detect_ends(nl, b"go") == [2]
+
+
+class TestKeywordBoundary:
+    def test_keyword_inside_longer_word(self):
+        nl, _ = _single_token_circuit(None, literal="go")
+        # paper's default behaviour: fires inside "gone"
+        assert _detect_ends(nl, b"gone") == [2]
+
+    def test_boundary_option_suppresses(self):
+        nl, _ = _single_token_circuit(
+            None,
+            literal="go",
+            options=TokenizerTemplateOptions(keyword_boundary=True),
+        )
+        assert _detect_ends(nl, b"gone") == []
+        nl2, _ = _single_token_circuit(
+            None,
+            literal="go",
+            options=TokenizerTemplateOptions(keyword_boundary=True),
+        )
+        assert _detect_ends(nl2, b"go on") == [2]
+
+
+class TestEndOfStream:
+    def test_trailing_repeat_fires_at_stream_end(self):
+        """The look-ahead must not block detection at end of input."""
+        nl, _ = _single_token_circuit("[0-9]+")
+        assert _detect_ends(nl, b"123") == [3]
+
+
+# ----------------------------------------------------------------------
+# property: hardware detects == software longest-match semantics
+# ----------------------------------------------------------------------
+_patterns = st.sampled_from(
+    ["a+", "ab", "[ab]+", "a?b", "(a|b)c", "[0-9]+", "ab*a?"]
+)
+
+
+@given(
+    pattern=_patterns,
+    data=st.text(alphabet="ab01 c", min_size=1, max_size=12).map(
+        lambda s: s.encode()
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_always_enabled_matches_oracle(pattern, data):
+    """Always-enabled tokenizer == all positions' longest matches with
+    the per-cycle hardware report semantics."""
+    nl, _instance = _single_token_circuit(pattern)
+    auto = build_glushkov(
+        __import__("repro.grammar.regex.parser", fromlist=["parse_regex"])
+        .parse_regex(pattern)
+    )
+    # Oracle: an end position e is detected iff some start s gives a
+    # match s..e that cannot be extended to s..e+1 (longest-match rule
+    # applied per last position, as the hardware does).
+    expected: set[int] = set()
+    for start in range(len(data)):
+        active = set(auto.first)
+        for offset in range(start, len(data)):
+            byte = data[offset]
+            consumed = {p for p in active if byte in auto.position_bytes[p]}
+            if not consumed:
+                break
+            for p in consumed & auto.last:
+                nxt = data[offset + 1] if offset + 1 < len(data) else None
+                if nxt is None or nxt not in auto.extension_bytes(p):
+                    expected.add(offset + 1)
+            active = set()
+            for p in consumed:
+                active |= auto.follow[p]
+    assert set(_detect_ends(nl, data)) == expected

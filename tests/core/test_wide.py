@@ -1,0 +1,115 @@
+"""Wide-datapath tagger (§5.2): equivalence and scaling structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tagger import BehavioralTagger
+from repro.core.wide import (
+    WideGateLevelTagger,
+    WideTaggerCircuit,
+    WideTaggerGenerator,
+)
+from repro.errors import GenerationError
+from repro.grammar.examples import balanced_parens, if_then_else, xmlrpc
+
+
+def _key(events):
+    return sorted((e.end, str(e.occurrence)) for e in events)
+
+
+@pytest.fixture(scope="module")
+def ite_wide():
+    grammar = if_then_else()
+    return {
+        W: WideGateLevelTagger(WideTaggerGenerator(W).generate(grammar))
+        for W in (1, 2, 4)
+    }, BehavioralTagger(grammar)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("lanes", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"if true then go else stop",
+            b"go",
+            b"",
+            b"   stop",
+            b"iffy go gone",
+            b"if true then if false then go else go else stop",
+        ],
+    )
+    def test_matches_byte_serial(self, ite_wide, lanes, data):
+        wides, behavioral = ite_wide
+        assert _key(wides[lanes].events(data)) == _key(behavioral.events(data))
+
+    @pytest.mark.parametrize("lanes", [2, 4, 8])
+    def test_xmlrpc_message(self, lanes, xmlrpc_message):
+        grammar = xmlrpc()
+        wide = WideGateLevelTagger(WideTaggerGenerator(lanes).generate(grammar))
+        behavioral = BehavioralTagger(grammar)
+        assert _key(wide.events(xmlrpc_message)) == _key(
+            behavioral.events(xmlrpc_message)
+        )
+
+    def test_tokens_entirely_within_one_beat(self):
+        """Several 1-char tokens chained inside a single beat."""
+        grammar = balanced_parens()
+        wide = WideGateLevelTagger(WideTaggerGenerator(8).generate(grammar))
+        behavioral = BehavioralTagger(grammar)
+        for data in (b"((0))", b"(0)", b"0"):
+            assert _key(wide.events(data)) == _key(behavioral.events(data))
+
+    def test_unaligned_tail(self, ite_wide):
+        wides, behavioral = ite_wide
+        data = b"go else stop"  # 12 bytes: ragged for W=8 but fine for 4
+        assert _key(wides[4].events(data)) == _key(behavioral.events(data))
+
+    @given(
+        data=st.text(alphabet="gost p", min_size=0, max_size=13).map(
+            lambda s: s.encode()
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_equivalence_w4(self, ite_wide, data):
+        wides, behavioral = ite_wide
+        assert _key(wides[4].events(data)) == _key(behavioral.events(data))
+
+
+class TestStructure:
+    def test_lane_count_validated(self):
+        with pytest.raises(GenerationError):
+            WideTaggerGenerator(0)
+
+    def test_ports_per_lane(self, ite_wide):
+        wides, _ = ite_wide
+        circuit: WideTaggerCircuit = wides[4].circuit
+        assert len(circuit.detect_ports) == len(circuit.occurrences) * 4
+        inputs = {net.name for net in circuit.netlist.inputs}
+        assert "l0_data0" in inputs and "l3_valid" in inputs
+
+    def test_depth_grows_with_lanes(self):
+        from repro.rtl.analysis import max_logic_depth
+
+        grammar = if_then_else()
+        depth1 = max_logic_depth(WideTaggerGenerator(1).generate(grammar).netlist)
+        depth4 = max_logic_depth(WideTaggerGenerator(4).generate(grammar).netlist)
+        assert depth4 > depth1
+
+    def test_bandwidth_tradeoff(self):
+        """Frequency falls but net bandwidth rises with lane count."""
+        from repro.fpga import get_device, techmap
+        from repro.fpga.timing import analyze_timing
+
+        grammar = if_then_else()
+        device = get_device("virtex4-lx200")
+        results = {}
+        for lanes in (1, 4):
+            circuit = WideTaggerGenerator(lanes).generate(grammar)
+            timing = analyze_timing(techmap(circuit.netlist), device)
+            results[lanes] = (
+                timing.frequency_mhz,
+                timing.frequency_mhz * 8 * lanes,
+            )
+        assert results[4][0] < results[1][0]  # slower clock
+        assert results[4][1] > results[1][1]  # more bandwidth

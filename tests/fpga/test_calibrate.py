@@ -1,0 +1,61 @@
+"""Calibration audit: the committed device constants re-derive."""
+
+import pytest
+
+from repro.fpga.calibrate import (
+    VIRTEX4_ANCHORS,
+    calibration_report,
+    fit_virtex4,
+    fit_virtexe_scale,
+)
+from repro.fpga.device import VIRTEX4_LX200, VIRTEXE_2000
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return fit_virtex4()
+
+
+class TestVirtex4Fit:
+    def test_reproduces_committed_constants(self, fitted):
+        r_base, r_fanout = fitted
+        assert r_base == pytest.approx(VIRTEX4_LX200.r_base, rel=0.02)
+        assert r_fanout == pytest.approx(VIRTEX4_LX200.r_fanout, rel=0.02)
+
+    def test_constants_are_physical(self, fitted):
+        r_base, r_fanout = fitted
+        assert 0 < r_base < 2.0
+        assert 0 < r_fanout < 0.05
+
+    def test_anchors_hit_exactly(self, fitted):
+        from repro.bench.scaling import scale_point_grammar
+        from repro.core.generator import TaggerGenerator
+        from repro.fpga.device import Device
+        from repro.fpga.techmap import techmap
+        from repro.fpga.timing import analyze_timing
+
+        r_base, r_fanout = fitted
+        device = Device(
+            name="refit", family="virtex4", n_luts=178_176, lut_inputs=4,
+            t_lut=0.20, t_ff=0.30, r_base=r_base, r_fanout=r_fanout,
+        )
+        for anchor in VIRTEX4_ANCHORS:
+            circuit = TaggerGenerator().generate(
+                scale_point_grammar(anchor.copies)
+            )
+            timing = analyze_timing(techmap(circuit.netlist), device)
+            assert timing.frequency_mhz == pytest.approx(
+                anchor.frequency_mhz, rel=0.001
+            )
+
+
+class TestVirtexEFit:
+    def test_scale_matches_committed_ratio(self):
+        scale = fit_virtexe_scale(VIRTEX4_LX200)
+        committed = VIRTEXE_2000.t_lut / VIRTEX4_LX200.t_lut
+        assert scale == pytest.approx(committed, rel=0.02)
+
+
+def test_calibration_report_renders():
+    text = calibration_report()
+    assert "r_base" in text and "VirtexE scale" in text

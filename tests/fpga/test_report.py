@@ -1,0 +1,51 @@
+"""Utilization reports (Table 1 rows)."""
+
+import math
+
+import pytest
+
+from repro.core.generator import TaggerGenerator
+from repro.fpga.device import get_device
+from repro.fpga.report import UtilizationReport, implement
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    from repro.grammar.examples import xmlrpc
+
+    circuit = TaggerGenerator().generate(xmlrpc())
+    return implement(circuit, get_device("virtex4-lx200"))
+
+
+class TestReport:
+    def test_row_columns(self, report):
+        device, mhz, gbps, n_bytes, luts, ratio = report.row()
+        assert device == "Virtex4 LX200"
+        assert n_bytes == 289
+        assert math.isclose(ratio, luts / n_bytes, rel_tol=0.01)
+        assert gbps == pytest.approx(mhz * 8 / 1000, abs=0.02)
+
+    def test_luts_per_byte(self, report):
+        assert 1.5 <= report.luts_per_byte <= 3.0
+
+    def test_utilization_fraction(self, report):
+        assert 0 < report.utilization < 0.05
+
+    def test_format_row_and_header(self, report):
+        assert "Virtex4" in report.format_row()
+        assert "LUTs" in UtilizationReport.header()
+
+    def test_capacity_enforced(self):
+        from repro.bench.scaling import scale_point_grammar
+        from repro.errors import DeviceError
+        from repro.fpga.device import Device
+
+        tiny = Device(
+            name="tiny", family="t", n_luts=10, lut_inputs=4,
+            t_lut=0.2, t_ff=0.3, r_base=0.2, r_fanout=0.004,
+        )
+        circuit = TaggerGenerator().generate(scale_point_grammar(1))
+        with pytest.raises(DeviceError):
+            implement(circuit, tiny)
+        # but can be skipped for what-if studies
+        implement(circuit, tiny, check_capacity=False)

@@ -1,0 +1,127 @@
+"""Timing model and device presets."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.fpga.device import DEVICES, Device, get_device
+from repro.fpga.techmap import techmap
+from repro.fpga.timing import analyze_timing
+from repro.rtl.netlist import Netlist
+
+_TEST_DEVICE = Device(
+    name="test", family="t", n_luts=1000, lut_inputs=4,
+    t_lut=1.0, t_ff=0.5, r_base=0.1, r_fanout=0.01,
+)
+
+
+class TestDevicePresets:
+    def test_lookup(self):
+        assert get_device("virtex4-lx200").family == "virtex4"
+        assert get_device("VIRTEXE-2000").family == "virtexe"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DeviceError, match="unknown device"):
+            get_device("spartan")
+
+    def test_capacities_match_datasheets(self):
+        assert DEVICES["virtex4-lx200"].n_luts == 178_176
+        assert DEVICES["virtexe-2000"].n_luts == 38_400
+
+    def test_route_delay_monotone(self):
+        device = get_device("virtex4-lx200")
+        assert device.route_delay(100) > device.route_delay(1)
+
+    def test_capacity_check(self):
+        with pytest.raises(DeviceError, match="only"):
+            get_device("virtexe-2000").check_capacity(10**6)
+
+    def test_virtexe_uniformly_slower(self):
+        v4, ve = get_device("virtex4-lx200"), get_device("virtexe-2000")
+        assert ve.t_lut > v4.t_lut
+        assert ve.r_base > v4.r_base
+
+
+class TestPeriodModel:
+    def test_single_lut_between_registers(self):
+        nl = Netlist()
+        a = nl.input("a")
+        q1 = nl.reg(a)
+        q2 = nl.reg(nl.and_(q1, a))
+        nl.output("o", q2)
+        mapping = techmap(nl)
+        report = analyze_timing(mapping, _TEST_DEVICE)
+        # FF -> route(a, fanout 2) -> LUT -> route(and, fanout 1) -> FF
+        expected = 0.5 + (0.1 + 0.01 * 2) + 1.0 + (0.1 + 0.01 * 1)
+        assert report.period_ns == pytest.approx(expected, abs=0.02)
+
+    def test_two_level_path_slower(self):
+        def build(levels):
+            nl = Netlist()
+            a = nl.input("a")
+            q = nl.reg(a)
+            x = q
+            for _ in range(levels):
+                # fanout>1 so the chain cannot be collapsed into 1 LUT
+                y = nl.and_(x, a)
+                nl.output(f"keep{len(nl.outputs)}", y)
+                x = y
+            nl.output("o", nl.reg(x))
+            report = analyze_timing(techmap(nl), _TEST_DEVICE)
+            return report.period_ns
+
+        assert build(2) > build(1)
+
+    def test_fanout_raises_period(self):
+        def build(fanout):
+            nl = Netlist()
+            a = nl.input("a")
+            q = nl.reg(a, name="hub")
+            for k in range(fanout):
+                nl.output(f"o{k}", nl.reg(nl.and_(q, a)))
+            return analyze_timing(techmap(nl), _TEST_DEVICE).period_ns
+
+        assert build(50) > build(2)
+
+    def test_empty_design_floor(self):
+        nl = Netlist()
+        nl.output("o", nl.reg(nl.input("a")))
+        report = analyze_timing(techmap(nl), _TEST_DEVICE)
+        assert report.period_ns >= 1.5  # t_ff + t_lut floor
+
+    def test_bandwidth_is_freq_times_8(self):
+        nl = Netlist()
+        nl.output("o", nl.reg(nl.and_(nl.input("a"), nl.input("b"))))
+        report = analyze_timing(techmap(nl), _TEST_DEVICE)
+        assert report.bandwidth_gbps == pytest.approx(
+            report.frequency_mhz * 8 / 1000.0
+        )
+
+
+class TestPaperAnchors:
+    """The calibrated model must hit the published anchor points."""
+
+    def test_virtex4_533mhz_at_300_bytes(self, xmlrpc_grammar):
+        from repro.core.generator import TaggerGenerator
+        from repro.fpga.report import implement
+
+        circuit = TaggerGenerator().generate(xmlrpc_grammar)
+        report = implement(circuit, get_device("virtex4-lx200"))
+        assert report.frequency_mhz == pytest.approx(533, rel=0.02)
+
+    def test_virtexe_196mhz_at_300_bytes(self, xmlrpc_grammar):
+        from repro.core.generator import TaggerGenerator
+        from repro.fpga.report import implement
+
+        circuit = TaggerGenerator().generate(xmlrpc_grammar)
+        report = implement(circuit, get_device("virtexe-2000"))
+        assert report.frequency_mhz == pytest.approx(196, rel=0.02)
+
+    def test_worst_nets_reported(self, xmlrpc_grammar):
+        from repro.core.generator import TaggerGenerator
+        from repro.fpga.report import implement
+
+        circuit = TaggerGenerator().generate(xmlrpc_grammar)
+        report = implement(circuit, get_device("virtex4-lx200"))
+        assert report.timing.worst_nets
+        assert report.timing.worst_nets[0].fanout >= report.timing.worst_nets[-1].fanout
+        assert "MHz" in report.timing.summary()

@@ -1,0 +1,218 @@
+"""Nullable/First/Follow (Fig. 8) and the occurrence graph.
+
+The centerpiece asserts the paper's Fig. 10 Follow-set table verbatim.
+"""
+
+import pytest
+
+from repro.grammar.analysis import (
+    analyze_grammar,
+    build_occurrence_graph,
+)
+from repro.grammar.cfg import Grammar
+from repro.grammar.lexspec import LexSpec
+from repro.grammar.symbols import END, NonTerminal, Terminal
+from repro.grammar.yacc_parser import parse_yacc_grammar
+
+
+def T(name):
+    return Terminal(name)
+
+
+class TestFig10:
+    """The exact Follow-set table of the paper's Fig. 10."""
+
+    def test_follow_sets_match_paper(self, ite_grammar):
+        analysis = analyze_grammar(ite_grammar)
+        follow = analysis.token_follow_table()
+        expected = {
+            "if": {"true", "false"},
+            "then": {"if", "go", "stop"},
+            "else": {"if", "go", "stop"},
+            "go": {"else", "$end"},     # paper writes ε for end
+            "stop": {"else", "$end"},
+            "true": {"then"},
+            "false": {"then"},
+        }
+        assert {
+            t.name: {f.name for f in fs} for t, fs in follow.items()
+        } == expected
+
+    def test_start_terminals_is_first_of_start(self, ite_grammar):
+        analysis = analyze_grammar(ite_grammar)
+        assert {t.name for t in analysis.start_terminals} == {
+            "if",
+            "go",
+            "stop",
+        }
+
+    def test_describe_follow_renders_epsilon(self, ite_grammar):
+        text = analyze_grammar(ite_grammar).describe_follow()
+        assert "ε" in text
+        assert "go" in text
+
+
+class TestFig8Algorithm:
+    def test_nullable_propagates(self):
+        g = parse_yacc_grammar(
+            """
+            %%
+            s: a b "x";
+            a: | "y";
+            b: | a;
+            %%
+            """
+        )
+        analysis = analyze_grammar(g)
+        assert analysis.nullable[NonTerminal("a")]
+        assert analysis.nullable[NonTerminal("b")]
+        assert not analysis.nullable[NonTerminal("s")]
+
+    def test_first_through_nullable_prefix(self):
+        g = parse_yacc_grammar(
+            """
+            %%
+            s: a "x";
+            a: | "y";
+            %%
+            """
+        )
+        analysis = analyze_grammar(g)
+        assert {t.name for t in analysis.first[NonTerminal("s")]} == {"y", "x"}
+
+    def test_follow_through_nullable_suffix(self):
+        g = parse_yacc_grammar(
+            """
+            %%
+            s: "a" b c "d";
+            b: "b";
+            c: | "c";
+            %%
+            """
+        )
+        analysis = analyze_grammar(g)
+        # c is nullable, so FOLLOW(b) includes both FIRST(c) and "d".
+        assert {t.name for t in analysis.follow[T("b")]} == {"c", "d"}
+
+    def test_end_marker_only_at_sentence_end(self, xmlrpc_grammar):
+        analysis = analyze_grammar(xmlrpc_grammar)
+        enders = {
+            t.name
+            for t in xmlrpc_grammar.used_terminals()
+            if END in analysis.follow[t]
+        }
+        assert enders == {"</methodCall>"}
+
+    def test_balanced_parens_follow(self, parens_grammar):
+        analysis = analyze_grammar(parens_grammar)
+        follow = {
+            t.name: {f.name for f in fs}
+            for t, fs in analysis.token_follow_table().items()
+        }
+        assert follow["("] == {"(", "0"}
+        assert follow["0"] == {")", "$end"}
+        assert follow[")"] == {")", "$end"}
+
+    def test_sequence_helpers(self, ite_grammar):
+        analysis = analyze_grammar(ite_grammar)
+        E, C = NonTerminal("E"), NonTerminal("C")
+        assert analysis.first_of_sequence((C, E)) == analysis.first[C]
+        assert not analysis.sequence_nullable((E,))
+        assert analysis.sequence_nullable(())
+
+
+class TestOccurrenceGraph:
+    def test_every_terminal_occurrence_is_a_node(self, ite_grammar):
+        graph = build_occurrence_graph(ite_grammar)
+        # Fig. 9: E -> if C then E else E | go | stop ; C -> true|false
+        # terminal occurrences: if, then, else, go, stop, true, false.
+        assert len(graph.occurrences) == 7
+
+    def test_collapsed_edges_equal_follow_table(self, ite_grammar):
+        """Collapsing occurrences must reproduce the Fig. 10 wiring."""
+        analysis = analyze_grammar(ite_grammar)
+        graph = build_occurrence_graph(ite_grammar, analysis)
+        collapsed = graph.collapsed_edges()
+        for terminal, follows in analysis.token_follow_table().items():
+            expected = {t for t in follows if t != END}
+            assert collapsed.get(terminal, frozenset()) == expected
+
+    def test_collapsed_edges_equal_follow_table_xmlrpc(self, xmlrpc_grammar):
+        analysis = analyze_grammar(xmlrpc_grammar)
+        graph = build_occurrence_graph(xmlrpc_grammar, analysis)
+        collapsed = graph.collapsed_edges()
+        for terminal, follows in analysis.token_follow_table().items():
+            expected = {t for t in follows if t != END}
+            assert collapsed.get(terminal, frozenset()) == expected
+
+    def test_starts_and_accepting(self, ite_grammar):
+        graph = build_occurrence_graph(ite_grammar)
+        assert {o.terminal.name for o in graph.starts} == {"if", "go", "stop"}
+        assert {o.terminal.name for o in graph.accepting} == {"go", "stop"}
+
+    def test_context_duplication_counts(self, xmlrpc_grammar):
+        graph = build_occurrence_graph(xmlrpc_grammar)
+        counts = graph.contexts_per_terminal()
+        # STRING appears in methodName, string and name contexts.
+        assert counts[T("STRING")] == 3
+        assert counts[T("INT")] == 2  # i4 and int
+
+    def test_edges_respect_contexts(self, xmlrpc_grammar):
+        """STRING in the methodName context may only be followed by
+        </methodName> — not by the closers of other contexts."""
+        graph = build_occurrence_graph(xmlrpc_grammar)
+        method_string = next(
+            o
+            for o in graph.occurrences
+            if o.terminal.name == "STRING"
+            and xmlrpc_grammar.productions[o.production].lhs.name == "methodName"
+        )
+        followers = {o.terminal.name for o in graph.edges[method_string]}
+        assert followers == {"</methodName>"}
+
+    def test_recursive_grammar_edges(self, parens_grammar):
+        graph = build_occurrence_graph(parens_grammar)
+        open_paren = next(
+            o for o in graph.occurrences if o.terminal.name == "("
+        )
+        followers = {o.terminal.name for o in graph.edges[open_paren]}
+        assert followers == {"(", "0"}
+
+    def test_occurrence_str(self, ite_grammar):
+        graph = build_occurrence_graph(ite_grammar)
+        texts = {str(o) for o in graph.occurrences}
+        assert "if@p0.0" in texts
+
+
+class TestValidation:
+    def test_empty_grammar_rejected(self):
+        g = Grammar("empty", LexSpec())
+        from repro.errors import GrammarError
+
+        with pytest.raises(GrammarError):
+            analyze_grammar(g)
+
+    def test_unreachable_nonterminal_rejected(self):
+        from repro.errors import GrammarError
+
+        with pytest.raises(GrammarError, match="unreachable"):
+            parse_yacc_grammar(
+                """
+                %%
+                s: "a";
+                orphan: "b";
+                %%
+                """
+            )
+
+    def test_undefined_nonterminal_rejected(self):
+        from repro.errors import GrammarError
+
+        with pytest.raises(GrammarError, match="never defined"):
+            parse_yacc_grammar(
+                """
+                %%
+                s: missing "a";
+                %%
+                """
+            )

@@ -1,0 +1,73 @@
+"""Built-in example grammars (Figs. 1, 9, 13, 14)."""
+
+from repro.grammar.examples import (
+    balanced_parens,
+    if_then_else,
+    xmlrpc,
+)
+from repro.grammar.symbols import NonTerminal, Terminal
+
+
+class TestBalancedParens:
+    def test_two_productions(self, parens_grammar):
+        assert len(parens_grammar.productions) == 2
+        assert parens_grammar.start == NonTerminal("E")
+
+    def test_tokens(self, parens_grammar):
+        assert {t.name for t in parens_grammar.lexspec} == {"(", ")", "0"}
+
+
+class TestIfThenElse:
+    def test_fig9_shape(self, ite_grammar):
+        productions = [str(p) for p in ite_grammar.productions]
+        assert "E → if C then E else E" in productions
+        assert "C → true" in productions
+
+    def test_seven_terminals(self, ite_grammar):
+        assert {t.name for t in ite_grammar.lexspec} == {
+            "if", "then", "else", "go", "stop", "true", "false",
+        }
+
+
+class TestXmlRpc:
+    def test_token_count_matches_paper(self, xmlrpc_grammar):
+        # "The grammar for XML-RPC is relatively small with only 45
+        # tokens and approximately 300 bytes of pattern data."
+        assert 40 <= len(xmlrpc_grammar.lexspec) <= 50
+
+    def test_named_tokens_present(self, xmlrpc_grammar):
+        for name in ("STRING", "INT", "DOUBLE", "YEAR", "MONTH", "DAY",
+                     "HOUR", "MIN", "SEC", "BASE64"):
+            assert name in xmlrpc_grammar.lexspec
+
+    def test_all_value_kinds_reachable(self, xmlrpc_grammar):
+        value = NonTerminal("value")
+        kinds = {
+            p.rhs[0].name
+            for p in xmlrpc_grammar.productions_for(value)
+        }
+        assert kinds == {
+            "i4", "int", "string", "dateTime", "double",
+            "base64", "struct", "array",
+        }
+
+    def test_datetime_inline_tokens(self, xmlrpc_grammar):
+        datetime_production = xmlrpc_grammar.productions_for(
+            NonTerminal("dateTime")
+        )[0]
+        names = [s.name for s in datetime_production.rhs]
+        assert names == [
+            "<dateTime.iso8601>", "YEAR", "MONTH", "DAY", "T",
+            "HOUR", ":", "MIN", ":", "SEC", "</dateTime.iso8601>",
+        ]
+
+    def test_grammar_objects_are_fresh(self):
+        a, b = xmlrpc(), xmlrpc()
+        assert a is not b
+        assert len(a.productions) == len(b.productions)
+
+    def test_member_list_is_ll1(self, xmlrpc_grammar):
+        """Our documented fix: the struct member list parses LL(1)."""
+        from repro.software.ll1 import LL1Parser
+
+        LL1Parser(xmlrpc_grammar)  # raises GrammarError on conflict

@@ -1,0 +1,113 @@
+"""Glushkov position automaton: the basis of the Fig. 6 templates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnsupportedPatternError
+from repro.grammar.regex.glushkov import build_glushkov, normalize_repeats
+from repro.grammar.regex.nfa import compile_nfa
+from repro.grammar.regex.parser import parse_regex
+
+
+class TestNormalizeRepeats:
+    def test_exact_repeat_expands(self):
+        node = normalize_repeats(parse_regex("a{3}"))
+        assert str(node) == "aaa"
+
+    def test_range_repeat_expands(self):
+        node = normalize_repeats(parse_regex("a{1,3}"))
+        assert str(node) == "aa?a?"
+
+    def test_open_repeat_expands(self):
+        node = normalize_repeats(parse_regex("a{2,}"))
+        assert str(node) == "aa+"
+
+    def test_plain_operators_unchanged(self):
+        for pattern in ("a?", "a*", "a+"):
+            assert str(normalize_repeats(parse_regex(pattern))) == pattern
+
+
+class TestConstruction:
+    def test_string_is_a_chain(self):
+        auto = build_glushkov(parse_regex("abc"))
+        assert auto.n_positions == 3
+        assert auto.first == {0}
+        assert auto.last == {2}
+        assert auto.follow[0] == {1}
+        assert auto.follow[1] == {2}
+        assert auto.follow[2] == frozenset()
+
+    def test_plus_self_loop(self):
+        auto = build_glushkov(parse_regex("a+"))
+        assert auto.follow[0] == {0}
+        assert auto.extension_bytes(0) == frozenset(b"a")
+
+    def test_optional_prefix(self):
+        auto = build_glushkov(parse_regex("[+-]?[0-9]+"))
+        assert auto.first == {0, 1}  # sign or first digit
+        assert auto.last == {1}
+        assert auto.extension_bytes(1) == frozenset(b"0123456789")
+
+    def test_alternation_parallel_branches(self):
+        auto = build_glushkov(parse_regex("ab|cd"))
+        assert auto.first == {0, 2}
+        assert auto.last == {1, 3}
+
+    def test_nullable_pattern_rejected(self):
+        with pytest.raises(UnsupportedPatternError, match="empty"):
+            build_glushkov(parse_regex("a*"))
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(UnsupportedPatternError):
+            build_glushkov(parse_regex("[^\\x00-\\xff]"))
+
+
+class TestLongestMatch:
+    @pytest.mark.parametrize(
+        "pattern,data,start,expected",
+        [
+            ("a+", b"aaab", 0, 3),
+            ("abc", b"abcd", 0, 3),
+            ("[0-9]+", b"x12", 1, 2),
+            ("ab", b"ax", 0, None),
+            ("a+b", b"aab", 0, 3),
+        ],
+    )
+    def test_cases(self, pattern, data, start, expected):
+        auto = build_glushkov(parse_regex(pattern))
+        assert auto.longest_match(data, start) == expected
+
+
+_atoms = st.sampled_from(["a", "b", "[ab]", "[0-9]", "c"])
+_ops = st.sampled_from(["", "+", "?"])
+
+
+@st.composite
+def non_nullable_patterns(draw):
+    """Patterns with at least one mandatory position."""
+    n = draw(st.integers(1, 4))
+    parts = []
+    has_required = False
+    for _ in range(n):
+        atom, op = draw(_atoms), draw(_ops)
+        if op != "?":
+            has_required = True
+        parts.append(atom + op)
+    if not has_required:
+        parts.append(draw(_atoms))
+    return "".join(parts)
+
+
+@given(
+    pattern=non_nullable_patterns(),
+    data=st.text(alphabet="ab019c", max_size=10).map(lambda s: s.encode()),
+)
+@settings(max_examples=250, deadline=None)
+def test_glushkov_longest_match_equals_nfa(pattern, data):
+    node = parse_regex(pattern)
+    auto = build_glushkov(node)
+    nfa = compile_nfa(node)
+    expected = nfa.longest_match(data, 0)
+    if expected == 0:
+        expected = None  # Glushkov tokens never match empty
+    assert auto.longest_match(data, 0) == expected

@@ -1,0 +1,78 @@
+"""Lexical specification container."""
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.grammar.lexspec import DEFAULT_DELIMITERS, LexSpec
+from repro.grammar.regex.ast import CharClass
+
+
+class TestDefine:
+    def test_define_and_lookup(self):
+        spec = LexSpec()
+        token = spec.define("NUM", "[0-9]+")
+        assert spec.get("NUM") is token
+        assert "NUM" in spec
+        assert len(spec) == 1
+
+    def test_duplicate_rejected(self):
+        spec = LexSpec()
+        spec.define("A", "a")
+        with pytest.raises(GrammarError, match="already defined"):
+            spec.define("A", "b")
+
+    def test_unknown_lookup(self):
+        with pytest.raises(GrammarError, match="unknown token"):
+            LexSpec().get("missing")
+
+    def test_literal_idempotent(self):
+        spec = LexSpec()
+        first = spec.define_literal("<tag>")
+        second = spec.define_literal("<tag>")
+        assert first is second
+        assert len(spec) == 1
+
+    def test_literal_collision_with_named(self):
+        spec = LexSpec()
+        spec.define("x", "[0-9]")
+        with pytest.raises(GrammarError, match="collides"):
+            spec.define_literal("x")
+
+    def test_source_preserved(self):
+        spec = LexSpec()
+        token = spec.define("NUM", "[0-9]+")
+        assert token.source == "[0-9]+"
+
+
+class TestDelimiters:
+    def test_default_whitespace(self):
+        spec = LexSpec()
+        assert spec.is_delimiter(ord(" "))
+        assert spec.is_delimiter(ord("\t"))
+        assert not spec.is_delimiter(ord("a"))
+        assert spec.delimiters == DEFAULT_DELIMITERS
+
+    def test_custom(self):
+        spec = LexSpec(delimiters=CharClass(frozenset(b",")))
+        assert spec.is_delimiter(ord(","))
+        assert not spec.is_delimiter(ord(" "))
+
+
+class TestMetrics:
+    def test_total_pattern_bytes(self):
+        spec = LexSpec()
+        spec.define_literal("abc")       # 3
+        spec.define("D", "[0-9]+")       # 1
+        spec.define("E", "[+-]?[0-9]+")  # 2
+        assert spec.total_pattern_bytes() == 6
+
+    def test_fixed_text(self):
+        spec = LexSpec()
+        assert spec.define_literal("go").fixed_text() == b"go"
+        assert spec.define("W", "[a-z]+").fixed_text() is None
+
+    def test_describe(self):
+        spec = LexSpec()
+        spec.define("NUM", "[0-9]+")
+        text = spec.describe()
+        assert "NUM" in text and "delimiters" in text

@@ -1,0 +1,123 @@
+"""NFA/DFA matchers: unit cases plus equivalence properties.
+
+The property tests cross-check three independent implementations —
+Thompson NFA, subset-construction DFA, and Python's :mod:`re` — on
+randomly generated patterns and inputs.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grammar.regex.dfa import compile_dfa
+from repro.grammar.regex.nfa import compile_nfa
+from repro.grammar.regex.parser import parse_regex
+
+
+class TestNFA:
+    @pytest.mark.parametrize(
+        "pattern,yes,no",
+        [
+            ("abc", [b"abc"], [b"ab", b"abcd", b""]),
+            ("a+", [b"a", b"aaa"], [b"", b"b", b"ab"]),
+            ("a*b", [b"b", b"aab"], [b"a", b""]),
+            ("a|bc", [b"a", b"bc"], [b"b", b"abc"]),
+            ("(ab)+", [b"ab", b"abab"], [b"a", b"aba"]),
+            ("[0-9]{2,3}", [b"12", b"123"], [b"1", b"1234"]),
+            ("x?y", [b"y", b"xy"], [b"x", b"xxy"]),
+            ("!a", [b"b", b"z"], [b"a", b"bb"]),
+        ],
+    )
+    def test_match(self, pattern, yes, no):
+        nfa = compile_nfa(parse_regex(pattern))
+        for data in yes:
+            assert nfa.matches(data), (pattern, data)
+        for data in no:
+            assert not nfa.matches(data), (pattern, data)
+
+    def test_longest_match(self):
+        nfa = compile_nfa(parse_regex("[0-9]+"))
+        assert nfa.longest_match(b"123abc") == 3
+        assert nfa.longest_match(b"abc") is None
+        assert nfa.longest_match(b"a123", start=1) == 3
+
+    def test_longest_match_empty_capable(self):
+        nfa = compile_nfa(parse_regex("a*"))
+        assert nfa.longest_match(b"bbb") == 0
+
+
+class TestDFA:
+    @pytest.mark.parametrize("minimize", [False, True])
+    def test_same_language_as_nfa(self, minimize):
+        pattern = parse_regex("[+-]?[0-9]+")
+        nfa, dfa = compile_nfa(pattern), compile_dfa(pattern, minimize=minimize)
+        for data in (b"7", b"+42", b"-0", b"", b"+", b"4-2", b"99x"):
+            assert dfa.matches(data) == nfa.matches(data), data
+
+    def test_minimization_reduces_states(self):
+        pattern = parse_regex("(a|b)(a|b)")
+        full = compile_dfa(pattern, minimize=False)
+        minimal = compile_dfa(pattern, minimize=True)
+        assert minimal.n_states <= full.n_states
+        for data in (b"ab", b"ba", b"aa", b"a", b"abc"):
+            assert minimal.matches(data) == full.matches(data)
+
+    def test_longest_match_agrees_with_nfa(self):
+        pattern = parse_regex("a+b?")
+        nfa, dfa = compile_nfa(pattern), compile_dfa(pattern)
+        for data in (b"aaab", b"ab", b"b", b"aaa", b""):
+            assert dfa.longest_match(data) == nfa.longest_match(data)
+
+
+# ----------------------------------------------------------------------
+# property-based equivalence with Python's re module
+# ----------------------------------------------------------------------
+_atoms = st.sampled_from(["a", "b", "c", "0", "[ab]", "[a-c]", "[^a]", "."])
+_ops = st.sampled_from(["", "?", "*", "+"])
+
+
+@st.composite
+def simple_patterns(draw, max_terms: int = 4):
+    terms = draw(st.lists(st.tuples(_atoms, _ops), min_size=1, max_size=max_terms))
+    return "".join(atom + op for atom, op in terms)
+
+
+def _py_pattern(pattern: str) -> str:
+    # Our '.' excludes newline, same as re's default.
+    return pattern
+
+
+@given(
+    pattern=simple_patterns(),
+    data=st.binary(min_size=0, max_size=8).map(
+        lambda b: bytes(x % 128 for x in b)
+    ),
+)
+@settings(max_examples=300, deadline=None)
+def test_nfa_dfa_re_agree(pattern, data):
+    node = parse_regex(pattern)
+    nfa = compile_nfa(node)
+    dfa = compile_dfa(node)
+    expected = re.fullmatch(_py_pattern(pattern).encode(), data) is not None
+    assert nfa.matches(data) == expected, (pattern, data)
+    assert dfa.matches(data) == expected, (pattern, data)
+
+
+@given(
+    pattern=simple_patterns(max_terms=3),
+    data=st.text(alphabet="abc0\n", min_size=0, max_size=10).map(
+        lambda s: s.encode()
+    ),
+    start=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=200, deadline=None)
+def test_longest_match_equals_re(pattern, data, start):
+    start = min(start, len(data))
+    node = parse_regex(pattern)
+    nfa = compile_nfa(node)
+    match = re.compile(_py_pattern(pattern).encode()).match(data, start)
+    expected = None if match is None else match.end() - start
+    # re.match returns the *greedy* match which is the longest for our
+    # operator subset (no alternation in these patterns).
+    assert nfa.longest_match(data, start) == expected

@@ -1,0 +1,131 @@
+"""Regex AST structural queries used by the generator."""
+
+import pytest
+
+from repro.grammar.regex import ast as rx
+from repro.grammar.regex.parser import parse_regex
+
+
+class TestConstructors:
+    def test_literal_string(self):
+        node = rx.literal_string("go")
+        assert rx.fixed_string(node) == b"go"
+        assert rx.literal_string("") == rx.Empty()
+        assert rx.literal_string("x") == rx.Literal(ord("x"))
+
+    def test_seq_flattens(self):
+        node = rx.seq(rx.literal_string("ab"), rx.Empty(), rx.literal_string("c"))
+        assert rx.fixed_string(node) == b"abc"
+
+    def test_alt_dedupes(self):
+        a = rx.Literal(97)
+        assert rx.alt(a, a) == a
+
+    def test_alt_requires_option(self):
+        with pytest.raises(ValueError):
+            rx.alt()
+
+    def test_char_class_ranges(self):
+        cls = rx.char_class("x", ranges=(("0", "2"),))
+        assert cls.matched_bytes() == frozenset(b"x012")
+
+    def test_nocase(self):
+        cls = rx.nocase("A")
+        assert cls.matched_bytes() == frozenset(b"aA")
+
+    def test_predecoded_terms_match_fig5(self):
+        assert len(rx.ALPHA.matched_bytes()) == 52
+        assert len(rx.ALNUM.matched_bytes()) == 62
+        assert len(rx.DIGIT.matched_bytes()) == 10
+        assert rx.WHITESPACE.contains(ord(" "))
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("a", False),
+            ("a?", True),
+            ("a*", True),
+            ("a+", False),
+            ("a|b?", True),
+            ("a?b", False),
+            ("a?b?", True),
+        ],
+    )
+    def test_nullable(self, pattern, expected):
+        assert rx.nullable(parse_regex(pattern)) is expected
+
+
+class TestFirstBytes:
+    def test_sequence_skips_nullable_prefix(self):
+        node = parse_regex("[+-]?[0-9]+")
+        first = rx.first_bytes(node)
+        assert first == frozenset(b"+-0123456789")
+
+    def test_alt_union(self):
+        assert rx.first_bytes(parse_regex("a|b")) == frozenset(b"ab")
+
+    def test_stops_at_first_required(self):
+        assert rx.first_bytes(parse_regex("ab")) == frozenset(b"a")
+
+
+class TestFixedString:
+    def test_variable_patterns_are_none(self):
+        assert rx.fixed_string(parse_regex("[0-9]+")) is None
+        assert rx.fixed_string(parse_regex("ab?")) is None
+
+    def test_exact_repeat(self):
+        assert rx.fixed_string(parse_regex("a{3}")) == b"aaa"
+
+    def test_singleton_class(self):
+        assert rx.fixed_string(parse_regex("[a]")) == b"a"
+
+
+class TestPatternByteCount:
+    """The Table 1 '# of Bytes' metric."""
+
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("abc", 3),
+            ("[a-zA-Z0-9]+", 1),
+            ("[+-]?[0-9]+", 2),
+            ("[0-9][0-9][0-9][0-9]", 4),
+            ("a|bc", 3),
+            ("x{4}", 4),
+        ],
+    )
+    def test_counts(self, pattern, expected):
+        assert rx.pattern_byte_count(parse_regex(pattern)) == expected
+
+    def test_fig14_grammar_is_about_300_bytes(self, xmlrpc_grammar):
+        total = xmlrpc_grammar.lexspec.total_pattern_bytes()
+        assert 270 <= total <= 310  # the paper says "approximately 300"
+
+
+class TestReverse:
+    @pytest.mark.parametrize(
+        "pattern,matches,rejected",
+        [
+            ("abc", b"cba", b"abc"),
+            ("ab+", b"bba", b"abb"),
+            ("[0-9]+x", b"x12", b"12x"),
+        ],
+    )
+    def test_reverse_semantics(self, pattern, matches, rejected):
+        from repro.grammar.regex.nfa import compile_nfa
+
+        reversed_nfa = compile_nfa(rx.reverse(parse_regex(pattern)))
+        assert reversed_nfa.matches(matches)
+        assert not reversed_nfa.matches(rejected) or matches == rejected
+
+    def test_reverse_involution(self):
+        node = parse_regex("(ab|c)+x?")
+        assert rx.reverse(rx.reverse(node)) == node
+
+
+class TestAlphabet:
+    def test_collects_all_bytes(self):
+        node = parse_regex("a[0-1]c?")
+        assert rx.alphabet(node) == frozenset(b"a01c")

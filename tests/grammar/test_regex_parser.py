@@ -1,0 +1,175 @@
+"""Lex-subset regex parser."""
+
+import pytest
+
+from repro.errors import RegexSyntaxError
+from repro.grammar.regex.ast import (
+    Alt,
+    AnyChar,
+    CharClass,
+    Literal,
+    Repeat,
+    Seq,
+)
+from repro.grammar.regex.parser import parse_regex
+
+
+class TestAtoms:
+    def test_plain_char(self):
+        assert parse_regex("a") == Literal(ord("a"))
+
+    def test_dot_is_any(self):
+        node = parse_regex(".")
+        assert isinstance(node, AnyChar)
+        assert not node.contains(ord("\n"))
+
+    def test_escaped_dot_is_literal(self):
+        assert parse_regex(r"\.") == Literal(ord("."))
+
+    def test_escape_sequences(self):
+        assert parse_regex(r"\n") == Literal(ord("\n"))
+        assert parse_regex(r"\t") == Literal(ord("\t"))
+        assert parse_regex(r"\x41") == Literal(ord("A"))
+
+    def test_escape_classes(self):
+        digit = parse_regex(r"\d")
+        assert isinstance(digit, CharClass)
+        assert digit.contains(ord("7")) and not digit.contains(ord("a"))
+        word = parse_regex(r"\w")
+        assert word.contains(ord("_"))
+
+    def test_bad_hex_escape(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(r"\xzz")
+
+
+class TestClasses:
+    def test_simple_class(self):
+        node = parse_regex("[abc]")
+        assert node.matched_bytes() == frozenset(b"abc")
+
+    def test_ranges(self):
+        node = parse_regex("[a-cx]")
+        assert node.matched_bytes() == frozenset(b"abcx")
+
+    def test_multiple_ranges_fig14_string(self):
+        node = parse_regex("[a-zA-Z0-9]")
+        assert node.contains(ord("q"))
+        assert node.contains(ord("Q"))
+        assert node.contains(ord("5"))
+        assert not node.contains(ord("-"))
+
+    def test_negated_class(self):
+        node = parse_regex("[^ab]")
+        assert not node.contains(ord("a"))
+        assert node.contains(ord("z"))
+
+    def test_literal_bracket_chars(self):
+        node = parse_regex(r"[\]\-]")
+        assert node.matched_bytes() == frozenset(b"]-")
+
+    def test_leading_rbracket_is_literal(self):
+        node = parse_regex("[]a]")
+        assert node.matched_bytes() == frozenset(b"]a")
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(RegexSyntaxError, match="reversed"):
+            parse_regex("[z-a]")
+
+    def test_unterminated_class(self):
+        with pytest.raises(RegexSyntaxError, match="unterminated"):
+            parse_regex("[ab")
+
+
+class TestOperators:
+    def test_postfix_operators(self):
+        assert parse_regex("a?") == Repeat(Literal(97), 0, 1)
+        assert parse_regex("a*") == Repeat(Literal(97), 0, None)
+        assert parse_regex("a+") == Repeat(Literal(97), 1, None)
+
+    def test_bounded_repeat(self):
+        assert parse_regex("a{3}") == Repeat(Literal(97), 3, 3)
+        assert parse_regex("a{2,4}") == Repeat(Literal(97), 2, 4)
+        assert parse_regex("a{2,}") == Repeat(Literal(97), 2, None)
+
+    def test_not_single_char(self):
+        node = parse_regex("!a")
+        assert isinstance(node, CharClass) and node.negated
+        assert not node.contains(ord("a"))
+        assert node.contains(ord("b"))
+
+    def test_not_on_class(self):
+        node = parse_regex("![ab]")
+        assert not node.contains(ord("a"))
+        assert node.contains(ord("c"))
+
+    def test_not_on_group_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("!(ab)")
+
+    def test_concatenation_and_alternation(self):
+        node = parse_regex("ab|c")
+        assert isinstance(node, Alt)
+        assert isinstance(node.options[0], Seq)
+
+    def test_groups(self):
+        node = parse_regex("(ab)+")
+        assert isinstance(node, Repeat)
+        assert isinstance(node.item, Seq)
+
+    def test_stacked_operators(self):
+        node = parse_regex("a+?")
+        assert node == Repeat(Repeat(Literal(97), 1, None), 0, 1)
+
+
+class TestPaperTokens:
+    """Every token pattern in Fig. 14 must parse."""
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "[a-zA-Z0-9]+",
+            "[+-]?[0-9]+",
+            r"[+-]?[0-9]+\.[0-9]+",
+            "[0-9][0-9][0-9][0-9]",
+            "[0-9][0-9]",
+            "[+/A-Za-z0-9]+",
+        ],
+    )
+    def test_fig14_patterns(self, pattern):
+        parse_regex(pattern)
+
+    def test_int_structure(self):
+        node = parse_regex("[+-]?[0-9]+")
+        assert isinstance(node, Seq)
+        sign, digits = node.items
+        assert isinstance(sign, Repeat) and sign.operator == "?"
+        assert isinstance(digits, Repeat) and digits.operator == "+"
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a)")
+
+    def test_misplaced_operator(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("*a")
+
+    def test_unclosed_group(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("(ab")
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as info:
+            parse_regex("ab[")
+        assert info.value.position >= 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "pattern", ["abc", "[0-9]+", "a|b|c", "(ab)?c*", "!x[a-f]{2}"]
+    )
+    def test_str_reparses_equal(self, pattern):
+        node = parse_regex(pattern)
+        assert parse_regex(str(node)) == node

@@ -1,0 +1,88 @@
+"""Grammar writer: serialization and round-trip equivalence."""
+
+import pytest
+
+from repro.grammar.examples import balanced_parens, if_then_else, xmlrpc
+from repro.grammar.writer import save_yacc_grammar, write_yacc_grammar
+from repro.grammar.yacc_parser import parse_yacc_grammar
+
+
+def _signature(grammar):
+    """Order-stable structural fingerprint of a grammar."""
+    productions = tuple(
+        (p.lhs.name, tuple(s.name for s in p.rhs)) for p in grammar.productions
+    )
+    tokens = tuple(
+        (t.name, str(t.pattern), t.is_literal) for t in grammar.lexspec
+    )
+    return (
+        productions,
+        tokens,
+        grammar.start.name,
+        grammar.lexspec.delimiters.matched_bytes(),
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder", [if_then_else, balanced_parens, xmlrpc]
+    )
+    def test_paper_grammars(self, builder):
+        original = builder()
+        text = write_yacc_grammar(original)
+        reparsed = parse_yacc_grammar(text, name=original.name)
+        assert _signature(reparsed) == _signature(original)
+
+    def test_scaled_grammar(self):
+        from repro.bench.scaling import scaled_xmlrpc
+
+        original = scaled_xmlrpc(2)
+        reparsed = parse_yacc_grammar(write_yacc_grammar(original))
+        assert _signature(reparsed)[0] == _signature(original)[0]
+
+    def test_custom_delimiters_preserved(self):
+        original = parse_yacc_grammar(
+            "%delim [|;]\n%%\ns: \"a\" s | \"b\";\n"
+        )
+        reparsed = parse_yacc_grammar(write_yacc_grammar(original))
+        assert reparsed.lexspec.delimiters.matched_bytes() == frozenset(b"|;")
+
+    def test_explicit_start_preserved(self):
+        original = parse_yacc_grammar(
+            "%start inner\n%%\nouter: inner;\ninner: \"x\" outer \"y\" | \"z\";\n"
+        )
+        reparsed = parse_yacc_grammar(write_yacc_grammar(original))
+        assert reparsed.start.name == "inner"
+
+    def test_epsilon_alternatives(self):
+        original = parse_yacc_grammar('%%\nlist: | "x" list;\n')
+        reparsed = parse_yacc_grammar(write_yacc_grammar(original))
+        assert _signature(reparsed)[0] == _signature(original)[0]
+
+
+class TestRendering:
+    def test_token_section_format(self):
+        text = write_yacc_grammar(xmlrpc())
+        assert text.startswith("STRING")
+        assert "[a-zA-Z0-9]+" in text
+        assert text.count("%%") == 2
+
+    def test_save_to_disk(self, tmp_path):
+        path = tmp_path / "out.y"
+        save_yacc_grammar(if_then_else(), str(path))
+        reparsed = parse_yacc_grammar(path.read_text())
+        assert len(reparsed.productions) == 5
+
+    def test_behavioural_equivalence_after_roundtrip(self):
+        """The round-tripped grammar tags identically."""
+        from repro.core.tagger import BehavioralTagger
+
+        original = xmlrpc()
+        reparsed = parse_yacc_grammar(write_yacc_grammar(original))
+        message = (
+            b"<methodCall><methodName>buy</methodName>"
+            b"<params><param><i4>1</i4></param></params></methodCall>"
+        )
+        a = [str(t) for t in BehavioralTagger(original).tag(message)]
+        b = [str(t) for t in BehavioralTagger(reparsed).tag(message)]
+        assert a == b

@@ -1,0 +1,129 @@
+"""Yacc/Lex-style grammar front-end (Fig. 14 format)."""
+
+import pytest
+
+from repro.errors import GrammarSyntaxError
+from repro.grammar.symbols import NonTerminal, Terminal
+from repro.grammar.yacc_parser import parse_yacc_grammar
+
+
+class TestTokenSection:
+    def test_named_tokens(self):
+        g = parse_yacc_grammar("NUM [0-9]+\n%%\ns: NUM;\n")
+        assert "NUM" in g.lexspec
+        assert not g.lexspec.get("NUM").is_literal
+
+    def test_shared_pattern_names(self):
+        g = parse_yacc_grammar(
+            "MONTH, DAY        [0-9][0-9]\n%%\ns: MONTH DAY;\n"
+        )
+        assert g.lexspec.get("MONTH").pattern == g.lexspec.get("DAY").pattern
+
+    def test_dotted_token_names(self):
+        g = parse_yacc_grammar("A.B x\n%%\ns: A.B;\n")
+        assert "A.B" in g.lexspec
+
+    def test_delim_directive(self):
+        g = parse_yacc_grammar("%delim [xy]\n%%\ns: \"a\";\n")
+        assert g.lexspec.is_delimiter(ord("x"))
+        assert not g.lexspec.is_delimiter(ord(" "))
+
+    def test_start_directive(self):
+        g = parse_yacc_grammar(
+            """
+            %start inner
+            %%
+            outer: inner;
+            inner: "a" outer "b" | "c";
+            %%
+            """
+        )
+        assert g.start == NonTerminal("inner")
+
+    def test_bad_pattern_reports_line(self):
+        with pytest.raises(GrammarSyntaxError) as info:
+            parse_yacc_grammar("BAD [z-a\n%%\ns: BAD;\n")
+        assert info.value.line is not None
+
+    def test_bad_start_symbol(self):
+        with pytest.raises(GrammarSyntaxError, match="%start"):
+            parse_yacc_grammar("%start nothere\n%%\ns: \"a\";\n")
+
+
+class TestProductionSection:
+    def test_quoted_literals_become_tokens(self):
+        g = parse_yacc_grammar('%%\ns: "<tag>" "x";\n')
+        assert g.lexspec.get("<tag>").is_literal
+        assert g.lexspec.get("<tag>").fixed_text() == b"<tag>"
+
+    def test_single_quote_and_backquote_chars(self):
+        g = parse_yacc_grammar("%%\ns: 'T' `:';\n")
+        names = [t.name for t in g.lexspec]
+        assert names == ["T", ":"]
+
+    def test_alternatives_expand_to_productions(self, ite_grammar):
+        assert len(ite_grammar.productions) == 5
+
+    def test_epsilon_alternative(self):
+        g = parse_yacc_grammar('%%\nlist: | "x" list;\n')
+        assert g.productions[0].rhs == ()
+
+    def test_identifier_resolution(self):
+        g = parse_yacc_grammar(
+            "WORD [a-z]+\n%%\ns: WORD t;\nt: \"end\";\n"
+        )
+        rhs = g.productions[0].rhs
+        assert isinstance(rhs[0], Terminal)
+        assert isinstance(rhs[1], NonTerminal)
+
+    def test_comments_stripped(self):
+        g = parse_yacc_grammar(
+            """
+            # a comment
+            WORD [a-z]+   // trailing comment
+            %%
+            s: WORD;  # another
+            %%
+            """
+        )
+        assert "WORD" in g.lexspec
+
+    def test_trailer_ignored(self):
+        g = parse_yacc_grammar('%%\ns: "a";\n%%\narbitrary trailer ???\n')
+        assert len(g.productions) == 1
+
+    def test_first_lhs_is_start(self, xmlrpc_grammar):
+        assert xmlrpc_grammar.start == NonTerminal("methodCall")
+
+
+class TestErrors:
+    def test_missing_separator(self):
+        with pytest.raises(GrammarSyntaxError, match="%%"):
+            parse_yacc_grammar('s: "a";')
+
+    def test_too_many_separators(self):
+        with pytest.raises(GrammarSyntaxError, match="too many"):
+            parse_yacc_grammar("%%\ns: \"a\";\n%%\n%%\n%%\n")
+
+    def test_missing_colon(self):
+        with pytest.raises(GrammarSyntaxError, match="':'"):
+            parse_yacc_grammar('%%\ns "a";\n')
+
+    def test_unterminated_rule(self):
+        with pytest.raises(GrammarSyntaxError, match="';'"):
+            parse_yacc_grammar('%%\ns: "a"\n')
+
+    def test_junk_character(self):
+        with pytest.raises(GrammarSyntaxError, match="unexpected"):
+            parse_yacc_grammar('%%\ns: "a" @ "b";\n')
+
+
+class TestLoadFromDisk:
+    def test_load_yacc_grammar(self, tmp_path):
+        from repro.grammar.yacc_parser import load_yacc_grammar
+
+        path = tmp_path / "toy.y"
+        path.write_text('%%\ns: "hello";\n')
+        g = load_yacc_grammar(str(path), name="toy")
+        assert g.name == "toy"
+        assert len(g.productions) == 1

@@ -1,0 +1,104 @@
+"""Structural analysis: logic levels, fanout, pipeline depth."""
+
+import pytest
+
+from repro.rtl.netlist import Netlist
+from repro.rtl.analysis import (
+    analyze,
+    fanout_map,
+    logic_levels,
+    max_logic_depth,
+    pipeline_depth,
+)
+
+
+def test_logic_levels_chain():
+    nl = Netlist()
+    a, b, c = (nl.input(x) for x in "abc")
+    l1 = nl.and_(a, b)
+    l2 = nl.or_(l1, c)
+    l3 = nl.not_(l2)
+    levels = logic_levels(nl)
+    assert levels[a.uid] == 0
+    assert levels[l1.uid] == 1
+    assert levels[l2.uid] == 2
+    assert levels[l3.uid] == 3
+
+
+def test_max_depth_measured_at_register_boundaries():
+    nl = Netlist()
+    a, b = nl.input("a"), nl.input("b")
+    deep = nl.not_(nl.or_(nl.and_(a, b), b))
+    q = nl.reg(deep)
+    nl.output("o", nl.and_(q, a))  # depth 1 after the register
+    assert max_logic_depth(nl) == 3
+
+
+def test_register_resets_depth():
+    nl = Netlist()
+    a = nl.input("a")
+    stage1 = nl.and_(a, a, name="s")  # dedup -> passthrough a
+    q = nl.reg(nl.not_(a))
+    out = nl.and_(q, a)
+    nl.output("o", out)
+    levels = logic_levels(nl)
+    assert levels[q.uid] == 0
+    assert levels[out.uid] == 1
+
+
+def test_fanout_map_counts_all_sinks():
+    nl = Netlist()
+    a = nl.input("a")
+    nl.output("o1", nl.and_(a, nl.input("b")))
+    nl.reg(a)
+    nl.output("o2", a)
+    fanout = fanout_map(nl)
+    # a feeds: the AND gate, the register D, and output o2.
+    assert fanout[a.uid] == 3
+
+
+class TestPipelineDepth:
+    def test_straight_pipeline(self):
+        nl = Netlist()
+        a = nl.input("a")
+        q = nl.delay(a, 4)
+        nl.output("o", q)
+        assert pipeline_depth(nl, "o") == 4
+
+    def test_combinational_only(self):
+        nl = Netlist()
+        nl.output("o", nl.not_(nl.input("a")))
+        assert pipeline_depth(nl, "o") == 0
+
+    def test_takes_longest_branch(self):
+        nl = Netlist()
+        a = nl.input("a")
+        short = nl.reg(a)
+        long = nl.delay(a, 3)
+        nl.output("o", nl.or_(short, long))
+        assert pipeline_depth(nl, "o") == 3
+
+    def test_sequential_feedback_does_not_hang(self):
+        nl = Netlist()
+        q = nl.placeholder("q")
+        nl.close_reg(q, nl.or_(q, nl.input("s")))
+        nl.output("o", q)
+        assert pipeline_depth(nl, "o") == 1
+
+    def test_unknown_output_rejected(self):
+        nl = Netlist()
+        nl.output("o", nl.input("a"))
+        with pytest.raises(KeyError):
+            pipeline_depth(nl, "nope")
+
+
+def test_analyze_summary():
+    nl = Netlist("demo")
+    a = nl.input("a")
+    b = nl.input("b")
+    nl.output("o", nl.and_(a, b, name="theand"))
+    stats = analyze(nl)
+    assert stats.n_gates == 1
+    assert stats.max_logic_depth == 1
+    assert stats.max_fanout >= 1
+    assert "demo" in stats.summary()

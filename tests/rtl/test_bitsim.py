@@ -1,0 +1,108 @@
+"""Bit-parallel simulator: agreement with the scalar simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.rtl.bitsim import (
+    BitParallelSimulator,
+    pack_byte_streams,
+    unpack_output_lane,
+)
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import Simulator, stimulus_with_valid
+
+
+def _mixed_design():
+    nl = Netlist()
+    a, b, en = nl.input("a"), nl.input("b"), nl.input("en")
+    q = nl.reg(nl.xor(a, b), enable=en, init=1, name="q")
+    toggle = nl.placeholder("t")
+    nl.close_reg(toggle, nl.not_(toggle))
+    nl.output("q", q)
+    nl.output("comb", nl.or_(nl.and_(a, q), nl.not_(b)))
+    nl.output("t", toggle)
+    return nl
+
+
+class TestAgainstScalar:
+    @given(
+        frames=st.lists(
+            st.tuples(st.booleans(), st.booleans(), st.booleans()),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_lane_matches_scalar(self, frames):
+        nl = _mixed_design()
+        scalar = Simulator(nl)
+        parallel = BitParallelSimulator(_mixed_design(), lanes=1)
+        for a, b, en in frames:
+            expected = scalar.step({"a": a, "b": b, "en": en})
+            got = parallel.step({"a": int(a), "b": int(b), "en": int(en)})
+            assert got == {k: int(v) for k, v in expected.items()}
+
+    def test_lanes_are_independent(self):
+        parallel = BitParallelSimulator(_mixed_design(), lanes=2)
+        # lane 0: a=1,b=0 ; lane 1: a=0,b=1, both enabled
+        out = parallel.step({"a": 0b01, "b": 0b10, "en": 0b11})
+        out = parallel.step({"a": 0, "b": 0, "en": 0})
+        # q latched xor: lane0 1^0=1, lane1 0^1=1 -> 0b11
+        assert out["q"] == 0b11
+
+    def test_enable_per_lane(self):
+        parallel = BitParallelSimulator(_mixed_design(), lanes=2)
+        parallel.step({"a": 0b11, "b": 0b00, "en": 0b01})  # only lane 0 loads
+        out = parallel.step({"a": 0, "b": 0, "en": 0})
+        assert out["q"] & 0b01 == 0b01  # lane 0 loaded 1
+        assert out["q"] & 0b10 == 0b10  # lane 1 held init 1
+
+    def test_unknown_port(self):
+        parallel = BitParallelSimulator(_mixed_design(), lanes=1)
+        with pytest.raises(SimulationError):
+            parallel.step({"zzz": 1})
+
+    def test_lane_count_validated(self):
+        with pytest.raises(SimulationError):
+            BitParallelSimulator(_mixed_design(), lanes=0)
+
+
+class TestTaggerCorpus:
+    def test_tagger_runs_many_inputs_at_once(self, ite_grammar):
+        """The intended use: one pass checks a whole input corpus."""
+        from repro.core.generator import TaggerGenerator
+        from repro.core.tagger import BehavioralTagger
+
+        circuit = TaggerGenerator().generate(ite_grammar)
+        behavioral = BehavioralTagger(ite_grammar)
+        corpus = [
+            b"if true then go else stop",
+            b"go",
+            b"stop go stop",
+            b"iffy",
+            b"if false then stop else go",
+        ]
+        latency = circuit.detect_latency
+        frames = pack_byte_streams(corpus, flush=latency + 2)
+        parallel = BitParallelSimulator(circuit.netlist, lanes=len(corpus))
+        outputs = parallel.run(frames)
+
+        for lane, data in enumerate(corpus):
+            expected = {
+                (str(e.occurrence), e.end) for e in behavioral.events(data)
+            }
+            got = set()
+            for occurrence, port in circuit.detect_ports.items():
+                trace = unpack_output_lane(outputs, port, lane)
+                for cycle, value in enumerate(trace):
+                    end = cycle - latency + 1
+                    if value and 1 <= end <= len(data):
+                        got.add((str(occurrence), end))
+            assert got == expected, corpus[lane]
+
+    def test_pack_respects_lengths(self):
+        frames = pack_byte_streams([b"ab", b"a"], flush=1)
+        assert frames[0]["in_valid"] == 0b11
+        assert frames[1]["in_valid"] == 0b01
+        assert frames[2]["in_valid"] == 0

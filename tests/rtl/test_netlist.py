@@ -1,0 +1,184 @@
+"""Netlist builder: construction, folding, validation, forward refs."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.rtl.netlist import (
+    GateKind,
+    Netlist,
+    check_unused,
+    collect_fanout,
+)
+
+
+@pytest.fixture()
+def nl():
+    return Netlist("t")
+
+
+class TestBuilders:
+    def test_and_basic(self, nl):
+        a, b = nl.input("a"), nl.input("b")
+        out = nl.and_(a, b)
+        assert isinstance(out.driver, object)
+        assert out.driver.kind is GateKind.AND
+        assert out.driver.inputs == (a, b)
+
+    def test_and_dedupes_operands(self, nl):
+        a, b = nl.input("a"), nl.input("b")
+        out = nl.and_(a, b, a)
+        assert out.driver.inputs == (a, b)
+
+    def test_and_single_operand_passthrough(self, nl):
+        a = nl.input("a")
+        assert nl.and_(a) is a
+
+    def test_and_identity_constant_dropped(self, nl):
+        a = nl.input("a")
+        assert nl.and_(a, nl.const(1)) is a
+
+    def test_and_absorbing_constant(self, nl):
+        a = nl.input("a")
+        assert nl.is_const(nl.and_(a, nl.const(0))) == 0
+
+    def test_or_identity_and_absorbing(self, nl):
+        a = nl.input("a")
+        assert nl.or_(a, nl.const(0)) is a
+        assert nl.is_const(nl.or_(a, nl.const(1))) == 1
+
+    def test_empty_and_is_const1(self, nl):
+        assert nl.is_const(nl.and_()) == 1
+
+    def test_empty_or_is_const0(self, nl):
+        assert nl.is_const(nl.or_()) == 0
+
+    def test_not_folds_constants(self, nl):
+        assert nl.is_const(nl.not_(nl.const(0))) == 1
+        assert nl.is_const(nl.not_(nl.const(1))) == 0
+
+    def test_xor_folding(self, nl):
+        a = nl.input("a")
+        assert nl.xor(a, nl.const(0)) is a
+        inverted = nl.xor(a, nl.const(1))
+        assert inverted.driver.kind is GateKind.NOT
+        assert nl.is_const(nl.xor(a, a)) == 0
+
+    def test_mux_constant_select(self, nl):
+        a, b = nl.input("a"), nl.input("b")
+        assert nl.mux(nl.const(1), a, b) is a
+        assert nl.mux(nl.const(0), a, b) is b
+
+    def test_const_nets_shared(self, nl):
+        assert nl.const(1) is nl.const(1)
+        assert nl.const(0) is nl.const(0)
+        assert nl.const(1) is not nl.const(0)
+
+    def test_tree_builders(self, nl):
+        bits = [nl.input(f"i{k}") for k in range(9)]
+        out = nl.or_tree(bits)
+        assert out.driver.kind is GateKind.OR
+        with pytest.raises(NetlistError):
+            nl.and_tree([])
+
+    def test_unique_names(self, nl):
+        first = nl.new_net("x")
+        second = nl.new_net("x")
+        assert first.name != second.name
+
+
+class TestRegisters:
+    def test_reg_and_delay(self, nl):
+        a = nl.input("a")
+        q = nl.reg(a, init=1)
+        assert nl.registers[0].init == 1
+        assert nl.delay(a, 0) is a
+        chained = nl.delay(a, 3)
+        assert nl.n_registers == 4
+        assert chained is not a
+
+    def test_delay_rejects_negative(self, nl):
+        with pytest.raises(NetlistError):
+            nl.delay(nl.input("a"), -1)
+
+    def test_const1_enable_dropped(self, nl):
+        a = nl.input("a")
+        nl.reg(a, enable=nl.const(1))
+        assert nl.registers[0].enable is None
+
+
+class TestForwardReferences:
+    def test_close_reg_feedback(self, nl):
+        q = nl.placeholder("q")
+        d = nl.or_(q, nl.input("set"))
+        nl.close_reg(q, d)
+        nl.output("q", q)
+        nl.validate()
+
+    def test_drive_or_single_becomes_buf(self, nl):
+        p = nl.placeholder()
+        nl.drive_or(p, [nl.input("a")])
+        assert p.driver.kind is GateKind.BUF
+
+    def test_double_drive_rejected(self, nl):
+        p = nl.placeholder()
+        nl.drive_const(p, 0)
+        with pytest.raises(NetlistError):
+            nl.drive_const(p, 1)
+
+    def test_close_reg_on_driven_net_rejected(self, nl):
+        a = nl.input("a")
+        with pytest.raises(NetlistError):
+            nl.close_reg(a, a)
+
+
+class TestValidation:
+    def test_undriven_gate_input(self, nl):
+        dangling = nl.new_net("dangling")
+        nl.output("o", nl.and_(dangling, nl.input("a")))
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.validate()
+
+    def test_undriven_output(self, nl):
+        nl.output("o", nl.new_net("x"))
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.validate()
+
+    def test_duplicate_output_rejected(self, nl):
+        a = nl.input("a")
+        nl.output("o", a)
+        with pytest.raises(NetlistError, match="duplicate"):
+            nl.output("o", a)
+
+    def test_combinational_loop_detected(self, nl):
+        p = nl.placeholder("loop")
+        out = nl.and_(p, nl.input("a"))
+        nl.drive_gate(p, GateKind.BUF, (out,))
+        with pytest.raises(NetlistError, match="loop"):
+            nl.levelize()
+
+    def test_register_breaks_cycle(self, nl):
+        q = nl.placeholder("q")
+        d = nl.not_(q)
+        nl.close_reg(q, d)  # toggle flop: sequential loop is fine
+        nl.output("q", q)
+        nl.validate()
+
+
+class TestStats:
+    def test_gate_counts(self, nl):
+        a, b = nl.input("a"), nl.input("b")
+        nl.and_(a, b)
+        nl.or_(a, b)
+        nl.not_(a)
+        counts = nl.gate_counts()
+        assert counts == {"and": 1, "or": 1, "not": 1}
+
+    def test_fanout_and_unused(self, nl):
+        a = nl.input("a")
+        used = nl.and_(a, nl.input("b"))
+        nl.output("o", used)
+        dead = nl.or_(a, a, name="dead")  # dedup -> buf? no: single -> a
+        fanout = collect_fanout(nl)
+        assert fanout[a.uid] >= 1
+        unused = check_unused(nl)
+        assert all(net.uid != used.uid for net in unused)

@@ -1,0 +1,148 @@
+"""Cycle-accurate simulator semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import (
+    Simulator,
+    byte_stimulus,
+    stimulus_with_valid,
+    trace_nets,
+)
+
+
+def _toggle_netlist():
+    nl = Netlist()
+    q = nl.placeholder("q")
+    nl.close_reg(q, nl.not_(q))
+    nl.output("q", q)
+    return nl
+
+
+class TestCombinational:
+    def test_gate_evaluation(self):
+        nl = Netlist()
+        a, b = nl.input("a"), nl.input("b")
+        nl.output("and", nl.and_(a, b))
+        nl.output("or", nl.or_(a, b))
+        nl.output("xor", nl.xor(a, b))
+        nl.output("not", nl.not_(a))
+        sim = Simulator(nl)
+        for va in (0, 1):
+            for vb in (0, 1):
+                out = sim.step({"a": va, "b": vb})
+                assert out["and"] == (va & vb)
+                assert out["or"] == (va | vb)
+                assert out["xor"] == (va ^ vb)
+                assert out["not"] == (1 - va)
+
+    def test_constants(self):
+        nl = Netlist()
+        nl.output("one", nl.const(1))
+        nl.output("zero", nl.const(0))
+        sim = Simulator(nl)
+        assert sim.step() == {"one": 1, "zero": 0}
+
+    def test_unknown_input_rejected(self):
+        nl = Netlist()
+        nl.output("o", nl.input("a"))
+        sim = Simulator(nl)
+        with pytest.raises(SimulationError, match="unknown input"):
+            sim.step({"nope": 1})
+
+
+class TestSequential:
+    def test_register_delays_one_cycle(self):
+        nl = Netlist()
+        a = nl.input("a")
+        nl.output("q", nl.reg(a))
+        sim = Simulator(nl)
+        assert sim.step({"a": 1})["q"] == 0
+        assert sim.step({"a": 0})["q"] == 1
+        assert sim.step({"a": 0})["q"] == 0
+
+    def test_init_value(self):
+        nl = Netlist()
+        nl.output("q", nl.reg(nl.input("a"), init=1))
+        sim = Simulator(nl)
+        assert sim.step({"a": 0})["q"] == 1
+
+    def test_enable_stalls(self):
+        nl = Netlist()
+        a, en = nl.input("a"), nl.input("en")
+        nl.output("q", nl.reg(a, enable=en))
+        sim = Simulator(nl)
+        sim.step({"a": 1, "en": 1})
+        assert sim.step({"a": 0, "en": 0})["q"] == 1  # latched
+        assert sim.step({"a": 0, "en": 0})["q"] == 1  # held
+        sim.step({"a": 0, "en": 1})
+        assert sim.step({"a": 0, "en": 0})["q"] == 0  # loaded 0
+
+    def test_toggle_flop(self):
+        sim = Simulator(_toggle_netlist())
+        values = [sim.step()["q"] for _ in range(6)]
+        assert values == [0, 1, 0, 1, 0, 1]
+
+    def test_shift_register_simultaneous_update(self):
+        # All registers must sample before any updates (two-phase).
+        nl = Netlist()
+        a = nl.input("a")
+        q1 = nl.reg(a, name="q1")
+        q2 = nl.reg(q1, name="q2")
+        nl.output("q2", q2)
+        sim = Simulator(nl)
+        sim.step({"a": 1})
+        assert sim.step({"a": 0})["q2"] == 0
+        assert sim.step({"a": 0})["q2"] == 1
+
+    def test_reset_restores_init(self):
+        sim = Simulator(_toggle_netlist())
+        sim.step()
+        sim.step()
+        sim.reset()
+        assert sim.cycle == 0
+        assert sim.step()["q"] == 0
+
+    def test_peek_by_name_and_net(self):
+        nl = Netlist()
+        a = nl.input("a")
+        q = nl.reg(a, name="myreg")
+        nl.output("q", q)
+        sim = Simulator(nl)
+        sim.step({"a": 1})
+        assert sim.peek(q) == 1
+        assert sim.peek("myreg") == 1
+        with pytest.raises(SimulationError):
+            sim.peek("missing")
+
+
+class TestStimulusHelpers:
+    def test_byte_stimulus_lsb_first(self):
+        frames = byte_stimulus(b"\x81")
+        assert frames[0]["data0"] == 1
+        assert frames[0]["data7"] == 1
+        assert frames[0]["data1"] == 0
+
+    def test_stimulus_with_valid_flushes(self):
+        frames = stimulus_with_valid(b"ab", 3)
+        assert len(frames) == 5
+        assert frames[0]["in_valid"] == 1
+        assert frames[-1]["in_valid"] == 0
+
+    def test_trace_nets(self):
+        nl = Netlist()
+        a = nl.input("a")
+        q = nl.reg(a, name="q")
+        nl.output("q", q)
+        sim = Simulator(nl)
+        traces = trace_nets(sim, [{"a": 1}, {"a": 0}], [q])
+        assert traces["q"] == [0, 1]
+
+    def test_run_collects_outputs(self):
+        nl = Netlist()
+        a = nl.input("a")
+        nl.output("o", a)
+        sim = Simulator(nl)
+        outs = sim.run([{"a": 1}, {"a": 0}, {"a": 1}])
+        assert [o["o"] for o in outs] == [1, 0, 1]

@@ -1,0 +1,117 @@
+"""Hardware stack module (§5.2 substrate)."""
+
+import pytest
+
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import Simulator
+from repro.rtl.stack import build_counter_stack, build_stack
+
+
+def _rig(width=2, depth=4):
+    nl = Netlist("stk")
+    push, pop = nl.input("push"), nl.input("pop")
+    data = [nl.input(f"d{b}") for b in range(width)]
+    ports = build_stack(nl, push, pop, data, depth=depth)
+    for b, net in enumerate(ports.top):
+        nl.output(f"top{b}", net)
+    nl.output("empty", ports.empty)
+    nl.output("ovf", ports.overflow)
+    nl.output("unf", ports.underflow)
+    nl.validate()
+    return Simulator(nl), width
+
+
+def _op(sim, width, push=0, pop=0, value=0):
+    frame = {"push": push, "pop": pop}
+    for b in range(width):
+        frame[f"d{b}"] = (value >> b) & 1
+    return sim.step(frame)
+
+
+def _top(out, width):
+    return sum(out[f"top{b}"] << b for b in range(width))
+
+
+class TestStack:
+    def test_starts_empty(self):
+        sim, w = _rig()
+        out = _op(sim, w)
+        assert out["empty"] == 1
+
+    def test_push_pop_lifo(self):
+        sim, w = _rig()
+        _op(sim, w, push=1, value=2)
+        _op(sim, w, push=1, value=3)
+        out = _op(sim, w)
+        assert _top(out, w) == 3 and out["empty"] == 0
+        out = _op(sim, w, pop=1)
+        assert _top(out, w) == 3  # pop takes effect at the edge
+        out = _op(sim, w)
+        assert _top(out, w) == 2
+        _op(sim, w, pop=1)
+        out = _op(sim, w)
+        assert out["empty"] == 1
+
+    def test_replace_top(self):
+        sim, w = _rig()
+        _op(sim, w, push=1, value=1)
+        _op(sim, w, push=1, pop=1, value=3)  # replace
+        out = _op(sim, w)
+        assert _top(out, w) == 3
+        _op(sim, w, pop=1)
+        out = _op(sim, w)
+        assert out["empty"] == 1  # depth stayed 1
+
+    def test_overflow_sticky(self):
+        sim, w = _rig(depth=2)
+        for v in (1, 2, 3):
+            _op(sim, w, push=1, value=v)
+        out = _op(sim, w)
+        assert out["ovf"] == 1
+        out = _op(sim, w, pop=1)
+        assert out["ovf"] == 1  # sticky
+
+    def test_underflow_sticky(self):
+        sim, w = _rig()
+        _op(sim, w, pop=1)
+        out = _op(sim, w)
+        assert out["unf"] == 1
+
+    def test_deep_sequence(self):
+        sim, w = _rig(width=3, depth=6)
+        values = [1, 5, 2, 7]
+        for v in values:
+            _op(sim, w, push=1, value=v)
+        for expected in reversed(values):
+            out = _op(sim, w)
+            assert _top(out, w if w else 3) or True
+            assert sum(out[f"top{b}"] << b for b in range(3)) == expected
+            _op(sim, w, pop=1)
+        out = _op(sim, w)
+        assert out["empty"] == 1
+        assert out["ovf"] == 0 and out["unf"] == 0
+
+    def test_bad_depth(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            build_stack(nl, nl.input("p"), nl.input("q"), [], depth=0)
+
+
+class TestCounterStack:
+    def test_counts_depth(self):
+        nl = Netlist()
+        push, pop = nl.input("push"), nl.input("pop")
+        ports = build_counter_stack(nl, push, pop, depth=3)
+        nl.output("empty", ports.empty)
+        nl.output("unf", ports.underflow)
+        sim = Simulator(nl)
+        sim.step({"push": 1, "pop": 0})
+        sim.step({"push": 1, "pop": 0})
+        out = sim.step({"push": 0, "pop": 0})
+        assert out["empty"] == 0
+        sim.step({"push": 0, "pop": 1})
+        sim.step({"push": 0, "pop": 1})
+        out = sim.step({"push": 0, "pop": 0})
+        assert out["empty"] == 1 and out["unf"] == 0
+        sim.step({"push": 0, "pop": 1})
+        assert sim.step({"push": 0, "pop": 0})["unf"] == 1

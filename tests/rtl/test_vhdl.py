@@ -1,0 +1,77 @@
+"""VHDL emission: structure, identifiers, golden fragment."""
+
+import re
+
+from repro.rtl.netlist import Netlist
+from repro.rtl.vhdl import emit_vhdl, _sanitize
+
+
+def _small_design():
+    nl = Netlist("demo")
+    a, b = nl.input("a"), nl.input("b")
+    q = nl.reg(nl.and_(a, b, name="prod"), name="q")
+    gated = nl.reg(a, enable=b, init=1, name="held")
+    nl.output("q", q)
+    nl.output("held", gated)
+    return nl
+
+
+class TestSanitize:
+    def test_strips_illegal_characters(self):
+        assert _sanitize("tok_<i4>_p13.0") == "tok_i4_p13_0"
+
+    def test_prefixes_non_alpha_start(self):
+        assert _sanitize("0weird")[0].isalpha()
+
+    def test_never_empty(self):
+        assert _sanitize("!!!")
+
+
+class TestEmission:
+    def test_entity_architecture_present(self):
+        text = emit_vhdl(_small_design())
+        assert "entity demo is" in text
+        assert "architecture rtl of demo" in text
+        assert "end architecture rtl;" in text
+
+    def test_ports_declared(self):
+        text = emit_vhdl(_small_design())
+        assert "clk   : in  std_logic" in text
+        assert re.search(r"\ba : in  std_logic", text)
+        assert re.search(r"o_q : out std_logic", text)
+
+    def test_gates_become_concurrent_assignments(self):
+        text = emit_vhdl(_small_design())
+        assert re.search(r"prod\w* <= a and b;", text)
+
+    def test_registers_in_clocked_process(self):
+        text = emit_vhdl(_small_design())
+        assert "rising_edge(clk)" in text
+        assert "if reset = '1' then" in text
+        # enable register guards its load
+        assert re.search(r"if b = '1' then", text)
+        # init value 1 appears in the reset branch
+        assert re.search(r"held\w* <= '1';", text)
+
+    def test_custom_entity_name(self):
+        text = emit_vhdl(_small_design(), entity="my top!")
+        assert "entity my_top is" in text
+
+    def test_name_collisions_resolved(self):
+        nl = Netlist("x")
+        a = nl.input("sig.1")
+        b = nl.input("sig 1")
+        nl.output("o", nl.and_(a, b))
+        text = emit_vhdl(nl)
+        # both inputs must appear with distinct identifiers
+        ports = re.findall(r"(\w+) : in  std_logic", text)
+        assert len(ports) == len(set(ports))
+
+    def test_generated_tagger_emits(self):
+        from repro.core.generator import TaggerGenerator
+        from repro.grammar.examples import if_then_else
+
+        circuit = TaggerGenerator().generate(if_then_else())
+        text = emit_vhdl(circuit.netlist)
+        assert text.count("<=") > 100
+        assert "registers : process (clk)" in text

@@ -1,0 +1,37 @@
+"""Waveform capture helper."""
+
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import Simulator
+from repro.rtl.waveform import Waveform
+
+
+def _pulse_design():
+    nl = Netlist()
+    a = nl.input("a")
+    q = nl.reg(a, name="q")
+    nl.output("q", q)
+    return nl, q
+
+
+def test_records_signals_and_outputs():
+    nl, q = _pulse_design()
+    wave = Waveform(Simulator(nl), watch=[q])
+    wave.run([{"a": 1}, {"a": 0}, {"a": 1}])
+    assert wave.signal("q") == [0, 1, 0]
+    assert [o["q"] for o in wave.outputs] == [0, 1, 0]
+
+
+def test_rising_edges():
+    nl, q = _pulse_design()
+    wave = Waveform(Simulator(nl), watch=[q])
+    wave.run([{"a": v} for v in (1, 0, 0, 1, 0)])
+    assert wave.rising_edges("q") == [1, 4]
+
+
+def test_render_ascii():
+    nl, q = _pulse_design()
+    wave = Waveform(Simulator(nl), watch=[q])
+    wave.run([{"a": 1}, {"a": 0}])
+    art = wave.render()
+    assert "q" in art
+    assert "#" in art and "_" in art

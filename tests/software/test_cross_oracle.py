@@ -1,0 +1,87 @@
+"""Three-way oracle: LL(1) == recursive descent == hardware tagger.
+
+On conforming input the tagged (token, occurrence, span) stream must
+be identical across the table-driven parser, the recursive-descent
+parser and the hardware-semantics behavioral tagger. Random valid
+workloads are generated with hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.xmlrpc import WorkloadGenerator
+from repro.core.tagger import BehavioralTagger
+from repro.grammar.examples import if_then_else, xmlrpc
+from repro.software.ll1 import LL1Parser
+from repro.software.recursive_descent import RecursiveDescentParser
+
+
+def _key(tokens):
+    return [(t.token, t.occurrence, t.start, t.end, t.lexeme) for t in tokens]
+
+
+@pytest.fixture(scope="module")
+def xmlrpc_oracles():
+    grammar = xmlrpc()
+    return (
+        LL1Parser(grammar),
+        RecursiveDescentParser(grammar),
+        BehavioralTagger(grammar),
+    )
+
+
+class TestFixedSentences:
+    def test_message(self, xmlrpc_oracles, xmlrpc_message):
+        ll1, rd, hw = xmlrpc_oracles
+        expected = _key(ll1.parse(xmlrpc_message).tokens)
+        assert _key(rd.parse(xmlrpc_message)) == expected
+        assert _key(hw.tag(xmlrpc_message)) == expected
+
+    def test_ite(self):
+        grammar = if_then_else()
+        data = b"if true then if false then go else go else stop"
+        expected = _key(LL1Parser(grammar).parse(data).tokens)
+        assert _key(RecursiveDescentParser(grammar).parse(data)) == expected
+        assert _key(BehavioralTagger(grammar).tag(data)) == expected
+
+
+# Random sentences of the if-then-else grammar via a tiny generator.
+@st.composite
+def ite_sentences(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        return draw(st.sampled_from([b"go", b"stop"]))
+    condition = draw(st.sampled_from([b"true", b"false"]))
+    left = draw(ite_sentences(depth=depth + 1))
+    right = draw(ite_sentences(depth=depth + 1))
+    return b"if " + condition + b" then " + left + b" else " + right
+
+
+@given(sentence=ite_sentences())
+@settings(max_examples=60, deadline=None)
+def test_ite_random_sentences(sentence):
+    grammar = if_then_else()
+    expected = _key(LL1Parser(grammar).parse(sentence).tokens)
+    assert _key(RecursiveDescentParser(grammar).parse(sentence)) == expected
+    assert _key(BehavioralTagger(grammar).tag(sentence)) == expected
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_xmlrpc_random_workload(seed):
+    grammar = xmlrpc()
+    generator = WorkloadGenerator(seed=seed, max_params=3, max_depth=1)
+    call, _port, _decoy = generator.message()
+    data = call.encode()
+    expected = _key(LL1Parser(grammar).parse(data).tokens)
+    assert _key(RecursiveDescentParser(grammar).parse(data)) == expected
+    assert _key(BehavioralTagger(grammar).tag(data)) == expected
+
+
+def test_multi_message_stream_oracle(xmlrpc_oracles, xmlrpc_stream):
+    ll1, _rd, hw = xmlrpc_oracles
+    stream_tokens = []
+    for result in ll1.parse_stream(xmlrpc_stream):
+        stream_tokens.extend(result.tokens)
+    assert [
+        (t.token, t.occurrence, t.lexeme) for t in stream_tokens
+    ] == [(t.token, t.occurrence, t.lexeme) for t in hw.tag(xmlrpc_stream)]

@@ -1,0 +1,87 @@
+"""Software lexers: maximal munch and context-sensitive variants."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.grammar.lexspec import LexSpec
+from repro.software.lexer import ContextSensitiveLexer, Lexer
+
+
+@pytest.fixture()
+def spec():
+    s = LexSpec()
+    s.define("WORD", "[a-z]+")
+    s.define("NUM", "[0-9]+")
+    s.define_literal("==")
+    s.define_literal("=")
+    return s
+
+
+class TestMaximalMunch:
+    def test_basic_tokenization(self, spec):
+        tokens = Lexer(spec).tokenize(b"abc 42")
+        assert [(t.name, t.lexeme) for t in tokens] == [
+            ("WORD", b"abc"),
+            ("NUM", b"42"),
+        ]
+
+    def test_longest_match_wins(self, spec):
+        tokens = Lexer(spec).tokenize(b"==")
+        assert [t.name for t in tokens] == ["=="]
+
+    def test_tie_broken_by_definition_order(self, spec):
+        # WORD and NUM cannot tie; '=' vs '==' resolved by length. For
+        # a genuine tie, add a token with the same pattern.
+        s = LexSpec()
+        s.define("A", "[x]+")
+        s.define("B", "[x]+")
+        tokens = Lexer(s).tokenize(b"xx")
+        assert tokens[0].name == "A"
+
+    def test_positions(self, spec):
+        tokens = Lexer(spec).tokenize(b"  abc  42 ")
+        assert (tokens[0].start, tokens[0].end) == (2, 5)
+        assert (tokens[1].start, tokens[1].end) == (7, 9)
+
+    def test_junk_raises_with_position(self, spec):
+        with pytest.raises(ParseError) as info:
+            Lexer(spec).tokenize(b"abc !")
+        assert info.value.position == 4
+
+    def test_empty_input(self, spec):
+        assert Lexer(spec).tokenize(b"") == []
+        assert Lexer(spec).tokenize(b"   ") == []
+
+
+class TestContextSensitive:
+    def test_allowed_set_restricts(self, spec):
+        lexer = ContextSensitiveLexer(spec)
+        token, pos = lexer.next_token(b"abc", 0, {"WORD"})
+        assert token.name == "WORD"
+        with pytest.raises(ParseError, match="expected one of"):
+            lexer.next_token(b"abc", 0, {"NUM"})
+
+    def test_context_resolves_identical_patterns(self):
+        s = LexSpec()
+        s.define("MONTH", "[0-9][0-9]")
+        s.define("DAY", "[0-9][0-9]")
+        lexer = ContextSensitiveLexer(s)
+        token, pos = lexer.next_token(b"0704", 0, {"MONTH"})
+        assert (token.name, token.lexeme) == ("MONTH", b"07")
+        token, _ = lexer.next_token(b"0704", pos, {"DAY"})
+        assert (token.name, token.lexeme) == ("DAY", b"04")
+
+    def test_end_of_input_returns_none(self, spec):
+        lexer = ContextSensitiveLexer(spec)
+        token, pos = lexer.next_token(b"ab  ", 2, {"WORD"})
+        assert token is None
+        assert pos == 4
+
+    def test_custom_delimiters(self):
+        s = LexSpec()
+        s.define("WORD", "[a-z]+")
+        from repro.grammar.regex.ast import CharClass
+
+        s.delimiters = CharClass(frozenset(b"|"))
+        tokens = Lexer(s).tokenize(b"ab|cd")
+        assert [t.lexeme for t in tokens] == [b"ab", b"cd"]

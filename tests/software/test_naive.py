@@ -1,0 +1,77 @@
+"""Naive context-free scanner (the false-positive baseline)."""
+
+from repro.grammar.lexspec import LexSpec
+from repro.software.naive import NaiveScanner
+
+
+def _spec():
+    spec = LexSpec()
+    spec.define("NUM", "[0-9]+")
+    spec.define_literal("cat")
+    return spec
+
+
+class TestScan:
+    def test_finds_patterns_anywhere(self):
+        hits = NaiveScanner(_spec()).scan(b"a12b3cat")
+        assert [(h.name, h.start, h.end) for h in hits] == [
+            ("cat", 5, 8),
+            ("NUM", 1, 3),
+            ("NUM", 4, 5),
+        ] or sorted((h.name, h.start) for h in hits) == [
+            ("NUM", 1), ("NUM", 4), ("cat", 5),
+        ]
+
+    def test_no_suffix_duplicates(self):
+        hits = NaiveScanner(_spec()).scan(b"123")
+        nums = [h for h in hits if h.name == "NUM"]
+        assert len(nums) == 1
+        assert nums[0].lexeme == b"123"
+
+    def test_name_filter(self):
+        hits = NaiveScanner(_spec()).scan(b"12cat", names={"cat"})
+        assert [h.name for h in hits] == ["cat"]
+
+    def test_boundary_aligned_mode(self):
+        scanner = NaiveScanner(_spec(), boundary_aligned=True)
+        hits = scanner.scan(b"x12 34")
+        # '12' is mid-word (not after a delimiter) so only '34' hits.
+        assert [h.lexeme for h in hits] == [b"34"]
+
+
+class TestFindStrings:
+    def test_every_occurrence_reported(self):
+        hits = NaiveScanner.find_strings(b"xbuyxbuyx", [b"buy"])
+        assert [(h.start, h.end) for h in hits] == [(1, 4), (5, 8)]
+
+    def test_overlapping_needles(self):
+        hits = NaiveScanner.find_strings(b"aaa", [b"aa"])
+        assert [(h.start, h.end) for h in hits] == [(0, 2), (1, 3)]
+
+    def test_multiple_needles_sorted(self):
+        hits = NaiveScanner.find_strings(b"sell buy", [b"buy", b"sell"])
+        assert [h.name for h in hits] == ["sell", "buy"]
+
+
+class TestFalsePositiveDemonstration:
+    def test_service_name_in_payload_hits_naive_only(self, xmlrpc_grammar):
+        """The §1 motivation in miniature."""
+        from repro.core.tagger import BehavioralTagger
+
+        message = (
+            b"<methodCall><methodName>buy</methodName><params>"
+            b"<param><string>deposit</string></param>"
+            b"</params></methodCall>"
+        )
+        naive_hits = NaiveScanner.find_strings(message, [b"deposit", b"buy"])
+        assert len(naive_hits) == 2  # both names, no context
+
+        tagger = BehavioralTagger(xmlrpc_grammar)
+        method_values = [
+            t.lexeme
+            for t in tagger.tag(message)
+            if xmlrpc_grammar.productions[t.occurrence.production].lhs.name
+            == "methodName"
+            and t.token == "STRING"
+        ]
+        assert method_values == [b"buy"]  # context kills the false hit

@@ -1,0 +1,132 @@
+"""LL(1) and recursive-descent reference parsers."""
+
+import pytest
+
+from repro.errors import GrammarError, ParseError
+from repro.grammar.yacc_parser import parse_yacc_grammar
+from repro.software.ll1 import LL1Parser
+from repro.software.recursive_descent import RecursiveDescentParser
+
+
+class TestLL1Construction:
+    def test_xmlrpc_is_ll1(self, xmlrpc_grammar):
+        LL1Parser(xmlrpc_grammar)
+
+    def test_conflict_detected(self):
+        g = parse_yacc_grammar(
+            """
+            %%
+            s: "a" "b" | "a" "c";
+            %%
+            """
+        )
+        with pytest.raises(GrammarError, match="not LL"):
+            LL1Parser(g)
+
+    def test_rd_overlap_detected(self):
+        g = parse_yacc_grammar(
+            """
+            %%
+            s: "a" "b" | "a" "c";
+            %%
+            """
+        )
+        with pytest.raises(GrammarError, match="overlap"):
+            RecursiveDescentParser(g)
+
+
+@pytest.fixture(params=["ll1", "rd"])
+def parser_factory(request):
+    def make(grammar):
+        if request.param == "ll1":
+            parser = LL1Parser(grammar)
+            return lambda data: parser.parse(data).tokens
+        parser = RecursiveDescentParser(grammar)
+        return parser.parse
+
+    return make
+
+
+class TestParsing:
+    def test_ite_sentence(self, ite_grammar, parser_factory):
+        parse = parser_factory(ite_grammar)
+        tokens = parse(b"if true then go else stop")
+        assert [t.token for t in tokens] == [
+            "if", "true", "then", "go", "else", "stop",
+        ]
+        assert tokens[0].occurrence.context_name() == "p0.0"
+
+    def test_nested(self, ite_grammar, parser_factory):
+        parse = parser_factory(ite_grammar)
+        tokens = parse(b"if true then if false then go else go else stop")
+        assert len(tokens) == 11
+
+    def test_epsilon_production(self, xmlrpc_grammar, parser_factory):
+        parse = parser_factory(xmlrpc_grammar)
+        data = (
+            b"<methodCall><methodName>ping</methodName>"
+            b"<params></params></methodCall>"
+        )
+        tokens = parse(data)
+        assert [t.token for t in tokens][:3] == [
+            "<methodCall>", "<methodName>", "STRING",
+        ]
+
+    def test_full_message(self, xmlrpc_grammar, parser_factory, xmlrpc_message):
+        parse = parser_factory(xmlrpc_grammar)
+        tokens = parse(xmlrpc_message)
+        assert tokens[-1].token == "</methodCall>"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            b"if true go",              # missing then
+            b"go stop",                 # trailing token
+            b"<bogus>",
+            b"if true then go else",    # truncated
+        ],
+    )
+    def test_rejects_bad_input(self, ite_grammar, parser_factory, bad):
+        parse = parser_factory(ite_grammar)
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_trailing_junk_rejected(self, ite_grammar, parser_factory):
+        parse = parser_factory(ite_grammar)
+        with pytest.raises(ParseError):
+            parse(b"go !!!")
+
+
+class TestParseTree:
+    def test_tree_structure(self, ite_grammar):
+        result = LL1Parser(ite_grammar).parse(b"if true then go else stop")
+        tree = result.tree
+        assert tree.symbol.name == "E"
+        assert len(tree.children) == 6  # if C then E else E
+        leaves = tree.leaves()
+        assert [t.token for t in leaves] == [
+            "if", "true", "then", "go", "else", "stop",
+        ]
+
+    def test_render(self, ite_grammar):
+        result = LL1Parser(ite_grammar).parse(b"go")
+        text = result.tree.render()
+        assert "E" in text and "go" in text
+
+
+class TestParseStream:
+    def test_multiple_messages(self, xmlrpc_grammar):
+        parser = LL1Parser(xmlrpc_grammar)
+        one = (
+            b"<methodCall><methodName>a1</methodName>"
+            b"<params></params></methodCall>"
+        )
+        results = parser.parse_stream(one + b"\n" + one + b"\n" + one)
+        assert len(results) == 3
+        for result in results:
+            assert result.tokens[0].token == "<methodCall>"
+
+    def test_workload_stream(self, xmlrpc_grammar, xmlrpc_stream):
+        parser = LL1Parser(xmlrpc_grammar)
+        results = parser.parse_stream(xmlrpc_stream)
+        assert len(results) == 8

@@ -1,0 +1,87 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTag:
+    def test_tag_builtin_grammar(self, tmp_path, capsys):
+        source = tmp_path / "in.txt"
+        source.write_bytes(b"if true then go else stop")
+        assert main(["tag", "if-then-else", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "if@p0.0" in out and "stop@" in out
+
+    def test_tag_gate_level(self, tmp_path, capsys):
+        source = tmp_path / "in.txt"
+        source.write_bytes(b"go")
+        assert main(["tag", "if-then-else", str(source), "--gate-level"]) == 0
+        assert "go@" in capsys.readouterr().out
+
+    def test_tag_stack_mode_rejects(self, tmp_path, capsys):
+        source = tmp_path / "in.txt"
+        source.write_bytes(b"((0)")
+        assert main(["tag", "balanced-parens", str(source), "--stack"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_tag_stack_mode_depths(self, tmp_path, capsys):
+        source = tmp_path / "in.txt"
+        source.write_bytes(b"(0)")
+        assert main(["tag", "balanced-parens", str(source), "--stack"]) == 0
+        assert "depth=1" in capsys.readouterr().out
+
+    def test_tag_custom_grammar_file(self, tmp_path, capsys):
+        grammar = tmp_path / "toy.y"
+        grammar.write_text('WORD [a-z]+\n%%\ns: "hi" WORD;\n')
+        source = tmp_path / "in.txt"
+        source.write_bytes(b"hi there")
+        assert main(["tag", str(grammar), str(source)]) == 0
+        assert "WORD@" in capsys.readouterr().out
+
+
+class TestInfoGenerate:
+    def test_info(self, capsys):
+        assert main(["info", "if-then-else"]) == 0
+        out = capsys.readouterr().out
+        assert "Follow sets" in out and "E → if C then E else E" in out
+
+    def test_generate_with_vhdl_and_report(self, tmp_path, capsys):
+        vhdl = tmp_path / "out.vhd"
+        assert (
+            main(
+                [
+                    "generate", "if-then-else",
+                    "--vhdl", str(vhdl),
+                    "--report", "--device", "virtex4-lx200",
+                ]
+            )
+            == 0
+        )
+        assert vhdl.exists()
+        out = capsys.readouterr().out
+        assert "MHz" in out and "LUTs" in out
+
+    def test_missing_grammar_file(self, capsys):
+        assert main(["info", "/nonexistent/g.y"]) == 2
+
+
+class TestRoute:
+    def test_clean_routing_exit_zero(self, capsys):
+        assert main(["route", "--messages", "5", "--seed", "3"]) == 0
+        assert "5/5" in capsys.readouterr().out
+
+    def test_naive_on_adversarial_fails(self, capsys):
+        code = main(
+            [
+                "route", "--messages", "8", "--adversarial", "1.0",
+                "--naive", "--seed", "3",
+            ]
+        )
+        assert code == 1
+
+
+class TestExperiments:
+    def test_ablation_command(self, capsys):
+        assert main(["ablation"]) == 0
+        assert "case-chain" in capsys.readouterr().out

@@ -1,0 +1,35 @@
+"""Every example script must run cleanly (they are living docs)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch, tmp_path):
+    argv = [str(script)]
+    if script.stem == "vhdl_export":
+        argv.append(str(tmp_path / "out.vhd"))
+    monkeypatch.setattr(sys, "argv", argv)
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.stem} produced no output"
+
+
+def test_example_inventory():
+    """The README promises at least these examples."""
+    names = {path.stem for path in _EXAMPLES}
+    assert {
+        "quickstart",
+        "xmlrpc_router",
+        "balanced_parens",
+        "nids_filter",
+        "vhdl_export",
+    } <= names
+    assert len(names) >= 7
