@@ -1,12 +1,18 @@
-"""Shared benchmark utilities: results directory and report sink."""
+"""Shared benchmark utilities: results directory, report sink, and the
+machine-readable throughput record (``BENCH_throughput.json``)."""
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable engine -> Gbps record, written at the repo root so
+#: CI and the driver can diff throughput across revisions.
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
 @pytest.fixture(scope="session")
@@ -30,6 +36,27 @@ def report_sink(results_dir):
         print(text)
 
     return write
+
+
+_bench_rates: dict[str, float] = {}
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record one engine's measured rate (Gbps) for BENCH_throughput.json."""
+
+    def record(engine: str, gbps: float) -> None:
+        _bench_rates[engine] = round(gbps, 9)
+
+    return record
+
+
+def pytest_sessionfinish(session):
+    if _bench_rates:
+        BENCH_JSON.write_text(
+            json.dumps(_bench_rates, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -7,6 +7,12 @@ run through its own tagger back-end — here the §4 XML-RPC router.
 
 Per-flow state mirrors the hardware reality: one scanning context per
 flow (the FPX TCP scanner kept per-flow matcher state the same way).
+With the compiled tagger engine each flow owns a streaming
+:class:`~repro.apps.xmlrpc.router.RouterSession`, so payload bytes are
+tagged as packets arrive instead of being re-scanned from the start of
+the flow on every inspection; taggers that cannot scan incrementally
+fall back to whole-stream routing at :meth:`TaggingWrapper.results`
+time.
 """
 
 from __future__ import annotations
@@ -15,7 +21,11 @@ from dataclasses import dataclass, field
 
 from repro.apps.netstack.flows import FlowKey, TCPReassembler
 from repro.apps.netstack.packets import Packet
-from repro.apps.xmlrpc.router import ContentBasedRouter, RoutedMessage
+from repro.apps.xmlrpc.router import (
+    ContentBasedRouter,
+    RoutedMessage,
+    RouterSession,
+)
 from repro.errors import BackendError
 
 
@@ -46,6 +56,14 @@ class TaggingWrapper:
         self.router = router if router is not None else ContentBasedRouter()
         self.reassembler = TCPReassembler()
         self._payloads: dict[FlowKey, bytearray] = {}
+        self._sessions: dict[FlowKey, RouterSession] = {}
+        self._messages: dict[FlowKey, list[RoutedMessage]] = {}
+        try:
+            self.router.stream()
+            self._streaming = True
+        except BackendError:
+            # e.g. a gate-level tagger: route whole streams at results()
+            self._streaming = False
         self.malformed = 0
 
     # ------------------------------------------------------------------
@@ -60,19 +78,32 @@ class TaggingWrapper:
         key, data = self.reassembler.push(packet)
         if data:
             self._payloads.setdefault(key, bytearray()).extend(data)
+            if self._streaming:
+                session = self._sessions.get(key)
+                if session is None:
+                    session = self._sessions[key] = self.router.stream()
+                    self._messages[key] = []
+                self._messages[key].extend(session.feed(bytes(data)))
 
     # ------------------------------------------------------------------
     def results(self) -> list[FlowResult]:
-        """Route every flow's reassembled stream (call after pushing)."""
+        """Every flow's messages so far (idempotent; callable mid-trace).
+
+        Streaming flows report the messages their sessions already
+        emitted plus whatever end-of-data would complete right now
+        (evaluated on a snapshot, so later packets still tag
+        incrementally).
+        """
         results = []
         for key, payload in self._payloads.items():
             data = bytes(payload)
+            if self._streaming:
+                session = self._sessions[key]
+                messages = self._messages[key] + session.peek_finish()
+            else:
+                messages = self.router.route(data)
             results.append(
-                FlowResult(
-                    key=key,
-                    payload=data,
-                    messages=self.router.route(data),
-                )
+                FlowResult(key=key, payload=data, messages=messages)
             )
         return results
 

@@ -5,6 +5,12 @@ token tagged with the *methodName* context carries the requested
 service, and the accepting ``</methodCall>`` detection marks the
 message boundary at which the switch commits the route.
 
+:class:`RouterSession` is the streaming variant: the wire hands the
+switch packets, not whole streams, so the session feeds arbitrary
+chunks through the compiled tagger's incremental scan and emits each
+message the moment its closing tag is detected — buffering only the
+bytes that can still belong to an undecided message.
+
 :class:`NaiveRouter` is the context-free baseline: it string-matches
 service names anywhere in the payload, as a deep-packet-inspection
 engine would, and drives the switch with every match signal — so a
@@ -17,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps.xmlrpc.services import BANK_SHOPPING_TABLE, ServiceTable
+from repro.core.compiled import CompiledTagger
+from repro.core.scanplan import DetectEvent
 from repro.core.tagger import BehavioralTagger, GateLevelTagger
 from repro.errors import BackendError
 from repro.grammar.analysis import Occurrence
@@ -125,6 +133,126 @@ class ContentBasedRouter:
         for message in self.route(data):
             ports.setdefault(message.port, []).append(message)
         return ports
+
+    def stream(self) -> "RouterSession":
+        """A fresh incremental routing session (one per flow)."""
+        return RouterSession(self)
+
+
+class RouterSession:
+    """Incremental routing over a chunked byte stream.
+
+    Chunk boundaries are arbitrary (packet payloads, read() returns);
+    :meth:`feed` returns the messages completed inside each chunk, with
+    absolute stream positions, and :meth:`finish` flushes the tail.
+    The session produces exactly the messages
+    :meth:`ContentBasedRouter.route` would on the concatenated stream,
+    while holding only the bytes that can still belong to an undecided
+    message (in-flight token candidates plus the open message's
+    payload).
+
+    Example
+    -------
+    >>> session = ContentBasedRouter().stream()
+    >>> session.feed(b"<methodCall><methodName>buy</methodName>")
+    []
+    >>> session.feed(b"<params></params></methodCall> ")
+    [RoutedMessage(start=0, end=70, port=1, service='buy', payload=...)]
+    """
+
+    def __init__(self, router: ContentBasedRouter) -> None:
+        self.router = router
+        tagger = router.tagger
+        compiled = (
+            tagger
+            if isinstance(tagger, CompiledTagger)
+            else getattr(tagger, "compiled", None)
+        )
+        if compiled is None:
+            raise BackendError(
+                "streaming routing needs the compiled tagger engine; "
+                f"{type(tagger).__name__} cannot scan incrementally"
+            )
+        self._stream = compiled.stream()
+        self._buffer = bytearray()
+        self._base = 0  # absolute stream position of _buffer[0]
+        self._message_start: int | None = None
+        self._service: str | None = None
+
+    # ------------------------------------------------------------------
+    def feed(self, chunk: bytes) -> list[RoutedMessage]:
+        """Consume one chunk; return the messages it completed."""
+        self._buffer += chunk
+        messages = self._apply(self._stream.feed_scan(chunk))
+        self._prune()
+        return messages
+
+    def finish(self) -> list[RoutedMessage]:
+        """End the stream; return messages completed by end-of-data."""
+        return self._apply(self._stream.finish_scan())
+
+    def peek_finish(self) -> list[RoutedMessage]:
+        """Messages finishing now would add, without ending the stream.
+
+        End-of-data is evaluated on a snapshot of the scan state, so
+        feeding can continue afterwards — the mid-stream inspection
+        point per-flow back-ends need.
+        """
+        saved = (self._message_start, self._service)
+        messages = self._apply(self._stream.finish_scan_snapshot())
+        self._message_start, self._service = saved
+        return messages
+
+    # ------------------------------------------------------------------
+    def _apply(
+        self, results: list[tuple[DetectEvent, int]]
+    ) -> list[RoutedMessage]:
+        """The same per-token state machine as :meth:`route`, driven by
+        (event, earliest-start) pairs against the retained buffer."""
+        router = self.router
+        base = self._base
+        buffer = self._buffer
+        messages: list[RoutedMessage] = []
+        for event, start in results:
+            if self._message_start is None:
+                self._message_start = start
+            occurrence = event.occurrence
+            if occurrence in router.method_occurrences:
+                lexeme = bytes(buffer[start - base : event.end - base])
+                self._service = lexeme.decode("utf-8", errors="replace")
+            if occurrence in router.accepting:
+                service = self._service
+                message_start = self._message_start
+                messages.append(
+                    RoutedMessage(
+                        start=message_start,
+                        end=event.end,
+                        port=(
+                            router.table.port_of(service)
+                            if service is not None
+                            else router.table.default_port
+                        ),
+                        service=service,
+                        payload=bytes(
+                            buffer[message_start - base : event.end - base]
+                        ),
+                    )
+                )
+                self._message_start = None
+                self._service = None
+        return messages
+
+    def _prune(self) -> None:
+        """Drop buffered bytes no future message can reference: before
+        both the scanner's earliest in-flight match start and the open
+        message's start."""
+        keep = self._stream.low_watermark()
+        if self._message_start is not None and self._message_start < keep:
+            keep = self._message_start
+        drop = keep - self._base
+        if drop > 0:
+            del self._buffer[:drop]
+            self._base = keep
 
 
 class NaiveRouter:

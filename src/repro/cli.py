@@ -72,7 +72,7 @@ def _cmd_tag(args: argparse.Namespace) -> int:
         circuit = TaggerGenerator().generate(grammar)
         tokens = GateLevelTagger(circuit).tag(data)
     else:
-        tokens = BehavioralTagger(grammar).tag(data)
+        tokens = BehavioralTagger(grammar, engine=args.engine).tag(data)
     for token in tokens:
         print(token)
     return 0
@@ -163,6 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="strict PDA mode (§5.2 stack extension)")
     tag.add_argument("--stream", action="store_true",
                      help="with --stack: accept back-to-back sentences")
+    tag.add_argument("--engine", choices=("compiled", "interpreted"),
+                     default="compiled",
+                     help="software scan engine (default: compiled tables)")
     tag.set_defaults(func=_cmd_tag)
 
     generate = sub.add_parser("generate", help="compile grammar to hardware")

@@ -11,13 +11,20 @@
 
 from repro.core.tokens import TaggedToken
 from repro.core.generator import TaggerCircuit, TaggerGenerator, TaggerOptions
+from repro.core.compiled import CompiledStream, CompiledTagger
+from repro.core.scanplan import DetectEvent, ScanPlan, build_scan_plan
 from repro.core.tagger import BehavioralTagger, GateLevelTagger
 
 __all__ = [
     "BehavioralTagger",
+    "CompiledStream",
+    "CompiledTagger",
+    "DetectEvent",
     "GateLevelTagger",
+    "ScanPlan",
     "TaggedToken",
     "TaggerCircuit",
     "TaggerGenerator",
     "TaggerOptions",
+    "build_scan_plan",
 ]

@@ -1,0 +1,619 @@
+"""Compiled table-driven scan engine.
+
+The hardware runs at line rate because every per-byte decision is
+precompiled into parallel structure; the interpreted software twin
+(:meth:`~repro.core.tagger.BehavioralTagger._scan`) re-derives that
+work every byte from live Python dicts and frozensets. This module
+performs the same precompilation in software, in two fused layers:
+
+* **Per-token product machines.** Each token's Glushkov position
+  automaton is fused with its entry input (the Follow-set enable /
+  delimiter arming signal of Figs. 6–7 and 11) into a subset machine
+  whose transitions are memoized as ``(state, entry, byte) ->
+  (next_state, start-propagation moves, detect mask)`` integer-keyed
+  rows. The longest-match look-ahead of Fig. 7 (plus the optional
+  keyword boundary) is folded into a per-state 257-bit *detect mask* —
+  bit ``b`` says "a match ends here if the next byte is ``b``" (bit
+  256 is end-of-data) — and the unit-level Follow wiring becomes
+  integer bitmasks: the units enabled by a detection are the OR of
+  precomputed successor masks.
+
+* **A global product automaton, materialized lazily.** The whole
+  tagger's control state — every unit's subset state, the armed set,
+  the previous detect set and the §5.2 liveness flag — is interned to
+  one integer id, and each ``(id, byte)`` step is memoized as either a
+  bare next id (no observable effect: the overwhelmingly common case
+  inside a token) or a short program: events to emit, earliest-start
+  propagations to apply, an error position to record. The per-byte
+  hot loop is then a single dict lookup plus, rarely, a tiny program.
+  Match *positions* (earliest starts) are data, not state — they are
+  carried in per-unit lists and touched only when a program says so,
+  which is what keeps the state space finite.
+
+Detection needs one byte of look-ahead (Fig. 7), so the step for byte
+``j`` first resolves byte ``j-1``'s detections; end-of-data resolves
+the final byte. The engine is bit-exact with the interpreted one —
+same events, same order, same error-recovery positions, same
+earliest-start lexemes — which the differential test suite enforces
+against the gate-level netlist simulation as well.
+
+A streaming front end (:meth:`CompiledTagger.feed` /
+:meth:`CompiledTagger.finish`, or independent :class:`CompiledStream`
+sessions) carries the scan state across chunk boundaries, so packet
+payloads can be tagged incrementally instead of re-scanning
+concatenated buffers. Compiled tables are memoized per (grammar,
+wiring) alongside the shared :class:`~repro.core.scanplan.ScanPlan`,
+so constructing many taggers for the same grammar costs one build —
+and the lazily-materialized rows warmed by one tagger are reused by
+every later one.
+"""
+
+from __future__ import annotations
+
+from weakref import WeakKeyDictionary
+
+from repro.core.generator import TaggerOptions
+from repro.core.scanplan import (
+    DetectEvent,
+    ScanPlan,
+    _wiring_key,
+    build_scan_plan,
+)
+from repro.core.tokens import TaggedToken
+from repro.errors import BackendError
+from repro.grammar.cfg import Grammar
+from repro.grammar.regex.glushkov import Glushkov
+
+#: Next-byte index used for "end of data" in detect masks and qual keys.
+EOF = 256
+
+_ALL_NEXT = (1 << 257) - 1
+
+#: Safety valve for adversarial inputs: past this many memoized global
+#: steps, further steps are computed on the fly without being cached
+#: (correctness is unaffected — only the memo stops growing).
+_MEMO_CAP = 1 << 18
+
+
+class _TokenDFA:
+    """Lazy subset DFA of one token pattern, fused with the entry input.
+
+    States are subsets of Glushkov positions (state 0 = empty). The
+    automaton is materialized on demand: the first time a ``(state,
+    entry, byte)`` combination is exercised its full table row — next
+    state, start-propagation *moves* and the next state's detect mask
+    — is built and memoized, keyed by the packed integer
+    ``state << 9 | entry << 8 | byte``. Rows are shared by every unit
+    (grammar occurrence) of the same token.
+    """
+
+    __slots__ = (
+        "auto",
+        "first",
+        "qual_masks",
+        "state_ids",
+        "state_positions",
+        "detect_masks",
+        "progs",
+        "quals",
+    )
+
+    def __init__(
+        self, auto: Glushkov, boundary: frozenset[int], longest: bool
+    ) -> None:
+        self.auto = auto
+        self.first = tuple(sorted(auto.first))
+        #: per-position 257-bit mask of next bytes for which a match
+        #: ending at that position is *reported* (Fig. 7 look-ahead
+        #: inverted); 0 for non-last positions. Bit 256: end of data
+        #: never suppresses.
+        boundary_mask = sum(1 << b for b in boundary)
+        self.qual_masks: list[int] = []
+        for p in range(auto.n_positions):
+            if p in auto.last:
+                suppress = boundary_mask
+                if longest:
+                    suppress |= auto.extension_mask(p)
+                self.qual_masks.append(_ALL_NEXT & ~suppress)
+            else:
+                self.qual_masks.append(0)
+        self.state_ids: dict[tuple[int, ...], int] = {(): 0}
+        self.state_positions: list[tuple[int, ...]] = [()]
+        self.detect_masks: list[int] = [0]
+        #: (state<<9 | entry<<8 | byte) -> (next, moves, carry, detect)
+        self.progs: dict[int, tuple] = {}
+        #: (state<<9 | next_byte) -> indices of qualifying positions
+        self.quals: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def _state_id(self, positions: tuple[int, ...]) -> int:
+        sid = self.state_ids.get(positions)
+        if sid is None:
+            sid = len(self.state_positions)
+            self.state_ids[positions] = sid
+            self.state_positions.append(positions)
+            mask = 0
+            for p in positions:
+                mask |= self.qual_masks[p]
+            self.detect_masks.append(mask)
+        return sid
+
+    def build_prog(self, key: int) -> tuple:
+        """Materialize one table row (memoized under ``key``)."""
+        state, entry, byte = key >> 9, (key >> 8) & 1, key & 0xFF
+        src = self.state_positions[state]
+        follow = self.auto.follow
+        position_bytes = self.auto.position_bytes
+        #: newly lit position -> source indices into ``src`` whose
+        #: earliest-start values propagate to it (min); an empty tuple
+        #: means entry-lit (start = current byte index).
+        lit: dict[int, tuple[int, ...]] = {}
+        for j, p in enumerate(src):
+            for q in follow[p]:
+                if byte in position_bytes[q]:
+                    lit[q] = lit.get(q, ()) + (j,)
+        if entry:
+            for q in self.first:
+                if byte in position_bytes[q]:
+                    lit.setdefault(q, ())
+        positions = tuple(sorted(lit))
+        nst = self._state_id(positions)
+        moves = tuple(lit[q] for q in positions)
+        # carry: the move is an index-wise identity, so the earliest-
+        # start list is unchanged and can be reused as-is.
+        carry = bool(src) and moves == tuple((j,) for j in range(len(src)))
+        prog = (nst, moves, carry, self.detect_masks[nst])
+        self.progs[key] = prog
+        return prog
+
+    def build_qual(self, key: int) -> tuple[int, ...]:
+        """Indices (into the state's position tuple) of positions whose
+        match is reported given the next-byte index in ``key``."""
+        state, nb = key >> 9, key & 0x1FF
+        qual_masks = self.qual_masks
+        q = tuple(
+            j
+            for j, p in enumerate(self.state_positions[state])
+            if qual_masks[p] >> nb & 1
+        )
+        self.quals[key] = q
+        return q
+
+
+class _CompiledTables:
+    """Flattened whole-tagger tables plus the lazily-built global
+    product automaton, shared by every tagger over one (grammar,
+    wiring) pair.
+
+    A global control state is the tuple ``(states_items, armed, pdet,
+    first)``: the non-empty per-unit subset states (ascending unit
+    order), the armed bitmask, the *previous* byte's detect bitmask
+    (needed one step later by the §5.2 liveness cut) and the
+    start-of-data flag. States are interned to integer ids; the step
+    memo maps ``id << 8 | byte`` to either a bare pre-shifted next id
+    (no side effects) or ``(next_id << 8, events, start_ops, err)``.
+    """
+
+    __slots__ = (
+        "n_units",
+        "unit_dfas",
+        "succ_masks",
+        "start_mask",
+        "delim",
+        "always",
+        "recovery",
+        "tids",
+        "tstates",
+        "memo",
+    )
+
+    def __init__(self, plan: ScanPlan) -> None:
+        dfas: dict[str, _TokenDFA] = {}
+        for name, auto in plan.automata.items():
+            dfas[name] = _TokenDFA(auto, plan.boundary[name], plan.longest_match)
+        order = plan.unit_order
+        self.n_units = len(plan.units)
+        # Occurrences of the same token share one DFA, so a row warmed
+        # by one context is free for every other.
+        self.unit_dfas = [dfas[u.terminal.name] for u in plan.units]
+        self.succ_masks = [
+            sum(1 << order[t] for t in plan.successors[u]) for u in plan.units
+        ]
+        self.start_mask = sum(1 << order[u] for u in plan.starts)
+        self.delim = tuple(b in plan.delimiters for b in range(256))
+        self.always = plan.wiring.start_mode == "always"
+        self.recovery = plan.wiring.error_recovery
+        self.tids: dict[tuple, int] = {}
+        self.tstates: list[tuple] = []
+        self.memo: dict[int, object] = {}
+        self._intern(((), 0, 0, True))  # id 0: start of data
+
+    # ------------------------------------------------------------------
+    def _intern(self, t: tuple) -> int:
+        tid = self.tids.get(t)
+        if tid is None:
+            tid = len(self.tstates)
+            self.tids[t] = tid
+            self.tstates.append(t)
+        return tid
+
+    def build_step(self, tid: int, byte: int):
+        """Materialize (and memoize) one global step.
+
+        Mirrors one iteration of the interpreted per-byte loop, with
+        byte ``j-1``'s detections resolved now that their look-ahead
+        byte is known.
+        """
+        states_items, armed, pdet, first = self.tstates[tid]
+        unit_dfas = self.unit_dfas
+
+        # 1. Detections of the previous byte (its position registers
+        #    are this state; ``byte`` is their look-ahead).
+        det = 0
+        events: tuple = ()
+        for u, s in states_items:
+            dfa = unit_dfas[u]
+            dmask = dfa.detect_masks[s]
+            if dmask and dmask >> byte & 1:
+                det |= 1 << u
+                qkey = (s << 9) | byte
+                q = dfa.quals.get(qkey)
+                if q is None:
+                    q = dfa.build_qual(qkey)
+                events += ((u, q),)
+
+        # 2. §5.2 liveness cut of the previous byte: position state,
+        #    arming, or the byte before's registered detects.
+        lost = (
+            self.recovery
+            and not first
+            and not (states_items or armed or pdet)
+        )
+
+        # 3. Enables: one OR of precomputed successor masks.
+        em = 0
+        dm = det
+        succ_masks = self.succ_masks
+        while dm:
+            lsb = dm & -dm
+            em |= succ_masks[lsb.bit_length() - 1]
+            dm -= lsb
+        if self.always or first:
+            em |= self.start_mask
+        if lost:
+            em |= self.start_mask
+        entry = em | armed
+        new_armed = entry if self.delim[byte] else 0
+
+        # 4. Per-unit product transitions.
+        state_of = dict(states_items)
+        active = 0
+        for u, _s in states_items:
+            active |= 1 << u
+        new_items: list[tuple[int, int]] = []
+        start_ops: tuple = ()
+        m = active | entry
+        while m:
+            lsb = m & -m
+            m -= lsb
+            u = lsb.bit_length() - 1
+            dfa = unit_dfas[u]
+            key = (
+                (state_of.get(u, 0) << 9) | (256 if entry & lsb else 0) | byte
+            )
+            pr = dfa.progs.get(key)
+            if pr is None:
+                pr = dfa.build_prog(key)
+            nst, moves, carry, _dmask = pr
+            if nst:
+                new_items.append((u, nst))
+                if not carry:
+                    start_ops += ((u, moves),)
+
+        ntid = self._intern((tuple(new_items), new_armed, det, False))
+        err = self.recovery and lost
+        if events or start_ops or err:
+            step: object = (ntid << 8, events or None, start_ops or None, err)
+        else:
+            step = ntid << 8
+        if len(self.memo) < _MEMO_CAP:
+            self.memo[(tid << 8) | byte] = step
+        return step
+
+
+_TABLE_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _tables_for(grammar: Grammar, plan: ScanPlan) -> _CompiledTables:
+    per_grammar = _TABLE_CACHE.get(grammar)
+    if per_grammar is None:
+        per_grammar = {}
+        _TABLE_CACHE[grammar] = per_grammar
+    key = _wiring_key(plan.wiring)
+    tables = per_grammar.get(key)
+    if tables is None:
+        tables = _CompiledTables(plan)
+        per_grammar[key] = tables
+    return tables
+
+
+class _ScanState:
+    """Mutable per-scan registers: the interned global control state
+    (pre-shifted by 8 for direct memo keying), the per-unit
+    earliest-start lists, and the absolute stream position."""
+
+    __slots__ = ("tid8", "starts", "pos")
+
+    def __init__(self, n_units: int) -> None:
+        self.tid8 = 0
+        # One shared empty list is safe: start lists are replaced, never
+        # mutated in place.
+        self.starts: list[list[int]] = [[]] * n_units
+        self.pos = 0
+
+    def copy(self) -> "_ScanState":
+        other = _ScanState.__new__(_ScanState)
+        other.tid8 = self.tid8
+        other.starts = list(self.starts)
+        other.pos = self.pos
+        return other
+
+
+class CompiledTagger:
+    """Table-driven tagger, bit-exact with the interpreted engine.
+
+    Example
+    -------
+    >>> from repro.grammar.examples import if_then_else
+    >>> tagger = CompiledTagger(if_then_else())
+    >>> [str(t) for t in tagger.tag(b"if true then go else stop")]  # doctest: +ELLIPSIS
+    [...]
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        options: TaggerOptions | None = None,
+        plan: ScanPlan | None = None,
+    ) -> None:
+        self.grammar = grammar
+        self.options = options or TaggerOptions()
+        if plan is None:
+            plan = build_scan_plan(grammar, self.options.wiring)
+        self.plan = plan
+        self.units = plan.units
+        self.starts = plan.starts
+        self.accepting = plan.accepting
+        self.tables = _tables_for(grammar, plan)
+        self._index_of = plan.index_of
+        self._session: CompiledStream | None = None
+
+    # ------------------------------------------------------------------
+    def index_of(self, unit) -> int:
+        """Default (or-tree) encoder index for a unit."""
+        return self._index_of[unit]
+
+    def new_state(self) -> _ScanState:
+        return _ScanState(self.tables.n_units)
+
+    # ------------------------------------------------------------------
+    # one-shot API (mirrors BehavioralTagger)
+    # ------------------------------------------------------------------
+    def scan(self, data: bytes) -> list[tuple[DetectEvent, int]]:
+        """(event, earliest match start) pairs in stream order."""
+        out: list[tuple[DetectEvent, int]] = []
+        state = self.new_state()
+        self._run(data, state, None, out)
+        self._flush(state, out)
+        return out
+
+    def events(self, data: bytes) -> list[DetectEvent]:
+        """Raw detection events, bit-exact with the hardware detects."""
+        return [event for event, _start in self.scan(data)]
+
+    def events_and_errors(
+        self, data: bytes
+    ) -> tuple[list[DetectEvent], list[int]]:
+        """Detection events plus §5.2 error positions."""
+        if not self.tables.recovery:
+            raise ValueError("tagger built without error_recovery")
+        errors: list[int] = []
+        out: list[tuple[DetectEvent, int]] = []
+        state = self.new_state()
+        self._run(data, state, errors, out)
+        self._flush(state, out)
+        return [event for event, _start in out], errors
+
+    def tag(self, data: bytes) -> list[TaggedToken]:
+        """Tagged tokens with lexemes (earliest-start reconstruction)."""
+        index_of = self._index_of
+        return [
+            TaggedToken(
+                token=event.occurrence.terminal.name,
+                occurrence=event.occurrence,
+                lexeme=data[start : event.end],
+                start=start,
+                end=event.end,
+                index=index_of[event.occurrence],
+            )
+            for event, start in self.scan(data)
+        ]
+
+    # ------------------------------------------------------------------
+    # streaming API
+    # ------------------------------------------------------------------
+    def stream(self) -> "CompiledStream":
+        """A fresh independent streaming session."""
+        return CompiledStream(self)
+
+    def feed(self, chunk: bytes) -> list[DetectEvent]:
+        """Feed one chunk into the tagger's default streaming session.
+
+        Events are reported with absolute stream positions; a token
+        ending on the chunk's final byte is reported by the next
+        ``feed`` (or :meth:`finish`), once its look-ahead byte exists.
+        """
+        if self._session is None:
+            self._session = self.stream()
+        return self._session.feed(chunk)
+
+    def finish(self) -> list[DetectEvent]:
+        """Flush the default session and reset it for the next stream."""
+        if self._session is None:
+            return []
+        events = self._session.finish()
+        self._session = None
+        return events
+
+    # ------------------------------------------------------------------
+    # the compiled per-byte loop
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        data: bytes,
+        st: _ScanState,
+        error_sink: list[int] | None,
+        out: list[tuple[DetectEvent, int]],
+    ) -> None:
+        """Scan ``data``, mutating ``st`` and appending results.
+
+        Each step resolves the *previous* byte's detections (their
+        look-ahead byte is now known), so a final :meth:`_flush` is
+        needed to resolve the last byte against end-of-data.
+        """
+        tables = self.tables
+        memo_get = tables.memo.get
+        build_step = tables.build_step
+        units = self.units
+        starts = st.starts
+        append = out.append
+        tid8 = st.tid8
+        for i, byte in enumerate(data, st.pos):
+            step = memo_get(tid8 | byte)
+            if step is None:
+                step = build_step(tid8 >> 8, byte)
+            if step.__class__ is int:
+                tid8 = step
+                continue
+            tid8, events, start_ops, err = step
+            if err and error_sink is not None:
+                error_sink.append(i)
+            if events:
+                for u, q in events:
+                    s = starts[u]
+                    match_start = s[q[0]]
+                    for j in q[1:]:
+                        value = s[j]
+                        if value < match_start:
+                            match_start = value
+                    append((DetectEvent(units[u], i), match_start))
+            if start_ops:
+                for u, moves in start_ops:
+                    old = starts[u]
+                    starts[u] = [
+                        (
+                            old[srcs[0]]
+                            if len(srcs) == 1
+                            else min(old[j] for j in srcs)
+                        )
+                        if srcs
+                        else i
+                        for srcs in moves
+                    ]
+        st.tid8 = tid8
+        st.pos += len(data)
+
+    def _flush(
+        self, st: _ScanState, out: list[tuple[DetectEvent, int]]
+    ) -> None:
+        """Resolve the final byte's detections against end-of-data."""
+        states_items = self.tables.tstates[st.tid8 >> 8][0]
+        unit_dfas = self.tables.unit_dfas
+        units = self.units
+        starts = st.starts
+        end = st.pos
+        for u, s in states_items:
+            dfa = unit_dfas[u]
+            if dfa.detect_masks[s] >> EOF & 1:
+                qkey = (s << 9) | EOF
+                q = dfa.quals.get(qkey)
+                if q is None:
+                    q = dfa.build_qual(qkey)
+                values = starts[u]
+                match_start = values[q[0]]
+                for j in q[1:]:
+                    value = values[j]
+                    if value < match_start:
+                        match_start = value
+                out.append((DetectEvent(units[u], end), match_start))
+
+
+class CompiledStream:
+    """One incremental scan over a chunked byte stream.
+
+    ``feed`` accepts arbitrary chunk boundaries and returns the events
+    (or ``(event, start)`` pairs via :meth:`feed_scan`) completed so
+    far, with absolute stream positions; a token ending on a chunk's
+    final byte is reported on the next call, once its Fig. 7
+    look-ahead byte exists (:meth:`finish` resolves it against
+    end-of-data). Error-recovery positions accumulate in
+    :attr:`errors`.
+    """
+
+    def __init__(self, tagger: CompiledTagger) -> None:
+        self.tagger = tagger
+        self.state = tagger.new_state()
+        self.errors: list[int] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def feed_scan(self, chunk: bytes) -> list[tuple[DetectEvent, int]]:
+        """Feed a chunk; return completed (event, match start) pairs."""
+        if self._finished:
+            raise BackendError("stream already finished")
+        out: list[tuple[DetectEvent, int]] = []
+        sink = self.errors if self.tagger.tables.recovery else None
+        self.tagger._run(chunk, self.state, sink, out)
+        return out
+
+    def finish_scan(self) -> list[tuple[DetectEvent, int]]:
+        """Resolve the final byte against end-of-data; end the stream."""
+        if self._finished:
+            raise BackendError("stream already finished")
+        self._finished = True
+        out: list[tuple[DetectEvent, int]] = []
+        self.tagger._flush(self.state, out)
+        return out
+
+    def feed(self, chunk: bytes) -> list[DetectEvent]:
+        return [event for event, _start in self.feed_scan(chunk)]
+
+    def finish(self) -> list[DetectEvent]:
+        return [event for event, _start in self.finish_scan()]
+
+    # ------------------------------------------------------------------
+    def low_watermark(self) -> int:
+        """Earliest absolute position a future event can still start at.
+
+        Callers buffering stream data for lexeme extraction may drop
+        everything before this position.
+        """
+        state = self.state
+        watermark = state.pos
+        starts = state.starts
+        for u, _s in self.tagger.tables.tstates[state.tid8 >> 8][0]:
+            for value in starts[u]:
+                if value < watermark:
+                    watermark = value
+        return watermark
+
+    def finish_scan_snapshot(self) -> list[tuple[DetectEvent, int]]:
+        """Like :meth:`finish_scan` but without consuming the stream:
+        the flush runs on a snapshot, so feeding can continue
+        afterwards. Used by back-ends that must report results
+        mid-stream (e.g. per-flow inspection points)."""
+        if self._finished:
+            return []
+        out: list[tuple[DetectEvent, int]] = []
+        self.tagger._flush(self.state.copy(), out)
+        return out

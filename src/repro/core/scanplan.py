@@ -1,0 +1,169 @@
+"""Shared scan plan: everything a software tagger needs per grammar.
+
+Both tagger engines — the interpreted :class:`~repro.core.tagger.
+BehavioralTagger` loop and the table-driven :class:`~repro.core.
+compiled.CompiledTagger` — operate on the same derived structure: the
+unit list (terminal occurrences, or collapsed terminals when context
+duplication is off), the Follow-set successor wiring, the start and
+accepting sets, one Glushkov automaton per token pattern, and the
+per-token longest-match/boundary byte sets. This module derives that
+structure once per (grammar, wiring) pair and memoizes it, so
+applications that construct taggers repeatedly (one router per flow,
+one tagger per benchmark round) stop paying the rebuild cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from weakref import WeakKeyDictionary
+
+from repro.core.wiring import WiringOptions
+from repro.grammar.analysis import (
+    Occurrence,
+    analyze_grammar_cached,
+    build_occurrence_graph_cached,
+)
+from repro.grammar.cfg import Grammar
+from repro.grammar.regex import ast as rx
+from repro.grammar.regex.glushkov import Glushkov, build_glushkov_cached
+from repro.grammar.symbols import END
+
+
+@dataclass(frozen=True)
+class DetectEvent:
+    """A raw detection: ``occurrence`` matched ending at byte ``end - 1``."""
+
+    occurrence: Occurrence
+    end: int  # exclusive
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """Derived scan structure for one (grammar, wiring) pair.
+
+    The plan is immutable and shared: every tagger built for the same
+    grammar object and equivalent wiring options receives the same
+    instance (and therefore the same unit ordering — the hardware's
+    detect-port scan order, which fixes same-byte event order).
+    """
+
+    grammar: Grammar
+    wiring: WiringOptions
+    units: tuple[Occurrence, ...]
+    starts: frozenset[Occurrence]
+    accepting: frozenset[Occurrence]
+    #: unit -> units it enables (successor map, used sparsely).
+    successors: dict[Occurrence, frozenset[Occurrence]]
+    #: one position automaton per token pattern, shared across contexts.
+    automata: dict[str, Glushkov]
+    delimiters: frozenset[int]
+    #: per-token extra longest-match suppression bytes (keyword boundary).
+    boundary: dict[str, frozenset[int]]
+    longest_match: bool
+    #: default (or-tree) encoder index per unit.
+    index_of: dict[Occurrence, int]
+    #: stable unit ordering (hardware detect-port scan order).
+    unit_order: dict[Occurrence, int]
+
+
+def _wiring_key(wiring: WiringOptions) -> tuple:
+    """Hashable identity of the wiring options a scan depends on."""
+    tmpl = wiring.tokenizer
+    return (
+        wiring.context_duplication,
+        wiring.start_mode,
+        wiring.loop_on_accept,
+        wiring.error_recovery,
+        tmpl.longest_match,
+        tmpl.keyword_boundary,
+    )
+
+
+_PLAN_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def build_scan_plan(grammar: Grammar, wiring: WiringOptions) -> ScanPlan:
+    """Derive (or fetch the memoized) scan plan for a grammar."""
+    per_grammar = _PLAN_CACHE.get(grammar)
+    if per_grammar is None:
+        per_grammar = {}
+        _PLAN_CACHE[grammar] = per_grammar
+    key = _wiring_key(wiring)
+    plan = per_grammar.get(key)
+    if plan is None:
+        plan = _derive_plan(grammar, wiring)
+        per_grammar[key] = plan
+    return plan
+
+
+def _derive_plan(grammar: Grammar, wiring: WiringOptions) -> ScanPlan:
+    analysis = analyze_grammar_cached(grammar)
+    graph = build_occurrence_graph_cached(grammar)
+
+    if wiring.context_duplication:
+        units: list[Occurrence] = list(graph.occurrences)
+        edges = graph.edges
+        starts = frozenset(graph.starts)
+        accepting = frozenset(graph.accepting)
+    else:
+        representative: dict = {}
+        for occurrence in graph.occurrences:
+            representative.setdefault(occurrence.terminal, occurrence)
+        units = list(representative.values())
+        collapsed = graph.collapsed_edges()
+        edges = {
+            unit: frozenset(
+                representative[t]
+                for t in collapsed.get(unit.terminal, frozenset())
+                if t in representative
+            )
+            for unit in units
+        }
+        starts = frozenset(representative[o.terminal] for o in graph.starts)
+        accepting = frozenset(
+            representative[t]
+            for t in representative
+            if END in analysis.follow[t]
+        )
+
+    unit_set = frozenset(units)
+    successors: dict[Occurrence, frozenset[Occurrence]] = {
+        unit: edges.get(unit, frozenset()) & unit_set for unit in units
+    }
+    if wiring.loop_on_accept:
+        for unit in accepting:
+            successors[unit] = successors[unit] | starts
+
+    automata: dict[str, Glushkov] = {}
+    for unit in units:
+        name = unit.terminal.name
+        if name not in automata:
+            automata[name] = build_glushkov_cached(
+                grammar.lexspec.get(name).pattern
+            )
+
+    tmpl = wiring.tokenizer
+    boundary: dict[str, frozenset[int]] = {}
+    for unit in units:
+        token = grammar.lexspec.get(unit.terminal.name)
+        extra: frozenset[int] = frozenset()
+        if tmpl.keyword_boundary and token.is_literal:
+            text = token.fixed_text()
+            if text and chr(text[-1]).isalnum():
+                extra = rx.ALNUM.matched_bytes()
+        boundary[unit.terminal.name] = extra
+
+    return ScanPlan(
+        grammar=grammar,
+        wiring=wiring,
+        units=tuple(units),
+        starts=starts,
+        accepting=accepting,
+        successors=successors,
+        automata=automata,
+        delimiters=grammar.lexspec.delimiters.matched_bytes(),
+        boundary=boundary,
+        longest_match=tmpl.longest_match,
+        index_of={unit: i + 1 for i, unit in enumerate(units)},
+        unit_order={unit: i for i, unit in enumerate(units)},
+    )

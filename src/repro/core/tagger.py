@@ -7,6 +7,13 @@ Follow-set gating — expressed over byte indices instead of pipeline
 cycles. The test suite proves it equivalent to the gate-level netlist
 simulation; applications and large benchmarks use it for speed.
 
+By default the scan itself is executed by the compiled table-driven
+engine (:class:`~repro.core.compiled.CompiledTagger`), which
+precomputes the per-byte work into integer transition tables; the
+original interpreted loop remains available as
+``engine="interpreted"`` and is the executable reference semantics
+the compiled engine is differentially tested against.
+
 :class:`GateLevelTagger` drives the generated netlist through the
 cycle-accurate simulator and decodes the detect/index output pins back
 into tagged tokens. It is the ground truth.
@@ -14,33 +21,35 @@ into tagged tokens. It is the ground truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Literal
+from weakref import WeakKeyDictionary
 
+from repro.core.compiled import CompiledTagger
 from repro.core.generator import TaggerCircuit, TaggerOptions
+from repro.core.scanplan import DetectEvent, build_scan_plan
 from repro.core.tokens import TaggedToken
-from repro.grammar.analysis import (
-    Occurrence,
-    analyze_grammar,
-    build_occurrence_graph,
-)
+from repro.grammar.analysis import Occurrence
 from repro.grammar.cfg import Grammar
 from repro.grammar.regex import ast as rx
-from repro.grammar.regex.glushkov import Glushkov, build_glushkov
-from repro.grammar.regex.nfa import compile_nfa
-from repro.grammar.symbols import END
+from repro.grammar.regex.glushkov import Glushkov
+from repro.grammar.regex.nfa import NFA, compile_nfa
+
 from repro.rtl.simulator import Simulator, stimulus_with_valid
 
-
-@dataclass(frozen=True)
-class DetectEvent:
-    """A raw detection: ``occurrence`` matched ending at byte ``end - 1``."""
-
-    occurrence: Occurrence
-    end: int  # exclusive
+__all__ = [
+    "BehavioralTagger",
+    "DetectEvent",
+    "GateLevelTagger",
+]
 
 
 class BehavioralTagger:
     """Software twin of the generated hardware.
+
+    ``engine`` selects the scan implementation: ``"compiled"`` (the
+    default) runs the precompiled table-driven engine, bit-exact with
+    the interpreted loop; ``"interpreted"`` runs the original
+    per-byte Python loop (the reference semantics).
 
     Example
     -------
@@ -54,82 +63,32 @@ class BehavioralTagger:
         self,
         grammar: Grammar,
         options: TaggerOptions | None = None,
+        engine: Literal["compiled", "interpreted"] = "compiled",
     ) -> None:
         self.grammar = grammar
         self.options = options or TaggerOptions()
-        wiring = self.options.wiring
-        analysis = analyze_grammar(grammar)
-        graph = build_occurrence_graph(grammar, analysis)
-
-        if wiring.context_duplication:
-            self.units: list[Occurrence] = list(graph.occurrences)
-            edges = graph.edges
-            self.starts = set(graph.starts)
-            accepting = set(graph.accepting)
-        else:
-            representative: dict = {}
-            for occurrence in graph.occurrences:
-                representative.setdefault(occurrence.terminal, occurrence)
-            self.units = list(representative.values())
-            collapsed = graph.collapsed_edges()
-            edges = {
-                unit: frozenset(
-                    representative[t]
-                    for t in collapsed.get(unit.terminal, frozenset())
-                    if t in representative
-                )
-                for unit in self.units
-            }
-            self.starts = {representative[o.terminal] for o in graph.starts}
-            accepting = {
-                representative[t]
-                for t in representative
-                if END in analysis.follow[t]
-            }
-        self.accepting = accepting
-
-        #: unit -> units it enables (successor map, used sparsely).
-        self.successors: dict[Occurrence, frozenset[Occurrence]] = {
-            unit: frozenset(
-                target for target in edges.get(unit, frozenset())
-                if target in set(self.units)
-            )
-            for unit in self.units
-        }
-        if wiring.loop_on_accept:
-            starts_frozen = frozenset(self.starts)
-            for unit in accepting:
-                self.successors[unit] = self.successors[unit] | starts_frozen
-
-        self.automata: dict[str, Glushkov] = {}
-        for unit in self.units:
-            name = unit.terminal.name
-            if name not in self.automata:
-                self.automata[name] = build_glushkov(
-                    grammar.lexspec.get(name).pattern
-                )
-        self.delimiters = grammar.lexspec.delimiters.matched_bytes()
-
-        tmpl = wiring.tokenizer
-        self.longest_match = tmpl.longest_match
-        self._boundary: dict[str, frozenset[int]] = {}
-        for unit in self.units:
-            token = grammar.lexspec.get(unit.terminal.name)
-            extra: frozenset[int] = frozenset()
-            if tmpl.keyword_boundary and token.is_literal:
-                text = token.fixed_text()
-                if text and chr(text[-1]).isalnum():
-                    extra = rx.ALNUM.matched_bytes()
-            self._boundary[unit.terminal.name] = extra
-
-        self._index_of: dict[Occurrence, int] = {
-            unit: position + 1 for position, unit in enumerate(self.units)
-        }
+        if engine not in ("compiled", "interpreted"):
+            raise ValueError(f"unknown tagger engine {engine!r}")
+        self.engine = engine
+        plan = build_scan_plan(grammar, self.options.wiring)
+        self.plan = plan
+        self.units: list[Occurrence] = list(plan.units)
+        self.starts = set(plan.starts)
+        self.accepting = set(plan.accepting)
+        self.successors = plan.successors
+        self.automata: dict[str, Glushkov] = plan.automata
+        self.delimiters = plan.delimiters
+        self.longest_match = plan.longest_match
+        self._boundary = plan.boundary
+        self._index_of = plan.index_of
         #: stable unit ordering, so same-byte events come out in the
         #: same order as the hardware's detect port scan.
-        self._unit_order: dict[Occurrence, int] = {
-            unit: position for position, unit in enumerate(self.units)
-        }
+        self._unit_order = plan.unit_order
+        self.compiled: CompiledTagger | None = (
+            CompiledTagger(grammar, self.options, plan=plan)
+            if engine == "compiled"
+            else None
+        )
 
     # ------------------------------------------------------------------
     def index_of(self, unit: Occurrence) -> int:
@@ -139,6 +98,8 @@ class BehavioralTagger:
     # ------------------------------------------------------------------
     def events(self, data: bytes) -> list[DetectEvent]:
         """Raw detection events, bit-exact with the hardware detects."""
+        if self.compiled is not None:
+            return self.compiled.events(data)
         return [event for event, _starts in self._scan(data)]
 
     def events_and_errors(
@@ -153,12 +114,16 @@ class BehavioralTagger:
         """
         if not self.options.wiring.error_recovery:
             raise ValueError("tagger built without error_recovery")
+        if self.compiled is not None:
+            return self.compiled.events_and_errors(data)
         errors: list[int] = []
         events = [e for e, _s in self._scan(data, error_sink=errors)]
         return events, errors
 
     def tag(self, data: bytes) -> list[TaggedToken]:
         """Tagged tokens with lexemes (earliest-start reconstruction)."""
+        if self.compiled is not None:
+            return self.compiled.tag(data)
         tokens: list[TaggedToken] = []
         for event, start in self._scan(data):
             tokens.append(
@@ -272,6 +237,20 @@ class BehavioralTagger:
             yield from results
 
 
+#: Reversed-pattern NFAs for start recovery, shared per grammar: every
+#: GateLevelTagger over the same grammar reuses one token-name -> NFA
+#: map instead of recompiling per instance.
+_REVERSE_NFA_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _reverse_nfas_for(grammar: Grammar) -> dict[str, NFA]:
+    cached = _REVERSE_NFA_CACHE.get(grammar)
+    if cached is None:
+        cached = {}
+        _REVERSE_NFA_CACHE[grammar] = cached
+    return cached
+
+
 class GateLevelTagger:
     """Runs the generated netlist and decodes its outputs.
 
@@ -287,7 +266,9 @@ class GateLevelTagger:
             port: occurrence
             for occurrence, port in circuit.detect_ports.items()
         }
-        self._reverse_nfas: dict[str, object] = {}
+        self._reverse_nfas: dict[str, NFA] = _reverse_nfas_for(
+            circuit.grammar
+        )
 
     # ------------------------------------------------------------------
     def _flush_cycles(self) -> int:
@@ -375,7 +356,7 @@ class GateLevelTagger:
         reversed pattern over the reversed prefix gives the start.
         """
         name = event.occurrence.terminal.name
-        nfa = self._reverse_nfas.get(name)
+        nfa: NFA | None = self._reverse_nfas.get(name)
         if nfa is None:
             pattern = self.circuit.grammar.lexspec.get(name).pattern
             nfa = compile_nfa(rx.reverse(pattern))

@@ -83,6 +83,57 @@ class Glushkov:
     def n_positions(self) -> int:
         return len(self.position_bytes)
 
+    # ------------------------------------------------------------------
+    # Dense table extraction (for compiled scan engines)
+    #
+    # The hardware flattens the construction into wires; a software
+    # fast path flattens it into integers instead: each byte set
+    # becomes a 256-bit mask (bit b set ⇔ the position matches byte
+    # b), and first/last/follow become position bitmasks. All results
+    # are memoized on the instance — the construction is immutable
+    # after :func:`build_glushkov`.
+    # ------------------------------------------------------------------
+    def byte_masks(self) -> list[int]:
+        """256-bit byte-membership mask per position."""
+        cached = getattr(self, "_byte_masks", None)
+        if cached is None:
+            cached = [
+                sum(1 << b for b in matched) for matched in self.position_bytes
+            ]
+            object.__setattr__(self, "_byte_masks", cached)
+        return cached
+
+    def first_mask(self) -> int:
+        """Position bitmask of ``first``."""
+        return sum(1 << p for p in self.first)
+
+    def last_mask(self) -> int:
+        """Position bitmask of ``last``."""
+        return sum(1 << p for p in self.last)
+
+    def follow_masks(self) -> list[int]:
+        """Position bitmask of ``follow[p]`` per position ``p``."""
+        cached = getattr(self, "_follow_masks", None)
+        if cached is None:
+            cached = [
+                sum(1 << q for q in self.follow.get(p, ()))
+                for p in range(self.n_positions)
+            ]
+            object.__setattr__(self, "_follow_masks", cached)
+        return cached
+
+    def extension_mask(self, position: int) -> int:
+        """256-bit byte mask of :meth:`extension_bytes` (memoized)."""
+        cached = getattr(self, "_extension_masks", None)
+        if cached is None:
+            cached = {}
+            object.__setattr__(self, "_extension_masks", cached)
+        mask = cached.get(position)
+        if mask is None:
+            mask = sum(1 << b for b in self.extension_bytes(position))
+            cached[position] = mask
+        return mask
+
     def extension_bytes(self, position: int) -> frozenset[int]:
         """Bytes that would extend a match ending at ``position``.
 
@@ -183,6 +234,23 @@ def build_glushkov(node: Regex) -> Glushkov:
         follow={p: frozenset(s) for p, s in follow.items()},
         nullable=nullable,
     )
+
+
+#: Memo cache for :func:`build_glushkov_cached`. Regex nodes are
+#: frozen dataclasses (hashable by value), so identical patterns —
+#: e.g. the same token appearing as several grammar occurrences, or
+#: apps rebuilding taggers for the same grammar — share one
+#: construction. Pattern sets are small; the cache is unbounded.
+_GLUSHKOV_CACHE: dict[Regex, Glushkov] = {}
+
+
+def build_glushkov_cached(node: Regex) -> Glushkov:
+    """Memoized :func:`build_glushkov` (keyed by pattern value)."""
+    cached = _GLUSHKOV_CACHE.get(node)
+    if cached is None:
+        cached = build_glushkov(node)
+        _GLUSHKOV_CACHE[node] = cached
+    return cached
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,118 @@
+"""Incremental (chunked) routing ≡ whole-stream routing.
+
+The wire delivers packets, not streams: :class:`RouterSession` must
+produce exactly the messages :meth:`ContentBasedRouter.route` produces
+on the concatenated bytes, for any chunking, while holding only a
+bounded byte window; and the netstack wrapper's per-flow sessions must
+keep :meth:`TaggingWrapper.results` idempotent mid-trace.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.netstack.tracegen import TraceGenerator
+from repro.apps.netstack.wrapper import TaggingWrapper
+from repro.apps.xmlrpc import ContentBasedRouter, WorkloadGenerator
+from repro.core.generator import TaggerGenerator
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.errors import BackendError
+from repro.grammar.examples import xmlrpc
+
+
+@pytest.fixture(scope="module")
+def router():
+    return ContentBasedRouter()
+
+
+@pytest.fixture(scope="module")
+def stream():
+    data, _truth = WorkloadGenerator(seed=13).stream(30)
+    return data
+
+
+def test_session_matches_batch_any_chunking(router, stream):
+    whole = router.route(stream)
+    rng = random.Random(31)
+    for _trial in range(5):
+        session = router.stream()
+        got = []
+        i = 0
+        while i < len(stream):
+            k = rng.randrange(1, 64)
+            got += session.feed(stream[i : i + k])
+            i += k
+        got += session.finish()
+        assert got == whole
+
+
+def test_session_buffer_stays_bounded(router, stream):
+    """The retained window tracks open messages, not the whole stream."""
+    session = router.stream()
+    high_water = 0
+    for i in range(0, len(stream), 97):
+        session.feed(stream[i : i + 97])
+        high_water = max(high_water, len(session._buffer))
+    # every message in this workload is far smaller than the stream
+    assert high_water < len(stream) // 4
+
+
+def test_peek_finish_does_not_consume(router, stream):
+    whole = router.route(stream)
+    cut = len(stream) // 2
+    session = router.stream()
+    messages = session.feed(stream[:cut])
+    peeked = session.peek_finish()
+    # peeking twice is stable, and feeding continues afterwards
+    assert session.peek_finish() == peeked
+    messages += session.feed(stream[cut:])
+    messages += session.finish()
+    assert messages == whole
+
+
+def test_gate_level_tagger_has_no_stream(router):
+    circuit = TaggerGenerator().generate(xmlrpc())
+    gated = ContentBasedRouter(tagger=GateLevelTagger(circuit))
+    with pytest.raises(BackendError):
+        gated.stream()
+
+
+def test_wrapper_streams_per_flow():
+    """Chunked per-packet tagging equals the legacy whole-stream path."""
+    messages = [
+        WorkloadGenerator(seed=5).message()[0].encode() for _ in range(6)
+    ]
+    trace = TraceGenerator(mss=48).trace(messages)
+
+    streaming = TaggingWrapper()
+    assert streaming._streaming
+    legacy = TaggingWrapper(
+        ContentBasedRouter(tagger=BehavioralTagger(xmlrpc(), engine="interpreted"))
+    )
+    assert not legacy._streaming
+
+    got = streaming.process(trace)
+    want = legacy.process(trace)
+    assert [r.messages for r in got] == [r.messages for r in want]
+    assert [r.payload for r in got] == [r.payload for r in want]
+
+
+def test_wrapper_results_idempotent_midtrace():
+    """results() is a snapshot: callable repeatedly, mid-trace, without
+    disturbing subsequent incremental tagging."""
+    messages = [
+        WorkloadGenerator(seed=9).message()[0].encode() for _ in range(4)
+    ]
+    trace = TraceGenerator(mss=64).trace(messages)
+    wrapper = TaggingWrapper()
+    half = len(trace) // 2
+    for packet in trace[:half]:
+        wrapper.push_packet(packet)
+    mid = wrapper.results()
+    assert wrapper.results() == mid
+    for packet in trace[half:]:
+        wrapper.push_packet(packet)
+    final = wrapper.results()
+
+    oneshot = TaggingWrapper()
+    assert oneshot.process(trace) == final

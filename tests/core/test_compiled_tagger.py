@@ -1,0 +1,170 @@
+"""Compiled table-driven engine ≡ interpreted loop ≡ gate-level netlist.
+
+The compiled engine (:mod:`repro.core.compiled`) must be *bit-exact*
+with the interpreted reference: same events, same order, same
+earliest-start lexemes, same §5.2 error positions — across wiring
+variants including the longest-match and error-recovery corners, on
+seeded random byte soup as well as structured inputs. A three-way
+check against the gate-level simulation pins all engines to the
+hardware semantics.
+"""
+
+import random
+import zlib
+from dataclasses import replace
+
+import pytest
+
+from repro.core.compiled import CompiledTagger
+from repro.core.generator import TaggerGenerator, TaggerOptions
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.core.wiring import WiringOptions
+from repro.grammar.examples import balanced_parens, if_then_else, xmlrpc
+
+GRAMMARS = {
+    "ite": if_then_else,
+    "xmlrpc": xmlrpc,
+    "parens": balanced_parens,
+}
+
+#: Wiring corners the tables specialize on: context collapse, start
+#: mode, accept looping, Fig. 7 longest-match on/off, keyword
+#: boundary, §5.2 recovery.
+VARIANTS = {
+    "default": WiringOptions(),
+    "no-dup": WiringOptions(context_duplication=False),
+    "always": WiringOptions(start_mode="always"),
+    "no-loop": WiringOptions(loop_on_accept=False),
+    "recovery": WiringOptions(error_recovery=True),
+}
+VARIANTS["no-longest"] = replace(
+    WiringOptions(),
+    tokenizer=replace(WiringOptions().tokenizer, longest_match=False),
+)
+VARIANTS["boundary"] = replace(
+    WiringOptions(),
+    tokenizer=replace(WiringOptions().tokenizer, keyword_boundary=True),
+)
+
+#: Byte soup biased toward token fragments, so random streams exercise
+#: partial matches, overlaps and delimiter arming rather than pure noise.
+ALPHABET = b"if then else got() <methodCall>param</int>intx 0123abc\t\n "
+
+
+def _random_streams(seed: int, count: int, max_len: int = 200):
+    rng = random.Random(seed)
+    for _ in range(count):
+        n = rng.randrange(0, max_len)
+        yield bytes(rng.choice(ALPHABET) for _ in range(n))
+
+
+@pytest.mark.parametrize("gname", GRAMMARS)
+@pytest.mark.parametrize("vname", VARIANTS)
+def test_differential_random_streams(gname, vname):
+    """Events AND earliest starts match the interpreted loop exactly."""
+    grammar = GRAMMARS[gname]()
+    options = TaggerOptions(wiring=VARIANTS[vname])
+    interpreted = BehavioralTagger(grammar, options, engine="interpreted")
+    compiled = CompiledTagger(grammar, options)
+    seed = zlib.crc32(f"{gname}/{vname}".encode())
+    for data in _random_streams(seed=seed, count=60):
+        assert compiled.scan(data) == list(
+            interpreted._scan(data, error_sink=None)
+        )
+
+
+@pytest.mark.parametrize("gname", GRAMMARS)
+def test_three_way_gate_level(gname):
+    """Compiled == interpreted == cycle-accurate netlist simulation."""
+    grammar = GRAMMARS[gname]()
+    circuit = TaggerGenerator().generate(grammar)
+    gate = GateLevelTagger(circuit)
+    interpreted = BehavioralTagger(grammar, engine="interpreted")
+    compiled = CompiledTagger(grammar)
+    for data in _random_streams(seed=99, count=8, max_len=80):
+        events = compiled.events(data)
+        assert events == interpreted.events(data)
+        assert events == gate.events(data)
+
+
+@pytest.mark.parametrize("gname", GRAMMARS)
+def test_error_recovery_positions(gname):
+    """§5.2 re-arm positions are bit-exact, not just the events."""
+    grammar = GRAMMARS[gname]()
+    options = TaggerOptions(wiring=WiringOptions(error_recovery=True))
+    interpreted = BehavioralTagger(grammar, options, engine="interpreted")
+    compiled = CompiledTagger(grammar, options)
+    for data in _random_streams(seed=7, count=40):
+        expected_errors: list = []
+        expected = list(interpreted._scan(data, error_sink=expected_errors))
+        events, errors = compiled.events_and_errors(data)
+        assert events == [event for event, _start in expected]
+        assert errors == expected_errors
+
+
+@pytest.mark.parametrize("gname", GRAMMARS)
+def test_tag_lexemes_equal(gname):
+    """Full TaggedToken streams (lexeme slices included) are identical."""
+    grammar = GRAMMARS[gname]()
+    interpreted = BehavioralTagger(grammar, engine="interpreted")
+    compiled = CompiledTagger(grammar)
+    for data in _random_streams(seed=23, count=30):
+        assert compiled.tag(data) == interpreted.tag(data)
+
+
+@pytest.mark.parametrize("gname", GRAMMARS)
+def test_streaming_chunk_split_invariance(gname):
+    """Any chunking of the stream yields the one-shot result."""
+    grammar = GRAMMARS[gname]()
+    compiled = CompiledTagger(grammar)
+    rng = random.Random(4242)
+    for data in _random_streams(seed=17, count=25, max_len=300):
+        whole = compiled.scan(data)
+        session = compiled.stream()
+        chunked = []
+        i = 0
+        while i < len(data):
+            k = rng.randrange(1, 17)
+            chunked += session.feed_scan(data[i : i + k])
+            i += k
+        chunked += session.finish_scan()
+        assert chunked == whole
+
+
+def test_feed_finish_api():
+    """The tagger-level streaming convenience: absolute positions,
+    boundary-held events, session reset on finish."""
+    grammar = if_then_else()
+    tagger = CompiledTagger(grammar)
+    data = b"if true then go"
+    expected = tagger.events(data)
+    got = tagger.feed(b"if tr")
+    got += tagger.feed(b"ue then go")
+    got += tagger.finish()
+    assert got == expected
+    # finish() reset the default session: the next stream starts at 0
+    assert tagger.feed(data) + tagger.finish() == expected
+
+
+def test_behavioral_default_engine_is_compiled():
+    grammar = xmlrpc()
+    tagger = BehavioralTagger(grammar)
+    assert tagger.compiled is not None
+    legacy = BehavioralTagger(grammar, engine="interpreted")
+    assert legacy.compiled is None
+    data = b"<methodCall><methodName>buy</methodName></methodCall>"
+    assert tagger.events(data) == legacy.events(data)
+
+
+def test_tables_shared_across_taggers():
+    """One (grammar, wiring) pair -> one compiled table set."""
+    grammar = xmlrpc()
+    first = CompiledTagger(grammar)
+    second = CompiledTagger(grammar)
+    assert first.tables is second.tables
+    assert first.plan is second.plan
+    # distinct wiring -> distinct tables
+    other = CompiledTagger(
+        grammar, TaggerOptions(wiring=WiringOptions(start_mode="always"))
+    )
+    assert other.tables is not first.tables
