@@ -22,11 +22,14 @@ Quickstart
 
 from repro.core import (
     BehavioralTagger,
+    BufferedSession,
     GateLevelTagger,
+    StreamSession,
     TaggedToken,
     TaggerCircuit,
     TaggerGenerator,
     TaggerOptions,
+    TokenTagger,
 )
 from repro.core.backend import Backend, TaggingPipeline
 from repro.core.stack import StackTagger
@@ -40,6 +43,13 @@ from repro.grammar import Grammar, LexSpec
 from repro.grammar.dtd import dtd_to_grammar, parse_dtd
 from repro.grammar.yacc_parser import load_yacc_grammar, parse_yacc_grammar
 from repro.rtl import Netlist, Simulator, emit_vhdl
+from repro.service import (
+    MetricsRegistry,
+    QueueFull,
+    RouterSpec,
+    ScanService,
+    TaggerSpec,
+)
 
 __version__ = "1.0.0"
 
@@ -50,20 +60,28 @@ grammar_from_dtd = dtd_to_grammar
 __all__ = [
     "Backend",
     "BehavioralTagger",
+    "BufferedSession",
     "DecoderOptions",
     "Device",
     "GateLevelTagger",
     "Grammar",
     "LexSpec",
+    "MetricsRegistry",
     "Netlist",
+    "QueueFull",
     "ReproError",
+    "RouterSpec",
+    "ScanService",
     "Simulator",
     "StackTagger",
+    "StreamSession",
     "TaggedToken",
     "TaggerCircuit",
     "TaggerGenerator",
     "TaggerOptions",
+    "TaggerSpec",
     "TaggingPipeline",
+    "TokenTagger",
     "TokenizerTemplateOptions",
     "WideGateLevelTagger",
     "WideTaggerGenerator",

@@ -7,12 +7,25 @@ run through its own tagger back-end — here the §4 XML-RPC router.
 
 Per-flow state mirrors the hardware reality: one scanning context per
 flow (the FPX TCP scanner kept per-flow matcher state the same way).
-With the compiled tagger engine each flow owns a streaming
-:class:`~repro.apps.xmlrpc.router.RouterSession`, so payload bytes are
-tagged as packets arrive instead of being re-scanned from the start of
-the flow on every inspection; taggers that cannot scan incrementally
-fall back to whole-stream routing at :meth:`TaggingWrapper.results`
-time.
+Three back-end arrangements are supported:
+
+* **local streaming** (default): each flow owns a
+  :class:`~repro.apps.xmlrpc.router.RouterSession`, so payload bytes
+  are tagged as packets arrive;
+* **sharded**: pass a running :class:`~repro.service.ScanService` and
+  reassembled flow bytes are submitted to the worker pool instead,
+  hash-sharded by :class:`~repro.apps.netstack.flows.FlowKey` — the
+  multi-process arrangement for heavy multi-flow traffic (results are
+  collected at :meth:`results`/:meth:`finish` time);
+* **whole-stream fallback**: taggers that cannot scan incrementally
+  (e.g. gate-level) are re-run over each flow's bytes at inspection
+  time.
+
+The wrapper itself implements the
+:class:`~repro.core.api.StreamSession` contract — ``feed(frame)``
+consumes one wire frame and returns the ``(flow, message)`` pairs it
+completed, ``finish()`` flushes every flow against end-of-data — with
+``push_frame`` kept as a deprecated alias.
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ from repro.apps.xmlrpc.router import (
     RoutedMessage,
     RouterSession,
 )
+from repro.core.api import StreamSession, warn_deprecated
 from repro.errors import BackendError
 
 
@@ -38,7 +52,7 @@ class FlowResult:
     messages: list[RoutedMessage] = field(default_factory=list)
 
 
-class TaggingWrapper:
+class TaggingWrapper(StreamSession):
     """Packet-level front end for a content-based router.
 
     Example
@@ -52,48 +66,137 @@ class TaggingWrapper:
     1
     """
 
-    def __init__(self, router: ContentBasedRouter | None = None) -> None:
+    def __init__(
+        self,
+        router: ContentBasedRouter | None = None,
+        service=None,
+    ) -> None:
         self.router = router if router is not None else ContentBasedRouter()
+        #: A started :class:`~repro.service.ScanService` (RouterSpec
+        #: workers); when set, flow bytes are scanned by the pool.
+        self.service = service
         self.reassembler = TCPReassembler()
         self._payloads: dict[FlowKey, bytearray] = {}
         self._sessions: dict[FlowKey, RouterSession] = {}
         self._messages: dict[FlowKey, list[RoutedMessage]] = {}
-        try:
-            self.router.stream()
+        self._final: list[FlowResult] | None = None
+        if service is not None:
             self._streaming = True
-        except BackendError:
-            # e.g. a gate-level tagger: route whole streams at results()
-            self._streaming = False
+        else:
+            try:
+                self.router.stream()
+                self._streaming = True
+            except BackendError:
+                # e.g. a gate-level tagger: route whole streams at
+                # inspection time instead
+                self._streaming = False
         self.malformed = 0
 
     # ------------------------------------------------------------------
-    def push_frame(self, frame: bytes) -> None:
-        """Consume one wire frame (parse errors are counted, not fatal)."""
+    # StreamSession surface
+    # ------------------------------------------------------------------
+    def feed(self, frame: bytes) -> list[tuple[FlowKey, RoutedMessage]]:
+        """Consume one wire frame; return the (flow, message) pairs it
+        completed (parse errors are counted, not fatal).
+
+        With a sharded service attached, scanning is asynchronous and
+        this returns ``[]``; completed messages are collected by
+        :meth:`results` / :meth:`finish`.
+        """
+        self._check_open()
         try:
-            self.push_packet(Packet.parse(frame))
+            packet = Packet.parse(frame)
         except BackendError:
             self.malformed += 1
+            return []
+        return self.feed_packet(packet)
 
-    def push_packet(self, packet: Packet) -> None:
+    def feed_packet(
+        self, packet: Packet
+    ) -> list[tuple[FlowKey, RoutedMessage]]:
+        """Like :meth:`feed` for an already-parsed packet."""
+        self._check_open()
         key, data = self.reassembler.push(packet)
+        completed: list[tuple[FlowKey, RoutedMessage]] = []
         if data:
             self._payloads.setdefault(key, bytearray()).extend(data)
-            if self._streaming:
+            if self.service is not None:
+                self.service.submit(key, bytes(data))
+            elif self._streaming:
                 session = self._sessions.get(key)
                 if session is None:
                     session = self._sessions[key] = self.router.stream()
                     self._messages[key] = []
-                self._messages[key].extend(session.feed(bytes(data)))
+                messages = session.feed(bytes(data))
+                self._messages[key].extend(messages)
+                completed.extend((key, message) for message in messages)
+        return completed
 
+    def finish(self) -> list[FlowResult]:
+        """Flush every flow against end-of-data and end the session.
+
+        Returns the final per-flow results (also cached, so
+        :meth:`results` keeps answering afterwards).
+        """
+        self._check_open()
+        if self.service is not None:
+            for key in self._payloads:
+                self.service.finish_flow(key)
+            self.service.drain()
+            merged = self.service.results()
+            results = [
+                FlowResult(
+                    key=key,
+                    payload=bytes(payload),
+                    messages=list(merged.get(key, [])),
+                )
+                for key, payload in self._payloads.items()
+            ]
+        else:
+            results = []
+            for key, payload in self._payloads.items():
+                data = bytes(payload)
+                if self._streaming:
+                    messages = self._messages[key] + self._sessions[
+                        key
+                    ].finish()
+                else:
+                    messages = self.router.route(data)
+                results.append(
+                    FlowResult(key=key, payload=data, messages=messages)
+                )
+        self._finished = True
+        self._final = results
+        return results
+
+    # ------------------------------------------------------------------
+    # inspection API
     # ------------------------------------------------------------------
     def results(self) -> list[FlowResult]:
         """Every flow's messages so far (idempotent; callable mid-trace).
 
-        Streaming flows report the messages their sessions already
-        emitted plus whatever end-of-data would complete right now
-        (evaluated on a snapshot, so later packets still tag
-        incrementally).
+        Streaming flows report the messages already emitted plus
+        whatever end-of-data would complete right now, evaluated on a
+        snapshot — local sessions via
+        :meth:`~repro.apps.xmlrpc.router.RouterSession.peek_finish`,
+        sharded flows via a worker-side
+        :meth:`~repro.service.ScanService.peek` round trip — so later
+        packets still tag incrementally.
         """
+        if self._final is not None:
+            return self._final
+        if self.service is not None:
+            self.service.drain()
+            merged = self.service.results()
+            return [
+                FlowResult(
+                    key=key,
+                    payload=bytes(payload),
+                    messages=list(merged.get(key, []))
+                    + self.service.peek(key),
+                )
+                for key, payload in self._payloads.items()
+            ]
         results = []
         for key, payload in self._payloads.items():
             data = bytes(payload)
@@ -108,11 +211,26 @@ class TaggingWrapper:
         return results
 
     def process(
-        self, packets: list[Packet] | None = None, frames: list[bytes] | None = None
+        self,
+        packets: list[Packet] | None = None,
+        frames: list[bytes] | None = None,
     ) -> list[FlowResult]:
         """Convenience: push a whole trace and return the flow results."""
         for packet in packets or ():
-            self.push_packet(packet)
+            self.feed_packet(packet)
         for frame in frames or ():
-            self.push_frame(frame)
+            self.feed(frame)
         return self.results()
+
+    # ------------------------------------------------------------------
+    # deprecated aliases (pre-StreamSession surface)
+    # ------------------------------------------------------------------
+    def push_frame(self, frame: bytes) -> None:
+        """Deprecated alias of :meth:`feed` (return value discarded)."""
+        warn_deprecated("TaggingWrapper.push_frame", "feed")
+        self.feed(frame)
+
+    def push_packet(self, packet: Packet) -> None:
+        """Deprecated alias of :meth:`feed_packet` (return discarded)."""
+        warn_deprecated("TaggingWrapper.push_packet", "feed_packet")
+        self.feed_packet(packet)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps.xmlrpc.services import BANK_SHOPPING_TABLE, ServiceTable
+from repro.core.api import StreamSession
 from repro.core.compiled import CompiledTagger
 from repro.core.scanplan import DetectEvent
 from repro.core.tagger import BehavioralTagger, GateLevelTagger
@@ -68,6 +69,7 @@ class ContentBasedRouter:
     ) -> None:
         self.grammar = grammar if grammar is not None else xmlrpc()
         self.table = table if table is not None else BANK_SHOPPING_TABLE
+        self.method_element = method_element
         self.tagger = tagger if tagger is not None else BehavioralTagger(self.grammar)
 
         #: Occurrences whose detection carries the service name: any
@@ -138,8 +140,27 @@ class ContentBasedRouter:
         """A fresh incremental routing session (one per flow)."""
         return RouterSession(self)
 
+    def shard(self, n_workers: int = 2, **service_options):
+        """A sharded multi-process scan service over this router's
+        grammar and table (see :class:`repro.service.ScanService`).
 
-class RouterSession:
+        Flows submitted to the returned service are hash-sharded to
+        ``n_workers`` OS processes, each running independent
+        :class:`RouterSession` state per flow; per-flow results are
+        byte-for-byte what :meth:`route` produces on the concatenated
+        stream.
+        """
+        from repro.service import RouterSpec, ScanService
+
+        spec = RouterSpec(
+            grammar=self.grammar,
+            table=self.table,
+            method_element=self.method_element,
+        )
+        return ScanService(spec, n_workers=n_workers, **service_options)
+
+
+class RouterSession(StreamSession):
     """Incremental routing over a chunked byte stream.
 
     Chunk boundaries are arbitrary (packet payloads, read() returns);
@@ -182,6 +203,7 @@ class RouterSession:
     # ------------------------------------------------------------------
     def feed(self, chunk: bytes) -> list[RoutedMessage]:
         """Consume one chunk; return the messages it completed."""
+        self._check_open()
         self._buffer += chunk
         messages = self._apply(self._stream.feed_scan(chunk))
         self._prune()
@@ -189,7 +211,11 @@ class RouterSession:
 
     def finish(self) -> list[RoutedMessage]:
         """End the stream; return messages completed by end-of-data."""
-        return self._apply(self._stream.finish_scan())
+        self._check_open()
+        messages = self._flush_snapshot()
+        self._stream.close()
+        self._finished = True
+        return messages
 
     def peek_finish(self) -> list[RoutedMessage]:
         """Messages finishing now would add, without ending the stream.
@@ -198,6 +224,13 @@ class RouterSession:
         feeding can continue afterwards — the mid-stream inspection
         point per-flow back-ends need.
         """
+        return self._flush_snapshot()
+
+    def _flush_snapshot(self) -> list[RoutedMessage]:
+        """The one end-of-data flush path (:meth:`finish` commits it,
+        :meth:`peek_finish` only observes it): run the per-token state
+        machine over a snapshot flush and roll the session's message
+        state back, leaving feeding possible."""
         saved = (self._message_start, self._service)
         messages = self._apply(self._stream.finish_scan_snapshot())
         self._message_start, self._service = saved

@@ -7,6 +7,8 @@ Commands mirror the paper's workflow:
 * ``generate`` — compile a grammar to hardware, optionally emit VHDL
   and an implementation report;
 * ``route`` — run the XML-RPC router demo on a synthetic workload;
+* ``serve-bench`` — throughput of the sharded multi-process scan
+  service against the single-process router;
 * ``table1`` / ``figure15`` / ``ablation`` — print the experiment
   reproductions.
 """
@@ -118,6 +120,66 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0 if correct == len(truth) else 1
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import time
+
+    from repro.apps.xmlrpc import ContentBasedRouter, WorkloadGenerator
+    from repro.service import RouterSpec, ScanService
+
+    generator = WorkloadGenerator(seed=args.seed)
+    streams = {}
+    per_flow = max(1, args.messages // args.flows)
+    for index in range(args.flows):
+        stream, _truth = generator.stream(per_flow)
+        streams[f"flow-{index}"] = stream
+    total_bytes = sum(len(s) for s in streams.values())
+
+    router = ContentBasedRouter()
+    started = time.perf_counter()
+    expected = {flow: router.route(data) for flow, data in streams.items()}
+    single_s = time.perf_counter() - started
+
+    spec = RouterSpec()
+    started = time.perf_counter()
+    with ScanService(
+        spec, n_workers=args.workers, queue_depth=args.queue_depth
+    ) as service:
+        got = service.run_streams(streams, chunk_size=args.chunk)
+        service_s = time.perf_counter() - started
+        stats = service.stats()
+
+    matched = got == expected
+    report = {
+        "flows": args.flows,
+        "messages": per_flow * args.flows,
+        "bytes": total_bytes,
+        "workers": args.workers,
+        "cpus": os.cpu_count(),
+        "single_process_mbps": total_bytes / single_s / 1e6,
+        "service_mbps": total_bytes / service_s / 1e6,
+        "speedup": single_s / service_s,
+        "results_match": matched,
+    }
+    if args.json:
+        report["stats"] = stats
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"workload: {report['messages']} messages, "
+              f"{args.flows} flows, {total_bytes} bytes")
+        print(f"single process : {report['single_process_mbps']:8.2f} MB/s")
+        print(f"{args.workers}-worker service: "
+              f"{report['service_mbps']:8.2f} MB/s "
+              f"(x{report['speedup']:.2f}, {report['cpus']} CPUs)")
+        print(f"results match  : {matched}")
+        latency = stats["histograms"].get("latency.roundtrip_s", {})
+        if latency.get("count"):
+            print(f"round trip     : p50 {latency['p50_s'] * 1e3:.2f} ms, "
+                  f"p99 {latency['p99_s'] * 1e3:.2f} ms")
+    return 0 if matched else 1
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     from repro.bench.table1 import format_table1, run_table1
 
@@ -187,6 +249,22 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--show", type=int, default=5,
                        help="messages to print")
     route.set_defaults(func=_cmd_route)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the sharded multi-process scan service",
+    )
+    serve.add_argument("--messages", type=int, default=400,
+                       help="total messages across all flows")
+    serve.add_argument("--flows", type=int, default=8)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--chunk", type=int, default=4096,
+                       help="submission chunk size in bytes")
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=2006)
+    serve.add_argument("--json", action="store_true",
+                       help="emit the report (plus service stats) as JSON")
+    serve.set_defaults(func=_cmd_serve_bench)
 
     sub.add_parser("table1", help="reproduce Table 1").set_defaults(
         func=_cmd_table1

@@ -6,9 +6,11 @@
 * :mod:`repro.core.encoder` — token index encoder (eqs. 1–5);
 * :mod:`repro.core.generator` — whole-tagger generation (Fig. 3);
 * :mod:`repro.core.tagger` — behavioral and gate-level tagger front ends;
+* :mod:`repro.core.api` — the unified TokenTagger/StreamSession surface;
 * :mod:`repro.core.backend` — back-end processor interface (§3.5).
 """
 
+from repro.core.api import BufferedSession, StreamSession, TokenTagger
 from repro.core.tokens import TaggedToken
 from repro.core.generator import TaggerCircuit, TaggerGenerator, TaggerOptions
 from repro.core.compiled import CompiledStream, CompiledTagger
@@ -17,14 +19,17 @@ from repro.core.tagger import BehavioralTagger, GateLevelTagger
 
 __all__ = [
     "BehavioralTagger",
+    "BufferedSession",
     "CompiledStream",
     "CompiledTagger",
     "DetectEvent",
     "GateLevelTagger",
     "ScanPlan",
+    "StreamSession",
     "TaggedToken",
     "TaggerCircuit",
     "TaggerGenerator",
     "TaggerOptions",
+    "TokenTagger",
     "build_scan_plan",
 ]

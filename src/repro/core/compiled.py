@@ -52,6 +52,7 @@ from __future__ import annotations
 
 from weakref import WeakKeyDictionary
 
+from repro.core.api import StreamSession
 from repro.core.generator import TaggerOptions
 from repro.core.scanplan import (
     DetectEvent,
@@ -60,7 +61,6 @@ from repro.core.scanplan import (
     build_scan_plan,
 )
 from repro.core.tokens import TaggedToken
-from repro.errors import BackendError
 from repro.grammar.cfg import Grammar
 from repro.grammar.regex.glushkov import Glushkov
 
@@ -389,6 +389,14 @@ class CompiledTagger:
         self._session: CompiledStream | None = None
 
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        # Pickle as a compact rebuild spec — (grammar, options) — not
+        # the materialized tables: the payload stays small and the
+        # unpickling process rebuilds through the shared plan/table
+        # caches, so every tagger shipped to one worker pays one build.
+        return (CompiledTagger, (self.grammar, self.options))
+
+    # ------------------------------------------------------------------
     def index_of(self, unit) -> int:
         """Default (or-tree) encoder index for a unit."""
         return self._index_of[unit]
@@ -548,7 +556,7 @@ class CompiledTagger:
                 out.append((DetectEvent(units[u], end), match_start))
 
 
-class CompiledStream:
+class CompiledStream(StreamSession):
     """One incremental scan over a chunked byte stream.
 
     ``feed`` accepts arbitrary chunk boundaries and returns the events
@@ -569,8 +577,7 @@ class CompiledStream:
     # ------------------------------------------------------------------
     def feed_scan(self, chunk: bytes) -> list[tuple[DetectEvent, int]]:
         """Feed a chunk; return completed (event, match start) pairs."""
-        if self._finished:
-            raise BackendError("stream already finished")
+        self._check_open()
         out: list[tuple[DetectEvent, int]] = []
         sink = self.errors if self.tagger.tables.recovery else None
         self.tagger._run(chunk, self.state, sink, out)
@@ -578,12 +585,14 @@ class CompiledStream:
 
     def finish_scan(self) -> list[tuple[DetectEvent, int]]:
         """Resolve the final byte against end-of-data; end the stream."""
-        if self._finished:
-            raise BackendError("stream already finished")
-        self._finished = True
-        out: list[tuple[DetectEvent, int]] = []
-        self.tagger._flush(self.state, out)
+        self._check_open()
+        out = self.finish_scan_snapshot()
+        self.close()
         return out
+
+    def close(self) -> None:
+        """End the stream without flushing (feeding afterwards raises)."""
+        self._finished = True
 
     def feed(self, chunk: bytes) -> list[DetectEvent]:
         return [event for event, _start in self.feed_scan(chunk)]

@@ -65,6 +65,13 @@ class ScanPlan:
     #: stable unit ordering (hardware detect-port scan order).
     unit_order: dict[Occurrence, int]
 
+    def __reduce__(self):
+        # Ship the compact inputs, not the derived structure: the
+        # unpickling process re-derives through build_scan_plan's
+        # memo, so plans stay shared (one instance per grammar/wiring)
+        # on the far side of a process boundary too.
+        return (build_scan_plan, (self.grammar, self.wiring))
+
 
 def _wiring_key(wiring: WiringOptions) -> tuple:
     """Hashable identity of the wiring options a scan depends on."""

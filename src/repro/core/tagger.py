@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Literal
 from weakref import WeakKeyDictionary
 
+from repro.core.api import BufferedSession, StreamSession, warn_deprecated
 from repro.core.compiled import CompiledTagger
 from repro.core.generator import TaggerCircuit, TaggerOptions
 from repro.core.scanplan import DetectEvent, build_scan_plan
@@ -91,9 +92,23 @@ class BehavioralTagger:
         )
 
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        # Compact rebuild spec (see CompiledTagger.__reduce__): the
+        # unpickling process re-derives plan and tables through the
+        # shared caches instead of shipping materialized structure.
+        return (BehavioralTagger, (self.grammar, self.options, self.engine))
+
+    # ------------------------------------------------------------------
     def index_of(self, unit: Occurrence) -> int:
         """Default (or-tree) encoder index for a unit."""
         return self._index_of[unit]
+
+    def stream(self) -> StreamSession:
+        """A fresh incremental session (buffered for the interpreted
+        engine, which has no incremental scan)."""
+        if self.compiled is not None:
+            return self.compiled.stream()
+        return BufferedSession(self)
 
     # ------------------------------------------------------------------
     def events(self, data: bytes) -> list[DetectEvent]:
@@ -279,22 +294,60 @@ class GateLevelTagger:
 
     def events(self, data: bytes) -> list[DetectEvent]:
         """Detection events recovered from the detect output pins."""
+        events, _errors = self._simulate(data, collect_errors=False)
+        return events
+
+    def events_and_errors(
+        self, data: bytes
+    ) -> tuple[list[DetectEvent], list[int]]:
+        """Detection events plus §5.2 error positions, in one
+        simulation pass (detect pins and the parse_error pin are read
+        off the same cycles). Bit-exact with
+        :meth:`BehavioralTagger.events_and_errors`.
+        """
+        if "parse_error" not in self.circuit.netlist.outputs:
+            raise ValueError("circuit generated without error_recovery")
+        return self._simulate(data, collect_errors=True)
+
+    def stream(self) -> StreamSession:
+        """A buffered session (the cycle-accurate simulation cannot
+        scan incrementally; chunks are scanned at ``finish()``)."""
+        return BufferedSession(self)
+
+    def _simulate(
+        self, data: bytes, collect_errors: bool
+    ) -> tuple[list[DetectEvent], list[int]]:
+        """One pass over the netlist reading detect (and optionally
+        parse_error) pins, converting cycles to byte positions."""
         self.simulator.reset()
         frames = stimulus_with_valid(data, self._flush_cycles())
         latency = self.circuit.detect_latency
         events: list[DetectEvent] = []
+        errors: list[int] = []
         for cycle, frame in enumerate(frames):
             outputs = self.simulator.step(frame)
             end = cycle - latency + 1  # exclusive end position
+            if (
+                collect_errors
+                and outputs["parse_error"]
+                and 0 <= end < len(data)
+            ):
+                errors.append(end)
             if end < 1:
                 continue
             for port, occurrence in self._occurrence_of_port.items():
                 if outputs[port]:
                     events.append(DetectEvent(occurrence, end))
-        return events
+        return events, errors
 
     def index_stream(self, data: bytes) -> list[tuple[int, int]]:
-        """(end, index) pairs from the encoder output pins."""
+        """(end, index) pairs read off the encoder output pins.
+
+        A pin-level probe of the Fig. 13 encoder, outside the
+        :class:`~repro.core.api.TokenTagger` protocol (the portable
+        equivalent is :meth:`tag`, whose tokens carry ``index``); kept
+        for hardware validation, which must see the actual pins.
+        """
         if self.circuit.encoder is None:
             raise ValueError("circuit has no encoder")
         self.simulator.reset()
@@ -312,25 +365,11 @@ class GateLevelTagger:
         return stream
 
     def error_positions(self, data: bytes) -> list[int]:
-        """§5.2 error-recovery positions read off the parse_error pin.
-
-        A reported position ``j`` means the hardware had lost all
-        parser state when byte ``j`` arrived (and re-armed the start
-        tokenizers). Bit-exact with
-        :meth:`BehavioralTagger.events_and_errors`.
-        """
-        if "parse_error" not in self.circuit.netlist.outputs:
-            raise ValueError("circuit generated without error_recovery")
-        self.simulator.reset()
-        frames = stimulus_with_valid(data, self._flush_cycles())
-        latency = self.circuit.detect_latency
-        positions = []
-        for cycle, frame in enumerate(frames):
-            outputs = self.simulator.step(frame)
-            position = cycle - latency + 1
-            if outputs["parse_error"] and 0 <= position < len(data):
-                positions.append(position)
-        return positions
+        """Deprecated alias: the error half of :meth:`events_and_errors`."""
+        warn_deprecated(
+            "GateLevelTagger.error_positions", "events_and_errors"
+        )
+        return self.events_and_errors(data)[1]
 
     def tag(self, data: bytes) -> list[TaggedToken]:
         """Tagged tokens; lexemes recovered by reversed-pattern match."""

@@ -143,7 +143,6 @@ class WideTaggerGenerator:
                     predecessors[target].append(source)
 
         # Per-lane delimiter-or-idle terms.
-        delims = grammar.lexspec.delimiters.matched_bytes()
         lane_delim = [banks[k].cur_delim_or_idle() for k in range(W)]
 
         # Lane-by-lane construction across ALL tokenizers, so that a

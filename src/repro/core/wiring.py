@@ -268,7 +268,6 @@ def estimate_conflict_groups(
     patterns (smaller alphabets) given higher priority.
     """
     units = scanner.order
-    position_of = {unit: i for i, unit in enumerate(units)}
 
     enabler_sets: dict[Occurrence, frozenset] = {}
     edges = (

@@ -1,0 +1,39 @@
+"""Production-style serving layer: sharded multi-process scanning.
+
+The paper's hardware serves line rate by replicating pipelined
+scanners; this package replicates the compiled software engine across
+OS processes:
+
+* :mod:`repro.service.shard` — stable flow-to-worker hash sharding
+  (per-flow byte order is the invariant);
+* :mod:`repro.service.pool` — worker processes, bounded task queues,
+  supervision plumbing;
+* :mod:`repro.service.service` — :class:`ScanService`: submission with
+  backpressure, crash respawn with journal replay, graceful drain;
+* :mod:`repro.service.metrics` — counters / gauges / latency
+  histograms behind :meth:`ScanService.stats`;
+* :mod:`repro.service.errors` — :class:`QueueFull` and friends.
+"""
+
+from repro.service.errors import (
+    QueueFull,
+    ServiceClosed,
+    ServiceError,
+    WorkerCrashed,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.service import RouterSpec, ScanService, TaggerSpec
+from repro.service.shard import ShardRouter, shard_of
+
+__all__ = [
+    "MetricsRegistry",
+    "QueueFull",
+    "RouterSpec",
+    "ScanService",
+    "ServiceClosed",
+    "ServiceError",
+    "ShardRouter",
+    "TaggerSpec",
+    "WorkerCrashed",
+    "shard_of",
+]

@@ -1,0 +1,151 @@
+"""Lightweight service metrics: counters, gauges, latency histograms.
+
+The hardware exposes its health as wire-visible signals (detect pulses
+per port, parse_error); a software serving layer needs the same
+observability. This module is a tiny dependency-free metrics registry
+in the Prometheus style: monotonically increasing :class:`Counter`\\ s,
+point-in-time :class:`Gauge`\\ s, and log-bucketed :class:`Histogram`\\ s
+for latency, all reachable through one :class:`MetricsRegistry` whose
+:meth:`~MetricsRegistry.snapshot` renders plain nested dicts (JSON-safe,
+diffable, assertable in tests).
+
+The registry is driven from the service's submitter thread; individual
+operations are single bytecode updates on ints, so occasional use from
+another thread cannot corrupt state (at worst a lost increment), which
+is the standard stats-registry trade-off.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, errors)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, open flows)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+#: Histogram bucket upper bounds: 1 µs · 2^i, topping out above a
+#: minute — wide enough for per-chunk scan times and full round trips.
+_BUCKET_BOUNDS = tuple(1e-6 * (1 << i) for i in range(27))
+
+
+class Histogram:
+    """Log₂-bucketed latency histogram over seconds.
+
+    Fixed buckets keep ``observe`` O(log n_buckets) with no allocation;
+    quantiles are read back bucket-resolution-accurate (a factor of 2),
+    which is plenty to tell "microseconds" from "milliseconds" from
+    "stalled".
+    """
+
+    __slots__ = ("name", "counts", "count", "total", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        lo, hi = 0, len(_BUCKET_BOUNDS)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds <= _BUCKET_BOUNDS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile sample."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                return _BUCKET_BOUNDS[min(i, len(_BUCKET_BOUNDS) - 1)]
+        return self.max
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum_s": self.total,
+            "avg_s": self.total / self.count if self.count else 0.0,
+            "p50_s": self.quantile(0.50),
+            "p90_s": self.quantile(0.90),
+            "p99_s": self.quantile(0.99),
+            "max_s": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first touch."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,52 @@
+"""Flow-to-worker shard routing.
+
+The hardware scales by replicating pipelined scanners and fanning
+flows out across them; the software service does the same with OS
+processes. The one invariant that matters is *per-flow byte order*:
+every chunk of a flow must reach the same worker, in submission order,
+because the scan state (position registers, arming, open message) is
+sequential. A stable content hash of the flow identity gives that
+invariant for free — no shard table to keep consistent, identical
+placement across runs and across processes (``hash()`` is unsuitable:
+``PYTHONHASHSEED`` randomizes it per process).
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+__all__ = ["ShardRouter", "shard_of"]
+
+
+def _flow_bytes(flow: object) -> bytes:
+    """Stable byte identity of a flow id (str/int/FlowKey/...)."""
+    if isinstance(flow, bytes):
+        return flow
+    return str(flow).encode("utf-8", errors="replace")
+
+
+def shard_of(flow: object, n_shards: int) -> int:
+    """The shard (worker index) that owns ``flow``; stable across
+    processes, runs and machines."""
+    digest = blake2b(_flow_bytes(flow), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+class ShardRouter:
+    """Maps flow ids to a fixed number of workers (consistent modulo
+    hashing; the worker count is fixed for the service's lifetime)."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+
+    def worker_of(self, flow: object) -> int:
+        return shard_of(flow, self.n_shards)
+
+    def partition(self, flows) -> list[list]:
+        """Group ``flows`` by owning worker (diagnostics, tests)."""
+        groups: list[list] = [[] for _ in range(self.n_shards)]
+        for flow in flows:
+            groups[self.worker_of(flow)].append(flow)
+        return groups

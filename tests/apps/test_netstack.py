@@ -194,5 +194,5 @@ class TestWrapper:
 
     def test_malformed_frames_counted(self):
         wrapper = TaggingWrapper()
-        wrapper.push_frame(b"garbage")
+        assert wrapper.feed(b"garbage") == []
         assert wrapper.malformed == 1

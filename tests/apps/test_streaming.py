@@ -70,6 +70,26 @@ def test_peek_finish_does_not_consume(router, stream):
     assert messages == whole
 
 
+def test_peek_twice_then_finish_is_idempotent(router, stream):
+    """Regression: peek_finish() used to duplicate flush bookkeeping.
+
+    Two peeks and the committing finish() must all see the same
+    end-of-data messages, and the merged total must equal the batch
+    route."""
+    whole = router.route(stream)
+    session = router.stream()
+    fed = session.feed(stream)
+    first = session.peek_finish()
+    second = session.peek_finish()
+    committed = session.finish()
+    assert first == second == committed
+    assert fed + committed == whole
+    # the session is now closed: peeking yields nothing, feeding raises
+    assert session.peek_finish() == []
+    with pytest.raises(BackendError):
+        session.feed(b"more")
+
+
 def test_gate_level_tagger_has_no_stream(router):
     circuit = TaggerGenerator().generate(xmlrpc())
     gated = ContentBasedRouter(tagger=GateLevelTagger(circuit))
@@ -107,11 +127,11 @@ def test_wrapper_results_idempotent_midtrace():
     wrapper = TaggingWrapper()
     half = len(trace) // 2
     for packet in trace[:half]:
-        wrapper.push_packet(packet)
+        wrapper.feed_packet(packet)
     mid = wrapper.results()
     assert wrapper.results() == mid
     for packet in trace[half:]:
-        wrapper.push_packet(packet)
+        wrapper.feed_packet(packet)
     final = wrapper.results()
 
     oneshot = TaggingWrapper()

@@ -1,0 +1,176 @@
+"""The unified tagger surface: TokenTagger protocol, StreamSession
+contract, BufferedSession fallback, and the deprecated aliases."""
+
+import pytest
+
+from repro.apps.netstack.tracegen import TraceGenerator
+from repro.apps.netstack.wrapper import TaggingWrapper
+from repro.apps.xmlrpc import ContentBasedRouter, MethodCall
+from repro.apps.xmlrpc.router import RouterSession
+from repro.core.api import BufferedSession, StreamSession, TokenTagger
+from repro.core.compiled import CompiledStream, CompiledTagger
+from repro.core.generator import TaggerGenerator, TaggerOptions
+from repro.core.wiring import WiringOptions
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.errors import BackendError
+from repro.grammar.examples import xmlrpc
+
+STREAM = (
+    b"<methodCall><methodName>buy</methodName>"
+    b"<params><param><i4>17</i4></param></params></methodCall> "
+)
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return xmlrpc()
+
+
+@pytest.fixture(scope="module")
+def circuit(grammar):
+    return TaggerGenerator().generate(grammar)
+
+
+# ----------------------------------------------------------------------
+# TokenTagger protocol
+# ----------------------------------------------------------------------
+def test_all_taggers_satisfy_protocol(grammar, circuit):
+    taggers = [
+        BehavioralTagger(grammar),
+        BehavioralTagger(grammar, engine="interpreted"),
+        CompiledTagger(grammar),
+        GateLevelTagger(circuit),
+    ]
+    for tagger in taggers:
+        assert isinstance(tagger, TokenTagger), type(tagger).__name__
+
+
+def test_protocol_methods_agree(grammar, circuit):
+    """events/tag answer the same question through every engine."""
+    reference = BehavioralTagger(grammar)
+    ref_events = reference.events(STREAM)
+    ref_tokens = reference.tag(STREAM)
+    for tagger in (
+        BehavioralTagger(grammar, engine="interpreted"),
+        CompiledTagger(grammar),
+        GateLevelTagger(circuit),
+    ):
+        assert tagger.events(STREAM) == ref_events
+        assert tagger.tag(STREAM) == ref_tokens
+
+
+def test_events_and_errors_shape(grammar):
+    recovery = TaggerOptions(wiring=WiringOptions(error_recovery=True))
+    recovering = TaggerGenerator(recovery).generate(grammar)
+    for tagger in (
+        BehavioralTagger(grammar, recovery),
+        CompiledTagger(grammar, recovery),
+        GateLevelTagger(recovering),
+    ):
+        events, errors = tagger.events_and_errors(STREAM)
+        assert events == tagger.events(STREAM)
+        assert errors == []
+
+
+def test_gate_level_errors_need_recovery_pin(circuit):
+    """Without error_recovery wiring there is no parse_error pin to
+    observe; the unified API refuses rather than silently lying."""
+    with pytest.raises(ValueError):
+        GateLevelTagger(circuit).events_and_errors(STREAM)
+
+
+# ----------------------------------------------------------------------
+# StreamSession contract
+# ----------------------------------------------------------------------
+def test_stream_session_implementations(grammar, circuit):
+    """Every engine answers .stream() with a StreamSession; compiled
+    engines with an incremental one, the rest with BufferedSession."""
+    assert isinstance(BehavioralTagger(grammar).stream(), CompiledStream)
+    assert isinstance(CompiledTagger(grammar).stream(), CompiledStream)
+    assert isinstance(
+        BehavioralTagger(grammar, engine="interpreted").stream(),
+        BufferedSession,
+    )
+    assert isinstance(GateLevelTagger(circuit).stream(), BufferedSession)
+    assert isinstance(ContentBasedRouter().stream(), RouterSession)
+    for session in (
+        CompiledTagger(grammar).stream(),
+        ContentBasedRouter().stream(),
+        TaggingWrapper(),
+    ):
+        assert isinstance(session, StreamSession)
+
+
+def test_buffered_session_matches_batch(grammar, circuit):
+    """BufferedSession is contract-true for non-incremental engines:
+    feed in chunks, finish returns the whole-stream events."""
+    gate = GateLevelTagger(circuit)
+    session = gate.stream()
+    for i in range(0, len(STREAM), 16):
+        assert session.feed(STREAM[i : i + 16]) == []
+    assert session.finish() == gate.events(STREAM)
+
+
+def test_context_manager_auto_finishes(grammar):
+    tagger = CompiledTagger(grammar)
+    with tagger.stream() as session:
+        events = session.feed(STREAM)
+    assert session.finished
+    assert session.tail is not None
+    assert events + session.tail == tagger.events(STREAM)
+
+
+def test_context_manager_respects_explicit_finish(grammar):
+    tagger = CompiledTagger(grammar)
+    with tagger.stream() as session:
+        session.feed(STREAM)
+        tail = session.finish()
+    assert session.tail is None  # finish() was explicit; no auto-flush
+    assert tail == []or tail  # tail may be empty for this stream
+
+
+def test_finished_session_rejects_feed(grammar):
+    session = CompiledTagger(grammar).stream()
+    session.feed(STREAM)
+    session.finish()
+    with pytest.raises(BackendError):
+        session.feed(b"more")
+    with pytest.raises(BackendError):
+        session.finish()
+
+
+def test_wrapper_is_a_stream_session():
+    trace = TraceGenerator(mss=32).trace([MethodCall("buy").encode()])
+    with TaggingWrapper() as wrapper:
+        for packet in trace:
+            wrapper.feed_packet(packet)
+    results = wrapper.tail
+    assert results is not None
+    assert results[0].messages[0].port == 1
+
+
+# ----------------------------------------------------------------------
+# deprecated aliases
+# ----------------------------------------------------------------------
+def test_push_frame_alias_warns():
+    wrapper = TaggingWrapper()
+    with pytest.warns(DeprecationWarning, match="push_frame"):
+        wrapper.push_frame(b"garbage")
+    assert wrapper.malformed == 1
+
+
+def test_push_packet_alias_warns():
+    trace = TraceGenerator(mss=32).trace([MethodCall("buy").encode()])
+    wrapper = TaggingWrapper()
+    with pytest.warns(DeprecationWarning, match="push_packet"):
+        for packet in trace:
+            wrapper.push_packet(packet)
+    assert wrapper.results()[0].messages[0].port == 1
+
+
+def test_error_positions_alias_warns(grammar):
+    recovery = TaggerOptions(wiring=WiringOptions(error_recovery=True))
+    gate = GateLevelTagger(TaggerGenerator(recovery).generate(grammar))
+    with pytest.warns(DeprecationWarning, match="error_positions"):
+        positions = gate.error_positions(b"<methodCall>>")
+    assert positions == gate.events_and_errors(b"<methodCall>>")[1]

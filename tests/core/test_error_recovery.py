@@ -58,7 +58,13 @@ class TestRecoverySemantics:
     def test_gate_requires_option(self):
         gate = GateLevelTagger(TaggerGenerator().generate(if_then_else()))
         with pytest.raises(ValueError):
-            gate.error_positions(b"go")
+            gate.events_and_errors(b"go")
+
+    def test_error_positions_deprecated_alias(self, pair):
+        _behavioral, gate = pair
+        with pytest.warns(DeprecationWarning):
+            positions = gate.error_positions(b"go !! stop")
+        assert positions == gate.events_and_errors(b"go !! stop")[1]
 
 
 class TestHardwareEquivalence:
@@ -76,9 +82,10 @@ class TestHardwareEquivalence:
     )
     def test_events_and_errors_match(self, pair, data):
         behavioral, gate = pair
+        gate_events, gate_errors = gate.events_and_errors(data)
         events, errors = behavioral.events_and_errors(data)
-        assert gate.events(data) == events, data
-        assert gate.error_positions(data) == errors, data
+        assert gate_events == events, data
+        assert gate_errors == errors, data
 
     @given(
         data=st.text(alphabet="gostp?! ", min_size=0, max_size=16).map(
@@ -88,9 +95,10 @@ class TestHardwareEquivalence:
     @settings(max_examples=30, deadline=None)
     def test_random_junk_equivalence(self, pair, data):
         behavioral, gate = pair
+        gate_events, gate_errors = gate.events_and_errors(data)
         events, errors = behavioral.events_and_errors(data)
-        assert gate.events(data) == events
-        assert gate.error_positions(data) == errors
+        assert gate_events == events
+        assert gate_errors == errors
 
 
 class TestXmlRpcRecovery:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.generator import TaggerGenerator, TaggerOptions
 from repro.core.decoder import DecoderOptions
-from repro.core.wiring import WiringOptions
 from repro.errors import GenerationError
 
 

@@ -5,10 +5,9 @@ and compares the detect pulses on the output pin against Glushkov/NFA
 longest-match semantics — Figs. 6 and 7 of the paper.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.decoder import DecoderBank, DecoderOptions
+from repro.core.decoder import DecoderBank
 from repro.core.tokenizer import (
     DETECT_LATENCY,
     TokenizerTemplateOptions,

@@ -1,6 +1,5 @@
 """Follow-set wiring: structure of the assembled scanner."""
 
-import pytest
 
 from repro.core.decoder import DecoderBank
 from repro.core.wiring import (
@@ -8,7 +7,6 @@ from repro.core.wiring import (
     build_scanner,
     estimate_conflict_groups,
 )
-from repro.grammar.symbols import Terminal
 from repro.rtl.netlist import Netlist
 
 

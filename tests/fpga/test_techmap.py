@@ -1,6 +1,5 @@
 """4-LUT technology mapping: counts on hand-built netlists."""
 
-import pytest
 
 from repro.fpga.techmap import techmap
 from repro.rtl.netlist import Netlist

@@ -37,7 +37,7 @@ def test_max_depth_measured_at_register_boundaries():
 def test_register_resets_depth():
     nl = Netlist()
     a = nl.input("a")
-    stage1 = nl.and_(a, a, name="s")  # dedup -> passthrough a
+    nl.and_(a, a, name="s")  # dedup -> passthrough a
     q = nl.reg(nl.not_(a))
     out = nl.and_(q, a)
     nl.output("o", out)

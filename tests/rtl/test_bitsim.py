@@ -10,7 +10,7 @@ from repro.rtl.bitsim import (
     unpack_output_lane,
 )
 from repro.rtl.netlist import Netlist
-from repro.rtl.simulator import Simulator, stimulus_with_valid
+from repro.rtl.simulator import Simulator
 
 
 def _mixed_design():

@@ -89,7 +89,7 @@ class TestBuilders:
 class TestRegisters:
     def test_reg_and_delay(self, nl):
         a = nl.input("a")
-        q = nl.reg(a, init=1)
+        nl.reg(a, init=1)
         assert nl.registers[0].init == 1
         assert nl.delay(a, 0) is a
         chained = nl.delay(a, 3)

@@ -6,7 +6,7 @@ import re
 import pytest
 
 from repro.rtl.netlist import Netlist
-from repro.rtl.simulator import Simulator, byte_stimulus
+from repro.rtl.simulator import Simulator
 from repro.rtl.testbench import emit_testbench
 from repro.rtl.vcd import VCDWriter, dump_vcd
 

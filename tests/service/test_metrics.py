@@ -1,0 +1,67 @@
+"""The metrics registry: counters, gauges, log-bucketed histograms."""
+
+import json
+
+from repro.service.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    registry.counter("bytes").inc(10)
+    registry.counter("bytes").inc(5)
+    assert registry.snapshot()["counters"]["bytes"] == 15
+
+
+def test_gauge_overwrites():
+    registry = MetricsRegistry()
+    registry.gauge("depth").set(7)
+    registry.gauge("depth").set(3)
+    assert registry.snapshot()["gauges"]["depth"] == 3
+
+
+def test_instruments_created_on_first_touch():
+    registry = MetricsRegistry()
+    assert registry.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    registry.histogram("lat")
+    assert registry.snapshot()["histograms"]["lat"]["count"] == 0
+
+
+def test_histogram_summary():
+    hist = Histogram("lat")
+    for seconds in (0.001, 0.001, 0.001, 0.001, 0.1):
+        hist.observe(seconds)
+    summary = hist.summary()
+    assert summary["count"] == 5
+    assert summary["sum_s"] == sum((0.001, 0.001, 0.001, 0.001, 0.1))
+    assert summary["max_s"] == 0.1
+    # Log2 buckets: quantiles are right to within a factor of two.
+    assert 0.001 <= summary["p50_s"] <= 0.002
+    assert 0.1 <= summary["p99_s"] <= 0.2
+
+
+def test_histogram_quantile_ordering():
+    hist = Histogram("lat")
+    for i in range(100):
+        hist.observe(1e-6 * (i + 1))
+    assert hist.quantile(0.5) <= hist.quantile(0.9) <= hist.quantile(0.99)
+
+
+def test_histogram_extremes():
+    hist = Histogram("lat")
+    hist.observe(0.0)  # below the smallest bound
+    hist.observe(1e9)  # beyond the largest bound
+    assert hist.count == 2
+    assert hist.max == 1e9
+
+
+def test_snapshot_is_json_safe():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.gauge("g").set(1.5)
+    registry.histogram("h").observe(0.01)
+    encoded = json.dumps(registry.snapshot())
+    assert "histograms" in encoded

@@ -1,0 +1,87 @@
+"""Compiled engines cross process boundaries as compact rebuild specs.
+
+``CompiledTagger``/``ScanPlan``/``BehavioralTagger`` pickle via
+``__reduce__`` into (constructor, spec) pairs — grammar plus options,
+never the materialized tables — and rebuild through the shared plan
+caches on the far side. The service ships specs to workers this way,
+so the contract under test is: events tagged by the rebuilt engine are
+equal to the original's, including across a *spawn* boundary (fresh
+interpreter, nothing inherited).
+"""
+
+import multiprocessing as mp
+import pickle
+
+import pytest
+
+from repro.core.compiled import CompiledTagger
+from repro.core.scanplan import build_scan_plan
+from repro.core.tagger import BehavioralTagger
+from repro.core.wiring import WiringOptions
+from repro.grammar.examples import if_then_else, xmlrpc
+
+STREAM = (
+    b"<methodCall><methodName>buy</methodName>"
+    b"<params><param><i4>17</i4></param></params></methodCall> "
+    b"<methodCall><methodName>nosuch</methodName>"
+    b"<params></params></methodCall> "
+)
+
+
+def test_compiled_tagger_pickle_roundtrip():
+    tagger = CompiledTagger(xmlrpc())
+    clone = pickle.loads(pickle.dumps(tagger))
+    assert clone.events(STREAM) == tagger.events(STREAM)
+
+
+def test_pickle_payload_is_compact():
+    """The pickle must be a rebuild spec, not the materialized tables:
+    tagging first (which lazily fills the transition tables) must not
+    grow the payload."""
+    tagger = CompiledTagger(xmlrpc())
+    before = len(pickle.dumps(tagger))
+    tagger.events(STREAM)  # materialize lazy tables
+    after = len(pickle.dumps(tagger))
+    assert after == before
+
+
+def test_scan_plan_pickle_roundtrip():
+    grammar = if_then_else()
+    plan = build_scan_plan(grammar, WiringOptions())
+    clone = pickle.loads(pickle.dumps(plan))
+    data = b"if true then go else stop"
+    assert CompiledTagger(grammar).events(data)
+    assert clone.grammar.name == plan.grammar.name
+
+
+def test_behavioral_tagger_pickle_roundtrip():
+    tagger = BehavioralTagger(xmlrpc())
+    clone = pickle.loads(pickle.dumps(tagger))
+    assert clone.tag(STREAM) == tagger.tag(STREAM)
+    interpreted = BehavioralTagger(xmlrpc(), engine="interpreted")
+    clone = pickle.loads(pickle.dumps(interpreted))
+    assert clone.engine == "interpreted"
+    assert clone.tag(STREAM) == interpreted.tag(STREAM)
+
+
+def _tag_remote(tagger: CompiledTagger, data: bytes, out) -> None:
+    out.put(tagger.events(data))
+
+
+def test_compiled_tagger_across_spawn_boundary():
+    """Full process-boundary round trip with nothing inherited: a
+    *spawn* child unpickles the tagger, rebuilds the tables from the
+    spec, tags, and ships the events back — equal on both sides."""
+    if "spawn" not in mp.get_all_start_methods():  # pragma: no cover
+        pytest.skip("no spawn start method on this platform")
+    ctx = mp.get_context("spawn")
+    tagger = CompiledTagger(xmlrpc())
+    local = tagger.events(STREAM)
+    out = ctx.Queue()
+    child = ctx.Process(target=_tag_remote, args=(tagger, STREAM, out))
+    child.start()
+    try:
+        remote = out.get(timeout=60)
+    finally:
+        child.join(10)
+    assert remote == local

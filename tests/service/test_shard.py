@@ -1,0 +1,64 @@
+"""Flow-to-worker sharding: stable, total, and reasonably balanced."""
+
+import subprocess
+import sys
+
+from repro.apps.netstack.flows import FlowKey
+from repro.service.shard import ShardRouter, shard_of
+
+
+def test_shard_in_range():
+    for n in (1, 2, 3, 8):
+        for flow in ("a", "flow-17", 42, ("10.0.0.1", 80)):
+            assert 0 <= shard_of(flow, n) < n
+
+
+def test_shard_deterministic_within_process():
+    assert all(
+        shard_of("flow-9", 4) == shard_of("flow-9", 4) for _ in range(10)
+    )
+
+
+def test_shard_stable_across_processes():
+    """The mapping must survive process boundaries (PYTHONHASHSEED
+    randomizes builtin ``hash``; the shard router must not use it)."""
+    flows = [f"flow-{i}" for i in range(16)]
+    here = [shard_of(flow, 4) for flow in flows]
+    code = (
+        "from repro.service.shard import shard_of;"
+        f"print([shard_of(f, 4) for f in {flows!r}])"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert eval(out.stdout.strip()) == here
+
+
+def test_shard_spreads_flows():
+    """Hashing should not collapse a realistic flow population onto a
+    single worker."""
+    workers = {shard_of(f"flow-{i}", 4) for i in range(64)}
+    assert workers == {0, 1, 2, 3}
+
+
+def test_flowkey_shards_stably():
+    key = FlowKey(
+        src_ip="10.0.0.1", src_port=1234, dst_ip="10.0.0.2", dst_port=80
+    )
+    same = FlowKey(
+        src_ip="10.0.0.1", src_port=1234, dst_ip="10.0.0.2", dst_port=80
+    )
+    assert shard_of(key, 8) == shard_of(same, 8)
+
+
+def test_partition():
+    router = ShardRouter(3)
+    flows = [f"flow-{i}" for i in range(30)]
+    parts = router.partition(flows)
+    assert len(parts) == 3
+    assert sorted(sum(parts, [])) == sorted(flows)
+    for worker, members in enumerate(parts):
+        assert all(router.worker_of(flow) == worker for flow in members)

@@ -50,6 +50,8 @@ _DOCTEST_MODULES = [
     "repro.software.recursive_descent",
     "repro.software.naive",
     "repro.apps.xmlrpc.router",
+    "repro.apps.netstack.wrapper",
+    "repro.service.service",
     "repro.bench.scaling",
 ]
 
