@@ -38,23 +38,35 @@ def report_sink(results_dir):
     return write
 
 
-_bench_rates: dict[str, float] = {}
+_bench_rates: dict[str, float | None] = {}
 
 
 @pytest.fixture(scope="session")
 def bench_record():
-    """Record one engine's measured rate (Gbps) for BENCH_throughput.json."""
+    """Record one engine's measured rate (Gbps) for BENCH_throughput.json.
 
-    def record(engine: str, gbps: float) -> None:
-        _bench_rates[engine] = round(gbps, 9)
+    ``None`` records as JSON ``null`` — the explicit "not measured on
+    this host" marker (e.g. worker-scaling ratios on tiny hosts)."""
+
+    def record(engine: str, gbps: float | None) -> None:
+        _bench_rates[engine] = None if gbps is None else round(gbps, 9)
 
     return record
 
 
 def pytest_sessionfinish(session):
     if _bench_rates:
+        existing: dict = {}
+        if BENCH_JSON.exists():
+            try:
+                existing = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+            except ValueError:
+                existing = {}
+        # Merge, keeping entries other tools own (e.g. the CLI
+        # client-bench's "server round-trip").
+        existing.update(_bench_rates)
         BENCH_JSON.write_text(
-            json.dumps(_bench_rates, indent=2, sort_keys=True) + "\n",
+            json.dumps(existing, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
 

@@ -225,10 +225,7 @@ class TaggingWrapper(StreamSession):
     # ------------------------------------------------------------------
     # deprecated aliases (pre-StreamSession surface)
     # ------------------------------------------------------------------
-    def push_frame(self, frame: bytes) -> None:
-        """Deprecated alias of :meth:`feed` (return value discarded)."""
-        warn_deprecated("TaggingWrapper.push_frame", "feed")
-        self.feed(frame)
+    # push_frame is inherited from StreamSession (alias of feed).
 
     def push_packet(self, packet: Packet) -> None:
         """Deprecated alias of :meth:`feed_packet` (return discarded)."""

@@ -9,6 +9,10 @@ Commands mirror the paper's workflow:
 * ``route`` — run the XML-RPC router demo on a synthetic workload;
 * ``serve-bench`` — throughput of the sharded multi-process scan
   service against the single-process router;
+* ``serve`` — the asyncio TCP scan server (framed wire protocol,
+  optional worker pool and admin/metrics endpoint);
+* ``client-bench`` — closed-loop load generator against a running
+  server, with byte-for-byte verification;
 * ``table1`` / ``figure15`` / ``ablation`` — print the experiment
   reproductions.
 """
@@ -151,15 +155,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         stats = service.stats()
 
     matched = got == expected
+    cpus = os.cpu_count() or 1
+    ratio = single_s / service_s
     report = {
         "flows": args.flows,
         "messages": per_flow * args.flows,
         "bytes": total_bytes,
         "workers": args.workers,
-        "cpus": os.cpu_count(),
+        "cpus": cpus,
         "single_process_mbps": total_bytes / single_s / 1e6,
         "service_mbps": total_bytes / service_s / 1e6,
-        "speedup": single_s / service_s,
+        # On hosts without enough CPUs for real parallelism a worker
+        # ratio is a pseudo-regression, not a measurement: record null.
+        "speedup": ratio if cpus >= 4 else None,
         "results_match": matched,
     }
     if args.json:
@@ -169,15 +177,126 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"workload: {report['messages']} messages, "
               f"{args.flows} flows, {total_bytes} bytes")
         print(f"single process : {report['single_process_mbps']:8.2f} MB/s")
+        gating = (f"x{ratio:.2f}" if cpus >= 4
+                  else f"x{ratio:.2f} ungated: only {cpus} CPUs")
         print(f"{args.workers}-worker service: "
-              f"{report['service_mbps']:8.2f} MB/s "
-              f"(x{report['speedup']:.2f}, {report['cpus']} CPUs)")
+              f"{report['service_mbps']:8.2f} MB/s ({gating})")
         print(f"results match  : {matched}")
         latency = stats["histograms"].get("latency.roundtrip_s", {})
         if latency.get("count"):
             print(f"round trip     : p50 {latency['p50_s'] * 1e3:.2f} ms, "
                   f"p99 {latency['p99_s'] * 1e3:.2f} ms")
     return 0 if matched else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import ScanServer
+    from repro.service import RouterSpec
+
+    grammar = (
+        _load_grammar(args.grammar) if args.grammar != "xmlrpc" else None
+    )
+    spec = RouterSpec(grammar=grammar)
+
+    async def main() -> int:
+        server = ScanServer(
+            spec,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            idle_timeout=args.idle_timeout,
+            max_frame=args.max_frame,
+            queue_depth=args.queue_depth,
+            admin_port=args.admin_port,
+        )
+        await server.start()
+        host, port = server.address
+        mode = (
+            f"{args.workers}-worker service pool"
+            if args.workers
+            else "in-process sessions"
+        )
+        print(f"repro scan server listening on {host}:{port} ({mode})",
+              flush=True)
+        if args.admin_port is not None:
+            ahost, aport = server.admin_address
+            print(f"admin endpoint on http://{ahost}:{aport}/metrics",
+                  flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum,
+                lambda: asyncio.ensure_future(server.stop(drain=True)),
+            )
+        await server.serve_forever()
+        print("server drained and stopped", flush=True)
+        return 0
+
+    return asyncio.run(main())
+
+
+def _record_bench_entry(key: str, value: float | None) -> None:
+    """Merge one entry into the repo-root BENCH_throughput.json."""
+    import json
+    import pathlib
+
+    path = pathlib.Path.cwd() / "BENCH_throughput.json"
+    rates: dict = {}
+    if path.exists():
+        try:
+            rates = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            rates = {}
+    rates[key] = None if value is None else round(value, 9)
+    path.write_text(
+        json.dumps(rates, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _cmd_client_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.server import run_load
+
+    report = asyncio.run(
+        run_load(
+            args.host,
+            args.port,
+            flows=args.flows,
+            messages=args.messages,
+            chunk=args.chunk,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"workload : {report['messages']} messages, "
+              f"{report['flows']} flows, {report['bytes']} bytes "
+              f"({report['concurrency']} connections, "
+              f"{report['chunk']}-byte chunks)")
+        print(f"rate     : {report['mbps']:8.2f} MB/s "
+              f"({report['gbps']:.6f} Gbps)")
+        latency = report["latency"]
+        print(f"flow RTT : p50 {latency['p50_s'] * 1e3:.2f} ms, "
+              f"p99 {latency['p99_s'] * 1e3:.2f} ms "
+              f"(n={latency['count']})")
+        if report["verified"] is not None:
+            print(f"verified : {report['verified']} "
+                  "(byte-for-byte vs in-process routing)")
+        if report["failures"]:
+            print(f"failures : {report['failures'][:3]}")
+    if not args.no_record:
+        _record_bench_entry("server round-trip", report["gbps"])
+    ok = not report["failures"] and report["verified"] is not False
+    return 0 if ok else 1
 
 
 def _cmd_table1(_args: argparse.Namespace) -> int:
@@ -265,6 +384,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="emit the report (plus service stats) as JSON")
     serve.set_defaults(func=_cmd_serve_bench)
+
+    server = sub.add_parser(
+        "serve",
+        help="run the asyncio TCP scan server (framed wire protocol)",
+    )
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument("--port", type=int, default=9431)
+    server.add_argument("--admin-port", type=int, default=None,
+                        help="plaintext /metrics + /healthz listener")
+    server.add_argument("--workers", type=int, default=0,
+                        help="scan-service worker processes "
+                        "(0 = in-process sessions)")
+    server.add_argument("--grammar", default="xmlrpc",
+                        help="router grammar (builtin name or file)")
+    server.add_argument("--idle-timeout", type=float, default=30.0,
+                        help="seconds before an idle connection is cut")
+    server.add_argument("--max-frame", type=int, default=1 << 20,
+                        help="largest accepted wire frame in bytes")
+    server.add_argument("--queue-depth", type=int, default=64,
+                        help="per-worker bounded queue depth")
+    server.set_defaults(func=_cmd_serve)
+
+    bench = sub.add_parser(
+        "client-bench",
+        help="closed-loop load generator against a running server",
+    )
+    bench.add_argument("--host", default="127.0.0.1")
+    bench.add_argument("--port", type=int, default=9431)
+    bench.add_argument("--messages", type=int, default=400,
+                       help="total messages across all flows")
+    bench.add_argument("--flows", type=int, default=8)
+    bench.add_argument("--chunk", type=int, default=1024,
+                       help="DATA frame payload size in bytes")
+    bench.add_argument("--concurrency", type=int, default=4,
+                       help="concurrent client connections")
+    bench.add_argument("--seed", type=int, default=2006)
+    bench.add_argument("--no-verify", action="store_true",
+                       help="skip the byte-for-byte differential check")
+    bench.add_argument("--no-record", action="store_true",
+                       help="do not update BENCH_throughput.json")
+    bench.add_argument("--json", action="store_true")
+    bench.set_defaults(func=_cmd_client_bench)
 
     sub.add_parser("table1", help="reproduce Table 1").set_defaults(
         func=_cmd_table1

@@ -123,6 +123,13 @@ class StreamSession:
             raise BackendError("stream already finished")
 
     # ------------------------------------------------------------------
+    def push_frame(self, chunk: bytes) -> list:
+        """Deprecated alias of :meth:`feed` (pre-StreamSession name),
+        honored by every session implementation."""
+        warn_deprecated(f"{type(self).__name__}.push_frame", "feed")
+        return self.feed(chunk)
+
+    # ------------------------------------------------------------------
     def __enter__(self) -> "StreamSession":
         return self
 

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 from weakref import WeakKeyDictionary
 
-from repro.core.api import StreamSession
+from repro.core.api import StreamSession, warn_deprecated
 from repro.core.generator import TaggerOptions
 from repro.core.scanplan import (
     DetectEvent,
@@ -431,6 +431,13 @@ class CompiledTagger:
         self._run(data, state, errors, out)
         self._flush(state, out)
         return [event for event, _start in out], errors
+
+    def error_positions(self, data: bytes) -> list[int]:
+        """Deprecated alias: the error half of :meth:`events_and_errors`."""
+        warn_deprecated(
+            "CompiledTagger.error_positions", "events_and_errors"
+        )
+        return self.events_and_errors(data)[1]
 
     def tag(self, data: bytes) -> list[TaggedToken]:
         """Tagged tokens with lexemes (earliest-start reconstruction)."""

@@ -135,6 +135,13 @@ class BehavioralTagger:
         events = [e for e, _s in self._scan(data, error_sink=errors)]
         return events, errors
 
+    def error_positions(self, data: bytes) -> list[int]:
+        """Deprecated alias: the error half of :meth:`events_and_errors`."""
+        warn_deprecated(
+            "BehavioralTagger.error_positions", "events_and_errors"
+        )
+        return self.events_and_errors(data)[1]
+
     def tag(self, data: bytes) -> list[TaggedToken]:
         """Tagged tokens with lexemes (earliest-start reconstruction)."""
         if self.compiled is not None:

@@ -1,0 +1,54 @@
+"""The network serving edge: framed TCP front-end for the scan engines.
+
+The paper's tagger is a line-rate *network device* — bytes arrive on a
+wire, are tagged in-stream, and leave with routing decisions attached
+(Figs. 1, 12-14). This package is that wire interface for the software
+reproduction:
+
+* :mod:`repro.server.protocol` — the versioned, length-prefixed frame
+  format (HELLO / OPEN_FLOW / DATA / FINISH_FLOW / RESULT / ERROR /
+  GOODBYE) and its sans-IO encoder/decoder;
+* :mod:`repro.server.server` — :class:`ScanServer`: the asyncio TCP
+  server multiplexing per-connection flows into streaming scan
+  sessions, in-process or through a sharded
+  :class:`~repro.service.ScanService` pool, with idle timeouts,
+  frame-size limits, read-pausing backpressure, graceful drain, and a
+  plaintext admin/metrics endpoint;
+* :mod:`repro.server.client` — :class:`ScanClient`: the asyncio
+  client library (connect/retry/timeout, flow multiplexing);
+* :mod:`repro.server.loadgen` — the closed-loop load generator behind
+  ``repro client-bench``.
+"""
+
+from repro.server.client import ClientFlow, ConnectFailed, ScanClient
+from repro.server.loadgen import generate_flows, run_load
+from repro.server.protocol import (
+    CONNECTION_FLOW,
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    ServerFault,
+)
+from repro.server.server import ScanServer
+
+__all__ = [
+    "CONNECTION_FLOW",
+    "ClientFlow",
+    "ConnectFailed",
+    "DEFAULT_MAX_FRAME",
+    "ErrorCode",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ScanClient",
+    "ScanServer",
+    "ServerFault",
+    "generate_flows",
+    "run_load",
+]

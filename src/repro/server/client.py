@@ -1,0 +1,314 @@
+"""Asyncio client library for the scan server's framed protocol.
+
+:class:`ScanClient` owns one TCP connection, performs the versioned
+HELLO handshake, and multiplexes flows over it:
+
+.. code-block:: python
+
+    async with ScanClient(host, port) as client:
+        flow = await client.open_flow()
+        await flow.send(b"<methodCall>...")
+        messages = await flow.finish()          # final merged results
+
+Connection semantics:
+
+* **connect/retry** — :meth:`connect` retries with exponential
+  backoff (``connect_retries`` attempts, ``connect_timeout`` per
+  attempt), so clients can start before the server finishes binding;
+* **timeouts** — :meth:`ClientFlow.finish` waits at most
+  ``request_timeout`` for the flow's final RESULT;
+* **frame limits** — DATA is split to fit the *server's* advertised
+  ``max_frame`` from its HELLO, and frames received are bounded by the
+  client's own ``max_frame``;
+* **failure** — an ERROR frame addressed to a flow fails that flow's
+  pending :meth:`~ClientFlow.finish` with
+  :class:`~repro.server.protocol.ServerFault`; a connection-level
+  ERROR or an unexpected close fails every pending flow.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.errors import ReproError
+from repro.server import protocol
+from repro.server.protocol import (
+    CONNECTION_FLOW,
+    DEFAULT_MAX_FRAME,
+    ErrorCode,
+    FrameType,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServerFault,
+)
+
+__all__ = ["ClientFlow", "ConnectFailed", "ScanClient"]
+
+#: DATA overhead inside a frame body: type byte + u32 flow id.
+_DATA_OVERHEAD = 5
+
+
+class ConnectFailed(ReproError):
+    """Every connection attempt failed (after retries)."""
+
+
+class ClientFlow:
+    """One open flow on a client connection.
+
+    Partial RESULT frames (the server streams results as chunks
+    complete messages) accumulate in :attr:`partial`; :meth:`finish`
+    returns the complete, ordered result list for the flow.
+    """
+
+    def __init__(self, client: "ScanClient", flow_id: int) -> None:
+        self.client = client
+        self.flow_id = flow_id
+        self.partial: list = []
+        self._done: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+
+    # ------------------------------------------------------------------
+    async def send(self, chunk: bytes) -> None:
+        """Stream one chunk of flow bytes (split to the server's frame
+        limit; awaits transport drain, so server backpressure lands
+        here as pacing)."""
+        limit = max(1, self.client.server_max_frame - _DATA_OVERHEAD)
+        for start in range(0, len(chunk), limit) or (0,):
+            piece = chunk[start : start + limit]
+            await self.client._send(
+                protocol.encode_data(self.flow_id, piece)
+            )
+
+    async def finish(self, timeout: float | None = None) -> list:
+        """End the flow; wait for (and return) its complete results."""
+        await self.client._send(
+            protocol.encode_finish_flow(self.flow_id)
+        )
+        if timeout is None:
+            timeout = self.client.request_timeout
+        try:
+            final = await asyncio.wait_for(
+                asyncio.shield(self._done), timeout=timeout
+            )
+        except asyncio.TimeoutError:
+            self.client._flows.pop(self.flow_id, None)
+            raise TimeoutError(
+                f"flow {self.flow_id}: no final RESULT within "
+                f"{timeout:g}s"
+            ) from None
+        return final
+
+    # ------------------------------------------------------------------
+    def _deliver(self, final: bool, items: list) -> None:
+        self.partial.extend(items)
+        if final and not self._done.done():
+            self._done.set_result(list(self.partial))
+
+    def _fail(self, exc: Exception) -> None:
+        if not self._done.done():
+            self._done.set_exception(exc)
+
+
+class ScanClient:
+    """One framed-protocol connection multiplexing many flows."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9431,
+        *,
+        connect_timeout: float = 5.0,
+        connect_retries: int = 5,
+        retry_backoff: float = 0.05,
+        request_timeout: float = 30.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.connect_retries = connect_retries
+        self.retry_backoff = retry_backoff
+        self.request_timeout = request_timeout
+        self.max_frame = max_frame
+        #: The server's advertised frame limit (from its HELLO).
+        self.server_max_frame = DEFAULT_MAX_FRAME
+
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._flows: dict[int, ClientFlow] = {}
+        self._flow_seq = 0
+        self._goodbye = asyncio.Event()
+        self._conn_error: Exception | None = None
+        self._write_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    async def connect(self) -> "ScanClient":
+        """Dial with retry/backoff, then handshake. Raises
+        :class:`ConnectFailed` once the retry budget is spent."""
+        last: Exception | None = None
+        backoff = self.retry_backoff
+        for _attempt in range(max(1, self.connect_retries)):
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    timeout=self.connect_timeout,
+                )
+                await self._handshake()
+                self._reader_task = asyncio.ensure_future(
+                    self._read_loop()
+                )
+                return self
+            except (OSError, asyncio.TimeoutError, ProtocolError) as exc:
+                last = exc
+                if self._writer is not None:
+                    with contextlib.suppress(Exception):
+                        self._writer.close()
+                    self._reader = self._writer = None
+                await asyncio.sleep(backoff)
+                backoff *= 2
+        raise ConnectFailed(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.connect_retries} attempts: {last}"
+        )
+
+    async def _handshake(self) -> None:
+        self._writer.write(
+            protocol.encode_hello(PROTOCOL_VERSION, self.max_frame)
+        )
+        await self._writer.drain()
+        from repro.server.server import _read_frame
+
+        frame = await asyncio.wait_for(
+            _read_frame(self._reader, self.max_frame),
+            timeout=self.connect_timeout,
+        )
+        if frame is None:
+            raise ProtocolError("server closed during handshake")
+        if frame.type == FrameType.ERROR:
+            flow, code, message = protocol.decode_error(frame)
+            raise ServerFault(flow, code, message)
+        if frame.type != FrameType.HELLO:
+            raise ProtocolError(f"expected HELLO, got {frame.name}")
+        version, server_max = protocol.decode_hello(frame)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"server speaks protocol v{version}, "
+                f"client v{PROTOCOL_VERSION}",
+                code=ErrorCode.VERSION_MISMATCH,
+            )
+        self.server_max_frame = server_max
+
+    async def close(self) -> None:
+        """Polite GOODBYE (waits briefly for the server's), then close."""
+        if self._writer is None:
+            return
+        with contextlib.suppress(Exception):
+            await self._send(protocol.encode_goodbye())
+            await asyncio.wait_for(self._goodbye.wait(), timeout=2.0)
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reader_task
+        with contextlib.suppress(Exception):
+            self._writer.close()
+            await self._writer.wait_closed()
+        self._writer = None
+        self._fail_pending(ConnectionResetError("client closed"))
+
+    async def __aenter__(self) -> "ScanClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.close()
+        return False
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and self._conn_error is None
+
+    # ------------------------------------------------------------------
+    # flow API
+    # ------------------------------------------------------------------
+    async def open_flow(self) -> ClientFlow:
+        """Open a fresh flow (connection-scoped id chosen here)."""
+        self._flow_seq += 1
+        flow = ClientFlow(self, self._flow_seq)
+        self._flows[flow.flow_id] = flow
+        await self._send(protocol.encode_open_flow(flow.flow_id))
+        return flow
+
+    async def scan_stream(
+        self, data: bytes, chunk_size: int = 4096
+    ) -> list:
+        """Convenience: one whole byte stream through one flow."""
+        flow = await self.open_flow()
+        for start in range(0, len(data), chunk_size):
+            await flow.send(data[start : start + chunk_size])
+        return await flow.finish()
+
+    # ------------------------------------------------------------------
+    async def _send(self, frame_bytes: bytes) -> None:
+        if self._writer is None:
+            raise ConnectionResetError("client not connected")
+        if self._conn_error is not None:
+            raise self._conn_error
+        async with self._write_lock:
+            self._writer.write(frame_bytes)
+            await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        from repro.server.server import _read_frame
+
+        try:
+            while True:
+                frame = await _read_frame(self._reader, self.max_frame)
+                if frame is None:
+                    raise ConnectionResetError(
+                        "server closed the connection"
+                    )
+                if frame.type == FrameType.RESULT:
+                    flow_id, final, items = protocol.decode_result(frame)
+                    flow = self._flows.get(flow_id)
+                    if flow is not None:
+                        flow._deliver(final, items)
+                        if final:
+                            del self._flows[flow_id]
+                elif frame.type == FrameType.ERROR:
+                    flow_id, code, message = protocol.decode_error(frame)
+                    fault = ServerFault(flow_id, code, message)
+                    if flow_id == CONNECTION_FLOW:
+                        raise fault
+                    flow = self._flows.pop(flow_id, None)
+                    if flow is not None:
+                        flow._fail(fault)
+                elif frame.type == FrameType.GOODBYE:
+                    # Flows still pending after a GOODBYE can never
+                    # complete: fail them rather than letting their
+                    # finish() sit out its full timeout.
+                    self._fail_pending(
+                        ConnectionResetError(
+                            "server said GOODBYE with flows pending"
+                        )
+                    )
+                    self._goodbye.set()
+                    return
+                else:
+                    raise ProtocolError(
+                        f"unexpected {frame.name} frame from server"
+                    )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._conn_error = exc
+            self._fail_pending(exc)
+            self._goodbye.set()
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for flow in list(self._flows.values()):
+            flow._fail(exc)
+        self._flows.clear()

@@ -1,0 +1,124 @@
+"""Closed-loop load generator for the scan server.
+
+Drives a running :class:`~repro.server.server.ScanServer` the way the
+paper's traffic generators drove the FPX boards: a fixed population of
+concurrent connections, each streaming seeded XML-RPC flows
+chunk-by-chunk and waiting for the flow's final RESULT before starting
+the next one (closed loop — offered load tracks service rate, so the
+measurement is throughput at saturation, not queue growth).
+
+Optionally verifies every flow's results byte-for-byte against the
+single-process :meth:`ContentBasedRouter.route` ground truth, making
+``repro client-bench --verify`` the network-level differential test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.server.client import ScanClient
+from repro.service.metrics import Histogram
+
+__all__ = ["generate_flows", "run_load"]
+
+
+def generate_flows(
+    flows: int, messages: int, seed: int = 2006
+) -> dict[str, bytes]:
+    """Seeded multi-flow XML-RPC workload (same generator the service
+    benchmarks use), ``messages`` split evenly across ``flows``."""
+    from repro.apps.xmlrpc import WorkloadGenerator
+
+    generator = WorkloadGenerator(seed=seed)
+    per_flow = max(1, messages // flows)
+    return {
+        f"flow-{index}": generator.stream(per_flow)[0]
+        for index in range(flows)
+    }
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    flows: int = 8,
+    messages: int = 200,
+    chunk: int = 1024,
+    concurrency: int = 4,
+    seed: int = 2006,
+    verify: bool = True,
+    request_timeout: float = 60.0,
+) -> dict:
+    """Run the closed loop; return a JSON-safe report.
+
+    ``concurrency`` client connections each pull flows from one shared
+    queue; a flow is sent as ``chunk``-byte DATA frames and completes
+    when its final RESULT arrives (that round trip is the recorded
+    latency).
+    """
+    streams = generate_flows(flows, messages, seed)
+    expected = None
+    if verify:
+        from repro.apps.xmlrpc import ContentBasedRouter
+
+        router = ContentBasedRouter()
+        expected = {
+            name: router.route(data) for name, data in streams.items()
+        }
+
+    work: asyncio.Queue = asyncio.Queue()
+    for name, data in streams.items():
+        work.put_nowait((name, data))
+
+    latency = Histogram("flow_roundtrip_s")
+    mismatches: list[str] = []
+    failures: list[str] = []
+
+    async def worker() -> None:
+        client = ScanClient(
+            host, port, request_timeout=request_timeout
+        )
+        await client.connect()
+        try:
+            while True:
+                try:
+                    name, data = work.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                started = time.perf_counter()
+                try:
+                    got = await client.scan_stream(data, chunk_size=chunk)
+                except Exception as exc:
+                    failures.append(f"{name}: {exc}")
+                    continue
+                latency.observe(time.perf_counter() - started)
+                if expected is not None and got != expected[name]:
+                    mismatches.append(name)
+        finally:
+            await client.close()
+
+    total_bytes = sum(len(d) for d in streams.values())
+    wall_started = time.perf_counter()
+    await asyncio.gather(
+        *(worker() for _ in range(max(1, concurrency)))
+    )
+    wall = time.perf_counter() - wall_started
+
+    report = {
+        "flows": flows,
+        "messages": max(1, messages // flows) * flows,
+        "bytes": total_bytes,
+        "chunk": chunk,
+        "concurrency": concurrency,
+        "seconds": wall,
+        "mbps": total_bytes / wall / 1e6,
+        "gbps": total_bytes * 8 / wall / 1e9,
+        "latency": latency.summary(),
+        "failures": failures,
+        "verified": (not mismatches and not failures)
+        if verify
+        else None,
+        "mismatched_flows": mismatches,
+    }
+    return report

@@ -1,0 +1,304 @@
+"""The framed wire protocol spoken between scan clients and servers.
+
+The paper's device sits on a wire: bytes arrive framed (AAL5/IP in the
+FPX papers), are tagged in-stream, and leave with routing decisions
+attached. This module is that wire for the software reproduction — a
+minimal, versioned, length-prefixed framing over TCP, sans-IO so the
+same encoder/decoder drives the asyncio server, the client library,
+and plain in-memory tests.
+
+Framing
+-------
+Every frame is ``u32 length (big endian) | u8 type | payload`` where
+``length`` counts the type byte plus the payload. A receiver enforces
+its ``max_frame`` limit *before* reading the body, so an oversized
+length can never make it buffer unboundedly.
+
+Frame types::
+
+    HELLO        !HI   version, max_frame     (both directions, first)
+    OPEN_FLOW    !I    flow_id
+    DATA         !I    flow_id + raw bytes
+    FINISH_FLOW  !I    flow_id
+    RESULT       !IB   flow_id, final + payload (pickled result list)
+    ERROR        !IH   flow_id, code + utf-8 message
+    GOODBYE      (empty)
+
+Connections are multiplexed: ``flow_id`` is a connection-scoped u32
+chosen by the client; ``CONNECTION_FLOW`` (``0xFFFFFFFF``) in an ERROR
+frame addresses the connection itself rather than one flow.
+
+The handshake is one HELLO each way. The client speaks first and
+announces its protocol version and the largest frame *it* will accept;
+the server answers with its own, and each side must keep every frame
+it sends within the other's advertised limit. A version mismatch is
+answered with ``ERROR(VERSION_MISMATCH)`` and a close.
+
+RESULT payloads are pickled lists of whatever the scan backend emits
+(``RoutedMessage`` for router specs, ``DetectEvent`` for tagger
+specs). Only the *client* unpickles, and only bytes sent by the server
+it chose to connect to — the server never unpickles client data, so an
+untrusted client cannot inject objects.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = [
+    "CONNECTION_FLOW",
+    "DEFAULT_MAX_FRAME",
+    "ErrorCode",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerFault",
+    "decode_data",
+    "decode_error",
+    "decode_finish_flow",
+    "decode_hello",
+    "decode_open_flow",
+    "decode_result",
+    "encode_data",
+    "encode_error",
+    "encode_finish_flow",
+    "encode_frame",
+    "encode_goodbye",
+    "encode_hello",
+    "encode_open_flow",
+    "encode_result",
+]
+
+#: Protocol version spoken by this build (bumped on incompatible change).
+PROTOCOL_VERSION = 1
+
+#: Default largest accepted frame (type byte + payload), 1 MiB.
+DEFAULT_MAX_FRAME = 1 << 20
+
+#: ``flow_id`` addressing the connection itself in ERROR frames.
+CONNECTION_FLOW = 0xFFFFFFFF
+
+_HEADER = struct.Struct("!I")
+_HELLO = struct.Struct("!HI")
+_FLOW = struct.Struct("!I")
+_RESULT_HEAD = struct.Struct("!IB")
+_ERROR_HEAD = struct.Struct("!IH")
+
+
+class FrameType:
+    """Wire frame type codes (u8)."""
+
+    HELLO = 0x01
+    OPEN_FLOW = 0x02
+    DATA = 0x03
+    FINISH_FLOW = 0x04
+    RESULT = 0x05
+    ERROR = 0x06
+    GOODBYE = 0x07
+
+    NAMES = {
+        HELLO: "HELLO",
+        OPEN_FLOW: "OPEN_FLOW",
+        DATA: "DATA",
+        FINISH_FLOW: "FINISH_FLOW",
+        RESULT: "RESULT",
+        ERROR: "ERROR",
+        GOODBYE: "GOODBYE",
+    }
+
+
+class ErrorCode:
+    """Codes carried by ERROR frames."""
+
+    BAD_FRAME = 1
+    VERSION_MISMATCH = 2
+    FRAME_TOO_LARGE = 3
+    UNKNOWN_FLOW = 4
+    DUPLICATE_FLOW = 5
+    IDLE_TIMEOUT = 6
+    DRAINING = 7
+    OVERLOADED = 8
+    INTERNAL = 9
+
+    NAMES = {
+        BAD_FRAME: "BAD_FRAME",
+        VERSION_MISMATCH: "VERSION_MISMATCH",
+        FRAME_TOO_LARGE: "FRAME_TOO_LARGE",
+        UNKNOWN_FLOW: "UNKNOWN_FLOW",
+        DUPLICATE_FLOW: "DUPLICATE_FLOW",
+        IDLE_TIMEOUT: "IDLE_TIMEOUT",
+        DRAINING: "DRAINING",
+        OVERLOADED: "OVERLOADED",
+        INTERNAL: "INTERNAL",
+    }
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized, or out-of-contract frame."""
+
+    def __init__(self, message: str, code: int = ErrorCode.BAD_FRAME) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServerFault(ReproError):
+    """The peer reported an ERROR frame."""
+
+    def __init__(self, flow: int, code: int, message: str) -> None:
+        name = ErrorCode.NAMES.get(code, str(code))
+        super().__init__(f"server error [{name}] on flow {flow}: {message}")
+        self.flow = flow
+        self.code = code
+        self.detail = message
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame: type code plus raw payload."""
+
+    type: int
+    payload: bytes
+
+    @property
+    def name(self) -> str:
+        return FrameType.NAMES.get(self.type, f"0x{self.type:02x}")
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
+    """``length | type | payload`` — the one frame shape on the wire."""
+    return _HEADER.pack(1 + len(payload)) + bytes([ftype]) + payload
+
+
+def encode_hello(
+    version: int = PROTOCOL_VERSION, max_frame: int = DEFAULT_MAX_FRAME
+) -> bytes:
+    return encode_frame(FrameType.HELLO, _HELLO.pack(version, max_frame))
+
+
+def encode_open_flow(flow_id: int) -> bytes:
+    return encode_frame(FrameType.OPEN_FLOW, _FLOW.pack(flow_id))
+
+
+def encode_data(flow_id: int, chunk: bytes) -> bytes:
+    return encode_frame(FrameType.DATA, _FLOW.pack(flow_id) + chunk)
+
+
+def encode_finish_flow(flow_id: int) -> bytes:
+    return encode_frame(FrameType.FINISH_FLOW, _FLOW.pack(flow_id))
+
+
+def encode_result(flow_id: int, final: bool, items: list) -> bytes:
+    blob = pickle.dumps(items, protocol=pickle.HIGHEST_PROTOCOL)
+    return encode_frame(
+        FrameType.RESULT, _RESULT_HEAD.pack(flow_id, 1 if final else 0) + blob
+    )
+
+
+def encode_error(flow_id: int, code: int, message: str) -> bytes:
+    return encode_frame(
+        FrameType.ERROR,
+        _ERROR_HEAD.pack(flow_id, code) + message.encode("utf-8"),
+    )
+
+
+def encode_goodbye() -> bytes:
+    return encode_frame(FrameType.GOODBYE)
+
+
+# ----------------------------------------------------------------------
+# payload decoding (each raises ProtocolError on a short/garbled body)
+# ----------------------------------------------------------------------
+def _unpack(spec: struct.Struct, frame: Frame) -> tuple:
+    if len(frame.payload) < spec.size:
+        raise ProtocolError(
+            f"{frame.name} frame payload too short "
+            f"({len(frame.payload)} < {spec.size} bytes)"
+        )
+    return spec.unpack_from(frame.payload)
+
+
+def decode_hello(frame: Frame) -> tuple[int, int]:
+    """-> (version, max_frame)."""
+    return _unpack(_HELLO, frame)  # type: ignore[return-value]
+
+
+def decode_open_flow(frame: Frame) -> int:
+    return _unpack(_FLOW, frame)[0]
+
+
+def decode_data(frame: Frame) -> tuple[int, bytes]:
+    (flow_id,) = _unpack(_FLOW, frame)
+    return flow_id, frame.payload[_FLOW.size :]
+
+
+def decode_finish_flow(frame: Frame) -> int:
+    return _unpack(_FLOW, frame)[0]
+
+
+def decode_result(frame: Frame) -> tuple[int, bool, list]:
+    """-> (flow_id, final, items). Unpickles: server->client only."""
+    flow_id, final = _unpack(_RESULT_HEAD, frame)
+    try:
+        items = pickle.loads(frame.payload[_RESULT_HEAD.size :])
+    except Exception as exc:
+        raise ProtocolError(f"undecodable RESULT payload: {exc}") from exc
+    return flow_id, bool(final), items
+
+
+def decode_error(frame: Frame) -> tuple[int, int, str]:
+    """-> (flow_id, code, message)."""
+    flow_id, code = _unpack(_ERROR_HEAD, frame)
+    message = frame.payload[_ERROR_HEAD.size :].decode("utf-8", "replace")
+    return flow_id, code, message
+
+
+# ----------------------------------------------------------------------
+class FrameDecoder:
+    """Incremental sans-IO frame parser with a hard size limit.
+
+    Feed arbitrary byte slices (socket reads, test vectors); complete
+    frames come back in arrival order. A declared length above
+    ``max_frame`` raises :class:`ProtocolError` *immediately* — before
+    any of the body arrives — so a hostile length prefix cannot make
+    the receiver buffer an unbounded body.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[Frame]:
+        self._buffer += data
+        frames: list[Frame] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return frames
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise ProtocolError(
+                    f"frame of {length} bytes exceeds limit "
+                    f"{self.max_frame}",
+                    code=ErrorCode.FRAME_TOO_LARGE,
+                )
+            if length < 1:
+                raise ProtocolError("frame with empty body")
+            if len(self._buffer) < _HEADER.size + length:
+                return frames
+            body = bytes(
+                self._buffer[_HEADER.size : _HEADER.size + length]
+            )
+            del self._buffer[: _HEADER.size + length]
+            frames.append(Frame(body[0], body[1:]))
+
+    def pending(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)

@@ -1,0 +1,628 @@
+"""The asyncio serving edge: framed TCP front-end for the scan engines.
+
+This is the reproduction's answer to the paper's deployment picture
+(Figs. 1, 12-14): the tagger as a *network device*. A
+:class:`ScanServer` listens on TCP, speaks the
+:mod:`repro.server.protocol` framing, and feeds each connection's
+multiplexed flows through per-flow streaming sessions — either
+in-process (``workers=0``: the connection handler drives a
+:class:`~repro.core.api.StreamSession` directly) or through a shared
+sharded :class:`~repro.service.ScanService` pool (``workers=N``).
+
+Robustness model
+----------------
+* **Idle timeout** — a connection that sends nothing for
+  ``idle_timeout`` seconds is answered with ``ERROR(IDLE_TIMEOUT)``
+  and closed; per-flow state is discarded.
+* **Frame-size limit** — a declared frame length above ``max_frame``
+  is rejected before the body is read (``ERROR(FRAME_TOO_LARGE)``,
+  close), so a hostile length prefix cannot balloon memory.
+* **Backpressure, write side** — every RESULT is written under
+  ``await drain()`` against a bounded transport buffer
+  (``write_high_water``): a consumer that stops reading suspends the
+  connection's handler, which therefore stops *reading* too, and the
+  stall propagates to the producer as TCP flow control. The server
+  never buffers results for a slow client beyond one transport buffer.
+* **Backpressure, scan side** — with a service pool the server
+  submits with ``backpressure="raise"``; :class:`QueueFull` pauses
+  the connection's read loop (counted in
+  ``server.backpressure.waits``) until the shard has room, instead of
+  buffering chunks. A full queue is thus visible to the client as the
+  socket filling up — exactly a hardware FIFO deasserting *ready*.
+* **Graceful drain** — :meth:`stop` (and SIGTERM in the CLI) stops
+  accepting connections, rejects *new* flows with ``ERROR(DRAINING)``,
+  but lets every already-open flow stream to completion (its DATA and
+  FINISH_FLOW are still honored and its final RESULT delivered), up to
+  the drain timeout; then says GOODBYE and closes, discarding flows
+  that never finished.
+
+Observability: counters/gauges/histograms land in one
+:class:`~repro.service.metrics.MetricsRegistry` (shared with the
+service pool when there is one), exposed as JSON via :meth:`stats`
+and as Prometheus plaintext on the admin listener (``GET /metrics``,
+plus ``/healthz`` and ``/stats``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+from typing import Any
+
+from repro.server import protocol
+from repro.server.protocol import (
+    CONNECTION_FLOW,
+    DEFAULT_MAX_FRAME,
+    ErrorCode,
+    Frame,
+    FrameType,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.service.errors import QueueFull
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["ScanServer"]
+
+
+async def _read_frame(
+    reader: asyncio.StreamReader, max_frame: int
+) -> Frame | None:
+    """Read one frame; None on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection cut mid-header") from exc
+    length = int.from_bytes(header, "big")
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds limit {max_frame}",
+            code=ErrorCode.FRAME_TOO_LARGE,
+        )
+    if length < 1:
+        raise ProtocolError("frame with empty body")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection cut mid-frame") from exc
+    return Frame(body[0], body[1:])
+
+
+class _Flow:
+    """Per-flow server state: the scan session (in-process mode) or
+    the service flow key (pool mode), plus timing for latency stats."""
+
+    __slots__ = ("flow_id", "key", "session", "opened_at", "finishing")
+
+    def __init__(self, flow_id: int, key: str, session) -> None:
+        self.flow_id = flow_id
+        self.key = key
+        self.session = session
+        self.opened_at = time.monotonic()
+        self.finishing = False
+
+
+class _Connection:
+    """One accepted connection: handshake, frame loop, flow registry."""
+
+    def __init__(self, server: "ScanServer", reader, writer, conn_id: int):
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.conn_id = conn_id
+        self.flows: dict[int, _Flow] = {}
+        self.peer_max_frame = DEFAULT_MAX_FRAME
+        self.draining = False
+        self.closed = False
+        self._write_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+    async def send(self, frame_bytes: bytes) -> None:
+        """Write one encoded frame under backpressure (bounded buffer +
+        drain: a slow reader suspends us here, never grows memory)."""
+        if self.closed:
+            return
+        async with self._write_lock:
+            if self.closed:
+                return
+            try:
+                self.writer.write(frame_bytes)
+                metrics = self.server.metrics
+                metrics.counter("server.tx.frames").inc()
+                metrics.counter("server.tx.bytes").inc(len(frame_bytes))
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                self.closed = True
+
+    async def send_error(self, flow_id: int, code: int, message: str):
+        self.server.metrics.counter("server.errors.sent").inc()
+        await self.send(protocol.encode_error(flow_id, code, message))
+
+    async def close(self) -> None:
+        self.closed = True
+        with contextlib.suppress(Exception):
+            self.writer.close()
+            await self.writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    def flow_key(self, flow_id: int) -> str:
+        """Service-pool flow identity: connection-scoped ids must not
+        collide across connections sharing the pool."""
+        return f"conn{self.conn_id}/flow{flow_id}"
+
+
+class ScanServer:
+    """Asyncio TCP server feeding flows through the scan engines.
+
+    Parameters
+    ----------
+    spec:
+        A picklable worker spec (:class:`~repro.service.RouterSpec` /
+        :class:`~repro.service.TaggerSpec`); defaults to the XML-RPC
+        content router. ``spec.build()`` provides in-process sessions,
+        and the same spec is shipped to pool workers.
+    workers:
+        0 (default) scans in-process on the event loop; N >= 1 starts a
+        sharded :class:`~repro.service.ScanService` with N processes.
+    """
+
+    def __init__(
+        self,
+        spec: Any = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 0,
+        idle_timeout: float = 30.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        queue_depth: int = 64,
+        admin_port: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        write_high_water: int = 1 << 16,
+    ) -> None:
+        if spec is None:
+            from repro.service import RouterSpec
+
+            spec = RouterSpec()
+        self.spec = spec
+        self.host = host
+        self.port = port
+        self.idle_timeout = idle_timeout
+        self.max_frame = max_frame
+        self.admin_port = admin_port
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.write_high_water = write_high_water
+        self.workers = workers
+        self.service = None
+        self._backend = None
+        if workers:
+            from repro.service import ScanService
+
+            self.service = ScanService(
+                spec,
+                n_workers=workers,
+                queue_depth=queue_depth,
+                backpressure="raise",
+                metrics=self.metrics,
+            )
+        else:
+            self._backend = spec.build()
+
+        self._server: asyncio.base_events.Server | None = None
+        self._admin_server: asyncio.base_events.Server | None = None
+        self._connections: dict[int, _Connection] = {}
+        self._conn_seq = 0
+        #: service flow key -> (connection, flow_id): flows whose
+        #: FINISH_FLOW is in the pool awaiting its final results.
+        self._pending: dict[str, tuple[_Connection, int]] = {}
+        self._poll_task: asyncio.Task | None = None
+        self._draining = False
+        self._stopped = asyncio.Event()
+        #: last frame arrival: drain waits for rx quiescence, so
+        #: frames already on the wire when stop() is called still
+        #: reach their flows before connections close.
+        self._last_rx = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ScanServer":
+        """Bind the data (and optional admin) listeners and, with a
+        pool, spawn the workers and the result poll task."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        if self.service is not None:
+            self.service.start()
+            self._poll_task = asyncio.ensure_future(self._poll_service())
+        if self.admin_port is not None:
+            self._admin_server = await asyncio.start_server(
+                self._handle_admin, self.host, self.admin_port
+            )
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves port 0 to the real one."""
+        sockets = self._server.sockets if self._server else ()
+        if not sockets:
+            raise RuntimeError("server not started")
+        return sockets[0].getsockname()[:2]
+
+    @property
+    def admin_address(self) -> tuple[str, int]:
+        sockets = (
+            self._admin_server.sockets if self._admin_server else ()
+        )
+        if not sockets:
+            raise RuntimeError("admin listener not started")
+        return sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` is called (from a signal handler,
+        another task, or a test)."""
+        await self._stopped.wait()
+
+    async def __aenter__(self) -> "ScanServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.stop(drain=exc_type is None)
+        return False
+
+    def _work_in_flight(self) -> bool:
+        """Open flows (still streaming) or pool flows awaiting their
+        final RESULT."""
+        return bool(self._pending) or any(
+            conn.flows for conn in self._connections.values()
+        )
+
+    async def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, let in-flight flows
+        complete (their final RESULT frames are delivered), close
+        connections.
+
+        With ``drain=False`` (or on drain timeout) connections are cut
+        without flushing.
+        """
+        if self._stopped.is_set():
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._admin_server is not None:
+            self._admin_server.close()
+        if drain:
+            # Quiescence, not just emptiness: frames already in flight
+            # (written but not yet read off the socket) would make an
+            # instant "no open flows" check a lie.
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+                if self._work_in_flight():
+                    continue
+                if time.monotonic() - self._last_rx >= 0.05:
+                    break
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._poll_task
+        for conn in list(self._connections.values()):
+            if drain:
+                for flow in list(conn.flows.values()):
+                    if not flow.finishing:
+                        await conn.send_error(
+                            flow.flow_id,
+                            ErrorCode.DRAINING,
+                            "server draining; flow discarded",
+                        )
+                await conn.send(protocol.encode_goodbye())
+            await conn.close()
+        if self.service is not None:
+            self.service.close(drain=drain)
+        if self._server is not None:
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-safe snapshot of the shared metrics registry plus
+        live connection/flow gauges."""
+        self.metrics.gauge("server.connections.open").set(
+            len(self._connections)
+        )
+        self.metrics.gauge("server.flows.open").set(
+            sum(len(c.flows) for c in self._connections.values())
+        )
+        self.metrics.gauge("server.flows.pending_results").set(
+            len(self._pending)
+        )
+        if self.service is not None:
+            return self.service.stats()
+        return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # data-plane connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self._conn_seq += 1
+        conn = _Connection(self, reader, writer, self._conn_seq)
+        writer.transport.set_write_buffer_limits(
+            high=self.write_high_water
+        )
+        self._connections[conn.conn_id] = conn
+        self.metrics.counter("server.connections.opened").inc()
+        try:
+            if await self._handshake(conn):
+                await self._frame_loop(conn)
+        except (ConnectionError, OSError):
+            pass
+        except ProtocolError as exc:
+            await conn.send_error(CONNECTION_FLOW, exc.code, str(exc))
+            self.metrics.counter("server.errors.protocol").inc()
+        finally:
+            await self._teardown(conn)
+
+    async def _handshake(self, conn: _Connection) -> bool:
+        frame = await self._read_with_idle(conn)
+        if frame is None:
+            return False
+        if frame.type != FrameType.HELLO:
+            raise ProtocolError(
+                f"expected HELLO, got {frame.name}",
+                code=ErrorCode.BAD_FRAME,
+            )
+        version, peer_max = protocol.decode_hello(frame)
+        if version != PROTOCOL_VERSION:
+            await conn.send_error(
+                CONNECTION_FLOW,
+                ErrorCode.VERSION_MISMATCH,
+                f"server speaks v{PROTOCOL_VERSION}, client sent "
+                f"v{version}",
+            )
+            return False
+        conn.peer_max_frame = peer_max
+        await conn.send(
+            protocol.encode_hello(PROTOCOL_VERSION, self.max_frame)
+        )
+        return True
+
+    async def _read_with_idle(self, conn: _Connection) -> Frame | None:
+        """One frame, or None on EOF; idle connections are reaped."""
+        try:
+            frame = await asyncio.wait_for(
+                _read_frame(conn.reader, self.max_frame),
+                timeout=self.idle_timeout,
+            )
+        except asyncio.TimeoutError:
+            self.metrics.counter("server.timeouts.idle").inc()
+            await conn.send_error(
+                CONNECTION_FLOW,
+                ErrorCode.IDLE_TIMEOUT,
+                f"no frame for {self.idle_timeout:g}s",
+            )
+            return None
+        if frame is not None:
+            self._last_rx = time.monotonic()
+            self.metrics.counter("server.rx.frames").inc()
+            self.metrics.counter("server.rx.bytes").inc(
+                len(frame.payload) + 5
+            )
+        return frame
+
+    async def _frame_loop(self, conn: _Connection) -> None:
+        while not conn.closed:
+            frame = await self._read_with_idle(conn)
+            if frame is None:
+                return
+            if frame.type == FrameType.GOODBYE:
+                await self._client_goodbye(conn)
+                return
+            if frame.type == FrameType.OPEN_FLOW:
+                await self._open_flow(conn, frame)
+            elif frame.type == FrameType.DATA:
+                await self._data(conn, frame)
+            elif frame.type == FrameType.FINISH_FLOW:
+                await self._finish_flow(conn, frame)
+            else:
+                raise ProtocolError(
+                    f"unexpected {frame.name} frame from client"
+                )
+
+    # ------------------------------------------------------------------
+    async def _open_flow(self, conn: _Connection, frame: Frame) -> None:
+        flow_id = protocol.decode_open_flow(frame)
+        if self._draining:
+            await conn.send_error(
+                flow_id, ErrorCode.DRAINING, "server draining"
+            )
+            return
+        if flow_id in conn.flows or flow_id == CONNECTION_FLOW:
+            await conn.send_error(
+                flow_id, ErrorCode.DUPLICATE_FLOW,
+                f"flow {flow_id} already open",
+            )
+            return
+        session = (
+            self._backend.new_session()
+            if self._backend is not None
+            else None
+        )
+        conn.flows[flow_id] = _Flow(
+            flow_id, conn.flow_key(flow_id), session
+        )
+        self.metrics.counter("server.flows.opened").inc()
+
+    async def _data(self, conn: _Connection, frame: Frame) -> None:
+        flow_id, chunk = protocol.decode_data(frame)
+        flow = conn.flows.get(flow_id)
+        if flow is None or flow.finishing:
+            await conn.send_error(
+                flow_id, ErrorCode.UNKNOWN_FLOW,
+                f"DATA for unopened flow {flow_id}",
+            )
+            return
+        # While draining, flows opened before the drain began may
+        # still stream to completion; only OPEN_FLOW is refused.
+        self.metrics.counter("server.flows.bytes").inc(len(chunk))
+        if self.service is not None:
+            await self._paced(self.service.submit, flow.key, chunk)
+            return
+        started = time.perf_counter()
+        try:
+            results = flow.session.feed(chunk)
+        except Exception as exc:  # scan fault: report, drop the flow
+            self.metrics.counter("server.errors.scan").inc()
+            del conn.flows[flow_id]
+            await conn.send_error(flow_id, ErrorCode.INTERNAL, str(exc))
+            return
+        self.metrics.histogram("latency.scan_s").observe(
+            time.perf_counter() - started
+        )
+        if results:
+            await conn.send(
+                protocol.encode_result(flow_id, False, results)
+            )
+
+    async def _finish_flow(self, conn: _Connection, frame: Frame) -> None:
+        flow_id = protocol.decode_finish_flow(frame)
+        flow = conn.flows.get(flow_id)
+        if flow is None or flow.finishing:
+            await conn.send_error(
+                flow_id, ErrorCode.UNKNOWN_FLOW,
+                f"FINISH_FLOW for unopened flow {flow_id}",
+            )
+            return
+        if self.service is not None:
+            flow.finishing = True
+            self._pending[flow.key] = (conn, flow_id)
+            await self._paced(self.service.finish_flow, flow.key)
+            return
+        try:
+            tail = flow.session.finish()
+        except Exception as exc:
+            self.metrics.counter("server.errors.scan").inc()
+            del conn.flows[flow_id]
+            await conn.send_error(flow_id, ErrorCode.INTERNAL, str(exc))
+            return
+        self._observe_flow_done(flow)
+        del conn.flows[flow_id]
+        await conn.send(protocol.encode_result(flow_id, True, tail))
+
+    def _observe_flow_done(self, flow: _Flow) -> None:
+        self.metrics.counter("server.flows.finished").inc()
+        self.metrics.histogram("latency.flow_s").observe(
+            time.monotonic() - flow.opened_at
+        )
+
+    async def _client_goodbye(self, conn: _Connection) -> None:
+        """Client is done sending: flush its pending pool flows, then
+        answer GOODBYE and close."""
+        deadline = time.monotonic() + self.idle_timeout
+        while (
+            any(c is conn for c, _f in self._pending.values())
+            and time.monotonic() < deadline
+        ):
+            await asyncio.sleep(0.002)
+        await conn.send(protocol.encode_goodbye())
+        await conn.close()
+
+    async def _teardown(self, conn: _Connection) -> None:
+        self._connections.pop(conn.conn_id, None)
+        self.metrics.counter("server.connections.closed").inc()
+        # Forget pool flows this connection can no longer receive.
+        for key in [
+            k for k, (c, _f) in self._pending.items() if c is conn
+        ]:
+            del self._pending[key]
+        conn.flows.clear()
+        await conn.close()
+
+    # ------------------------------------------------------------------
+    # service-pool plumbing
+    # ------------------------------------------------------------------
+    async def _paced(self, submit, *args) -> None:
+        """Run one pool submission (``submit``/``finish_flow``); a full
+        shard queue pauses this connection's read loop (we simply stop
+        reading) until there is room — QueueFull is propagated as
+        *pacing*, not buffering."""
+        while True:
+            try:
+                submit(*args)
+                return
+            except QueueFull:
+                self.metrics.counter("server.backpressure.waits").inc()
+                await asyncio.sleep(0.002)
+
+    async def _poll_service(self) -> None:
+        """Deliver final RESULT frames as the pool acknowledges
+        FINISH_FLOWs (the pool merges per-flow results in order)."""
+        assert self.service is not None
+        while True:
+            done = self.service.poll()
+            for key in done:
+                items = self.service.pop_flow(key)
+                target = self._pending.pop(key, None)
+                if target is None:  # connection went away
+                    continue
+                conn, flow_id = target
+                flow = conn.flows.pop(flow_id, None)
+                if flow is not None:
+                    self._observe_flow_done(flow)
+                await conn.send(
+                    protocol.encode_result(flow_id, True, items)
+                )
+            await asyncio.sleep(0.001 if self._pending else 0.02)
+
+    # ------------------------------------------------------------------
+    # admin endpoint: minimal HTTP/1.0, plaintext
+    # ------------------------------------------------------------------
+    async def _handle_admin(self, reader, writer) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readline(), timeout=self.idle_timeout
+            )
+            parts = request.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:  # drain headers
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.idle_timeout
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if path == "/metrics":
+                self.stats()  # refresh gauges
+                status, body = "200 OK", self.metrics.render_prometheus()
+            elif path == "/healthz":
+                status, body = "200 OK", "ok\n"
+            elif path == "/stats":
+                status, body = "200 OK", json.dumps(
+                    self.stats(), indent=2, sort_keys=True
+                ) + "\n"
+            else:
+                status, body = "404 Not Found", f"no route {path}\n"
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    "Content-Type: text/plain; version=0.0.4; "
+                    "charset=utf-8\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()

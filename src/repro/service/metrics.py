@@ -17,7 +17,38 @@ is the standard stats-registry trade-off.
 
 from __future__ import annotations
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+import re
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_label_value",
+    "prometheus_name",
+]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Map a dotted registry name onto the Prometheus metric-name
+    charset (``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots and other invalid
+    characters become underscores, and a leading digit is guarded."""
+    flat = _NAME_BAD.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote, and newline must be escaped inside ``label="..."``."""
+    return (
+        value.replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
 
 
 class Counter:
@@ -135,6 +166,40 @@ class MetricsRegistry:
         return metric
 
     # ------------------------------------------------------------------
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Plaintext Prometheus exposition of every instrument.
+
+        Counters and gauges render as single samples; histograms render
+        the standard ``_bucket``/``_sum``/``_count`` triple, where each
+        ``le`` bucket holds the *cumulative* count of observations at
+        or below its bound and ``le="+Inf"`` equals ``_count``.
+        """
+        lines: list[str] = []
+        for name, counter in sorted(self._counters.items()):
+            metric = prometheus_name(name, prefix)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            metric = prometheus_name(name, prefix)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {gauge.value:g}")
+        for name, hist in sorted(self._histograms.items()):
+            metric = prometheus_name(name, prefix)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(_BUCKET_BOUNDS, hist.counts):
+                cumulative += count
+                le = escape_label_value(f"{bound:.6g}")
+                lines.append(
+                    f'{metric}_bucket{{le="{le}"}} {cumulative}'
+                )
+            lines.append(
+                f'{metric}_bucket{{le="+Inf"}} {hist.count}'
+            )
+            lines.append(f"{metric}_sum {hist.total:g}")
+            lines.append(f"{metric}_count {hist.count}")
+        return "\n".join(lines) + "\n"
+
     def snapshot(self) -> dict:
         """Plain-dict view of every instrument (JSON-serializable)."""
         return {

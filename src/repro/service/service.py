@@ -188,6 +188,8 @@ class ScanService:
         #: flow -> replayed results still to suppress.
         self._skip: dict[Any, int] = {}
         self._results: dict[Any, list] = {}
+        #: flows whose finish was acknowledged since the last poll().
+        self._finished_flows: list[Any] = []
         #: task_id -> (worker, op, flow, submit_monotonic)
         self._inflight: dict[int, tuple[int, str, Any, float]] = {}
         self._peeks: dict[int, list] = {}
@@ -423,6 +425,7 @@ class ScanService:
             # parent: the replay journal has done its job.
             self._journal.pop(flow, None)
             self._skip.pop(flow, None)
+            self._finished_flows.append(flow)
 
     def _check_workers(self) -> None:
         """Detect dead workers and recover their shards."""
@@ -502,6 +505,34 @@ class ScanService:
             raise ServiceError(
                 "worker task failed:\n" + self._worker_errors[0]
             )
+
+    def poll(self) -> list[Any]:
+        """Non-blocking supervision + collection sweep.
+
+        Detects dead workers (recovering their shards), drains every
+        readable result queue, and returns the flows whose
+        :meth:`finish_flow` has been acknowledged since the last call
+        — the event-loop-friendly alternative to :meth:`drain` for
+        callers (like the asyncio server) that must never block.
+        """
+        self._ensure_open()
+        if self._started:
+            self._check_workers()
+        self._collect()
+        done, self._finished_flows = self._finished_flows, []
+        return done
+
+    def pop_flow(self, flow: Any) -> list:
+        """Hand over one flow's merged results (buffers cleared).
+
+        Meant for flows :meth:`poll` reported finished: popping a flow
+        that is still streaming also discards its crash-replay dedup
+        base, so a later replay could double-deliver its results.
+        """
+        self._collect()
+        self._emitted.pop(flow, None)
+        self._skip.pop(flow, None)
+        return self._results.pop(flow, [])
 
     def results(self) -> dict[Any, list]:
         """Per-flow merged results so far (submission order within a

@@ -1,0 +1,117 @@
+"""The PR 2 deprecation contract, pinned so it can't silently rot:
+``push_frame`` / ``push_packet`` / ``error_positions`` must emit
+``DeprecationWarning`` — and still delegate correctly — on every
+implementation that carries them."""
+
+import pytest
+
+from repro.apps.netstack.tracegen import TraceGenerator
+from repro.apps.netstack.wrapper import TaggingWrapper
+from repro.apps.xmlrpc import ContentBasedRouter, MethodCall
+from repro.core.api import BufferedSession
+from repro.core.compiled import CompiledTagger
+from repro.core.generator import TaggerGenerator, TaggerOptions
+from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.core.wiring import WiringOptions
+
+MESSAGE = (
+    b"<methodCall><methodName>buy</methodName>"
+    b"<params><param><i4>17</i4></param></params></methodCall> "
+)
+
+
+@pytest.fixture(scope="module")
+def recovery_options():
+    return TaggerOptions(wiring=WiringOptions(error_recovery=True))
+
+
+@pytest.fixture(scope="module")
+def recovery_circuit(xmlrpc_grammar, recovery_options):
+    return TaggerGenerator(recovery_options).generate(xmlrpc_grammar)
+
+
+# ----------------------------------------------------------------------
+# push_frame: deprecated alias of feed on EVERY StreamSession
+# ----------------------------------------------------------------------
+def _sessions(grammar, circuit):
+    return [
+        ("CompiledStream", CompiledTagger(grammar).stream()),
+        ("RouterSession", ContentBasedRouter().stream()),
+        ("BufferedSession", BufferedSession(GateLevelTagger(circuit))),
+        ("TaggingWrapper", TaggingWrapper()),
+    ]
+
+
+def test_push_frame_warns_on_every_stream_session(
+    xmlrpc_grammar, recovery_circuit
+):
+    for name, session in _sessions(xmlrpc_grammar, recovery_circuit):
+        with pytest.warns(DeprecationWarning, match=rf"{name}.push_frame"):
+            session.push_frame(b"")
+
+
+def test_push_frame_delegates_like_feed(xmlrpc_grammar, recovery_circuit):
+    """Alias and canonical method produce identical results chunk by
+    chunk on every session implementation."""
+    for name, via_alias in _sessions(xmlrpc_grammar, recovery_circuit):
+        _name, via_feed = next(
+            pair
+            for pair in _sessions(xmlrpc_grammar, recovery_circuit)
+            if pair[0] == name
+        )
+        for start in range(0, len(MESSAGE), 16):
+            chunk = MESSAGE[start : start + 16]
+            with pytest.warns(DeprecationWarning):
+                got = via_alias.push_frame(chunk)
+            assert got == via_feed.feed(chunk), name
+
+
+def test_push_frame_wrapper_still_counts_malformed():
+    wrapper = TaggingWrapper()
+    with pytest.warns(DeprecationWarning, match="push_frame"):
+        wrapper.push_frame(b"garbage")
+    assert wrapper.malformed == 1
+
+
+# ----------------------------------------------------------------------
+# push_packet (packet-level sessions)
+# ----------------------------------------------------------------------
+def test_push_packet_warns_and_delegates():
+    trace = TraceGenerator(mss=32).trace([MethodCall("buy").encode()])
+    wrapper = TaggingWrapper()
+    for packet in trace:
+        with pytest.warns(DeprecationWarning, match="push_packet"):
+            wrapper.push_packet(packet)
+    assert wrapper.results()[0].messages[0].port == 1
+
+
+# ----------------------------------------------------------------------
+# error_positions: deprecated alias on every tagger engine
+# ----------------------------------------------------------------------
+def _taggers(grammar, options, circuit):
+    return [
+        ("BehavioralTagger", BehavioralTagger(grammar, options)),
+        (
+            "BehavioralTagger",
+            BehavioralTagger(grammar, options, engine="interpreted"),
+        ),
+        ("CompiledTagger", CompiledTagger(grammar, options)),
+        ("GateLevelTagger", GateLevelTagger(circuit)),
+    ]
+
+
+def test_error_positions_warns_on_every_engine(
+    xmlrpc_grammar, recovery_options, recovery_circuit
+):
+    # Junk ahead of a valid message: recovery resynchronizes and
+    # reports the two leading bytes it skipped.
+    junk = b"!!" + MESSAGE
+    for name, tagger in _taggers(
+        xmlrpc_grammar, recovery_options, recovery_circuit
+    ):
+        with pytest.warns(
+            DeprecationWarning, match=rf"{name}.error_positions"
+        ):
+            positions = tagger.error_positions(junk)
+        assert positions == tagger.events_and_errors(junk)[1], name
+        assert positions == [1, 2], f"{name} should report the '!!' junk"

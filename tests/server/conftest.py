@@ -1,0 +1,39 @@
+"""Shared helpers for the server tests: seeded workloads, ground
+truth, and an in-loop server harness (no pytest-asyncio dependency —
+each test owns its loop via ``asyncio.run``)."""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.apps.xmlrpc import ContentBasedRouter, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def streams() -> dict[str, bytes]:
+    """Seeded multi-flow XML-RPC workload (deterministic)."""
+    generator = WorkloadGenerator(seed=77)
+    return {f"flow-{i}": generator.stream(4)[0] for i in range(5)}
+
+
+@pytest.fixture(scope="module")
+def expected(streams):
+    """Single-process ground truth for the differential checks."""
+    router = ContentBasedRouter()
+    return {name: router.route(data) for name, data in streams.items()}
+
+
+@contextlib.asynccontextmanager
+async def running_server(**kwargs):
+    """An async context manager yielding a started ScanServer bound to
+    an ephemeral localhost port; always stopped on exit."""
+    from repro.server import ScanServer
+
+    server = ScanServer(port=0, **kwargs)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop(drain=False, timeout=5.0)

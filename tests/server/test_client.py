@@ -1,0 +1,150 @@
+"""Client-library semantics: connect retry/backoff, request timeouts,
+and failure propagation onto pending flows."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.server import ConnectFailed, ScanClient
+
+from tests.server.conftest import running_server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+# ----------------------------------------------------------------------
+def test_connect_retries_until_server_appears():
+    """The client dials before the server binds; retry/backoff rides
+    over the gap — start order doesn't matter."""
+
+    async def main():
+        from repro.server import ScanServer
+
+        port = _free_port()
+        server = ScanServer(port=port)
+
+        async def late_start():
+            await asyncio.sleep(0.2)
+            await server.start()
+
+        starter = asyncio.ensure_future(late_start())
+        client = ScanClient(
+            "127.0.0.1", port,
+            connect_retries=20, retry_backoff=0.05,
+        )
+        await client.connect()
+        assert client.connected
+        got = await client.scan_stream(
+            b"<methodCall><methodName>buy</methodName>"
+            b"<params></params></methodCall> "
+        )
+        assert [m.port for m in got] == [1]
+        await client.close()
+        await starter
+        await server.stop(drain=False)
+
+    run(main())
+
+
+def test_connect_fails_after_retry_budget():
+    async def main():
+        client = ScanClient(
+            "127.0.0.1", _free_port(),
+            connect_retries=3, retry_backoff=0.01,
+        )
+        started = time.monotonic()
+        with pytest.raises(ConnectFailed, match="3 attempts"):
+            await client.connect()
+        # Exponential backoff actually waited between attempts.
+        assert time.monotonic() - started >= 0.01 + 0.02
+
+    run(main())
+
+
+def test_finish_times_out_when_no_result_arrives():
+    """A FINISH_FLOW the server never answers (unopened flow id is
+    answered with ERROR; here we silence it by talking to a raw
+    listener that says HELLO then nothing)."""
+
+    async def main():
+        async def mute_server(reader, writer):
+            from repro.server import protocol
+            from repro.server.server import _read_frame
+
+            await _read_frame(reader, 1 << 20)  # client HELLO
+            writer.write(protocol.encode_hello())
+            await writer.drain()
+            while await _read_frame(reader, 1 << 20) is not None:
+                pass  # swallow everything, answer nothing
+
+        listener = await asyncio.start_server(
+            mute_server, "127.0.0.1", 0
+        )
+        port = listener.sockets[0].getsockname()[1]
+        client = ScanClient("127.0.0.1", port, request_timeout=0.2)
+        await client.connect()
+        flow = await client.open_flow()
+        await flow.send(b"data")
+        with pytest.raises(TimeoutError, match="no final RESULT"):
+            await flow.finish()
+        await client.close()
+        listener.close()
+        await listener.wait_closed()
+
+    run(main())
+
+
+def test_server_vanishing_fails_pending_flows():
+    async def main():
+        async with running_server() as server:
+            host, port = server.address
+            client = ScanClient(host, port)
+            await client.connect()
+            flow = await client.open_flow()
+            await flow.send(b"<methodCall><methodName>bu")
+            # Cut every connection without drain.
+            for conn in list(server._connections.values()):
+                conn.writer.transport.abort()
+            with pytest.raises((ConnectionError, OSError)):
+                await flow.finish(timeout=5.0)
+            await client.close()
+
+    run(main())
+
+
+def test_concurrent_flows_on_one_connection_interleave():
+    """Many flows multiplexed on one connection each get exactly their
+    own results (ids don't cross wires)."""
+
+    async def main():
+        from repro.apps.xmlrpc import ContentBasedRouter, MethodCall
+
+        router = ContentBasedRouter()
+        payloads = {
+            name: MethodCall(name).encode() + b" "
+            for name in ("buy", "sell", "deposit", "withdraw")
+        }
+        expected = {n: router.route(p) for n, p in payloads.items()}
+        async with running_server() as server:
+            host, port = server.address
+            async with ScanClient(host, port) as client:
+                results = await asyncio.gather(
+                    *(
+                        client.scan_stream(p, chunk_size=3)
+                        for p in payloads.values()
+                    )
+                )
+        assert dict(zip(payloads, results)) == expected
+
+    run(main())

@@ -1,0 +1,304 @@
+"""Robustness under fault: idle-timeout reaping, oversized-frame
+rejection, slow-consumer backpressure (bounded server memory), pool
+backpressure pauses, and graceful drain delivering in-flight RESULTs."""
+
+import asyncio
+
+from repro.server import ScanClient, ServerFault, protocol
+from repro.server.protocol import ErrorCode, FrameType
+
+from tests.server.conftest import running_server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _read_frame(reader, max_frame=1 << 20):
+    from repro.server.server import _read_frame as read
+
+    return await read(reader, max_frame)
+
+
+# ----------------------------------------------------------------------
+# idle timeout
+# ----------------------------------------------------------------------
+def test_idle_connection_reaped_with_error_frame():
+    async def main():
+        async with running_server(idle_timeout=0.15) as server:
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(protocol.encode_hello())
+            await writer.drain()
+            frame = await _read_frame(reader)  # server HELLO
+            assert frame.type == FrameType.HELLO
+            # ... then send nothing: the server must reap us.
+            frame = await asyncio.wait_for(_read_frame(reader), 2.0)
+            assert frame.type == FrameType.ERROR
+            flow, code, message = protocol.decode_error(frame)
+            assert code == ErrorCode.IDLE_TIMEOUT
+            assert flow == protocol.CONNECTION_FLOW
+            assert await asyncio.wait_for(_read_frame(reader), 2.0) is None
+            writer.close()
+            assert server.stats()["counters"]["server.timeouts.idle"] == 1
+
+    run(main())
+
+
+def test_idle_timeout_discards_flow_state():
+    async def main():
+        async with running_server(idle_timeout=0.15) as server:
+            host, port = server.address
+            client = ScanClient(host, port)
+            await client.connect()
+            flow = await client.open_flow()
+            await flow.send(b"<methodCall><methodName>bu")
+            await asyncio.sleep(0.5)  # idle past the limit
+            assert not server._connections  # reaped server-side
+            await client.close()
+
+    run(main())
+
+
+# ----------------------------------------------------------------------
+# oversized frames
+# ----------------------------------------------------------------------
+def test_oversized_frame_rejected_and_connection_closed():
+    async def main():
+        async with running_server(max_frame=4096) as server:
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(protocol.encode_hello())
+            await writer.drain()
+            await _read_frame(reader)  # server HELLO
+            writer.write(protocol.encode_open_flow(1))
+            writer.write(protocol.encode_data(1, b"x" * 8192))
+            await writer.drain()
+            frame = await asyncio.wait_for(_read_frame(reader), 2.0)
+            assert frame.type == FrameType.ERROR
+            _flow, code, _msg = protocol.decode_error(frame)
+            assert code == ErrorCode.FRAME_TOO_LARGE
+            assert await asyncio.wait_for(_read_frame(reader), 2.0) is None
+            writer.close()
+
+    run(main())
+
+
+def test_client_splits_data_to_server_frame_limit(streams, expected):
+    """A client talking to a small-frame server transparently splits
+    chunks, so large sends still round-trip correctly."""
+
+    async def main():
+        async with running_server(max_frame=512) as server:
+            host, port = server.address
+            async with ScanClient(host, port) as client:
+                assert client.server_max_frame == 512
+                got = await client.scan_stream(
+                    streams["flow-0"], chunk_size=100_000
+                )
+        assert got == expected["flow-0"]
+
+    run(main())
+
+
+# ----------------------------------------------------------------------
+# protocol discipline
+# ----------------------------------------------------------------------
+def test_version_mismatch_is_refused():
+    async def main():
+        async with running_server() as server:
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(protocol.encode_hello(version=99))
+            await writer.drain()
+            frame = await asyncio.wait_for(_read_frame(reader), 2.0)
+            assert frame.type == FrameType.ERROR
+            _f, code, _m = protocol.decode_error(frame)
+            assert code == ErrorCode.VERSION_MISMATCH
+            writer.close()
+
+    run(main())
+
+
+def test_data_for_unopened_flow_is_flow_error():
+    async def main():
+        async with running_server() as server:
+            host, port = server.address
+            client = ScanClient(host, port)
+            await client.connect()
+            # Bypass open_flow: hand-craft DATA for an unknown id.
+            await client._send(protocol.encode_data(42, b"zzz"))
+            flow = await client.open_flow()
+            got = await flow.finish()  # connection still healthy
+            assert got == []
+            await client.close()
+
+    run(main())
+
+
+def test_duplicate_open_flow_fails_that_flow():
+    async def main():
+        async with running_server() as server:
+            host, port = server.address
+            client = ScanClient(host, port)
+            await client.connect()
+            flow = await client.open_flow()
+            await client._send(protocol.encode_open_flow(flow.flow_id))
+            await asyncio.sleep(0.05)
+            try:
+                await flow.finish(timeout=2.0)
+                raise AssertionError("expected ServerFault")
+            except ServerFault as fault:
+                assert fault.code == ErrorCode.DUPLICATE_FLOW
+            await client.close()
+
+    run(main())
+
+
+# ----------------------------------------------------------------------
+# backpressure
+# ----------------------------------------------------------------------
+def test_slow_consumer_does_not_grow_server_memory(streams):
+    """A client that stops reading RESULT frames suspends the server's
+    writer at the transport buffer bound — the handler stops reading,
+    and no unbounded result queue forms server-side."""
+
+    async def main():
+        high_water = 8 * 1024
+        async with running_server(write_high_water=high_water) as server:
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(protocol.encode_hello())
+            await writer.drain()
+            await _read_frame(reader)  # server HELLO
+            writer.write(protocol.encode_open_flow(1))
+            # Pump many result-producing messages without ever reading.
+            data = streams["flow-0"] * 8
+            for start in range(0, len(data), 1024):
+                writer.write(
+                    protocol.encode_data(1, data[start : start + 1024])
+                )
+                await writer.drain()
+                if server.stats()["counters"]["server.tx.bytes"] > high_water:
+                    break
+            await asyncio.sleep(0.3)
+            # The server connection's outbound buffer is capped at the
+            # transport bound (plus at most one in-flight frame).
+            conns = list(server._connections.values())
+            assert conns, "connection should still be alive (paused)"
+            buffered = conns[0].writer.transport.get_write_buffer_size()
+            assert buffered <= high_water + protocol.DEFAULT_MAX_FRAME
+            # Start consuming: everything completes normally.
+            writer.write(protocol.encode_finish_flow(1))
+            await writer.drain()
+            final = None
+            while final is None:
+                frame = await asyncio.wait_for(_read_frame(reader), 5.0)
+                assert frame.type == FrameType.RESULT
+                _flow, is_final, _items = protocol.decode_result(frame)
+                final = True if is_final else None
+            writer.close()
+
+    run(main())
+
+
+def test_pool_queue_full_pauses_reads_not_memory(streams, expected):
+    """With a tiny shard queue the server hits QueueFull and paces the
+    producer (counted waits) instead of buffering chunks; results are
+    still exact."""
+
+    async def main():
+        async with running_server(workers=1, queue_depth=2) as server:
+            host, port = server.address
+            async with ScanClient(host, port) as client:
+                got = {
+                    name: await client.scan_stream(data, chunk_size=64)
+                    for name, data in streams.items()
+                }
+            waits = server.stats()["counters"].get(
+                "server.backpressure.waits", 0
+            )
+        assert got == expected
+        assert waits > 0
+
+    run(main())
+
+
+# ----------------------------------------------------------------------
+# graceful drain
+# ----------------------------------------------------------------------
+def test_graceful_drain_delivers_inflight_results(streams, expected):
+    """stop(drain=True) with FINISH_FLOWs in flight through the pool:
+    every final RESULT frame arrives before the close."""
+
+    async def main():
+        from repro.server import ScanServer
+
+        server = ScanServer(port=0, workers=2)
+        await server.start()
+        host, port = server.address
+        client = ScanClient(host, port)
+        await client.connect()
+        flows = {}
+        for name, data in streams.items():
+            flow = await client.open_flow()
+            await flow.send(data)
+            flows[name] = flow
+        finishes = {
+            name: asyncio.ensure_future(flow.finish())
+            for name, flow in flows.items()
+        }
+        # Wait until the server has *accepted* every frame (HELLO +
+        # 3 per flow) — flows still unread when drain starts may
+        # legitimately be refused with DRAINING instead.
+        while (
+            server.stats()["counters"].get("server.rx.frames", 0)
+            < 1 + 3 * len(flows)
+        ):
+            await asyncio.sleep(0.001)
+        await server.stop(drain=True, timeout=30.0)
+        got = {name: await fut for name, fut in finishes.items()}
+        assert got == expected
+        await client.close()
+
+    run(main())
+
+
+def test_drain_rejects_new_flows_but_completes_open_ones(
+    streams, expected
+):
+    """During drain, OPEN_FLOW is refused with DRAINING, while a flow
+    opened beforehand still streams to completion."""
+
+    async def main():
+        from repro.server import ScanServer
+
+        server = ScanServer(port=0)
+        await server.start()
+        host, port = server.address
+        client = ScanClient(host, port)
+        await client.connect()
+        flow = await client.open_flow()
+        await flow.send(streams["flow-0"][:100])
+        # The flow must be accepted *before* the drain begins.
+        while not server.stats()["counters"].get("server.flows.opened"):
+            await asyncio.sleep(0.001)
+        stopper = asyncio.ensure_future(
+            server.stop(drain=True, timeout=10.0)
+        )
+        await asyncio.sleep(0.05)
+        # New work is refused...
+        refused = await client.open_flow()
+        try:
+            await refused.finish(timeout=2.0)
+            raise AssertionError("expected ServerFault(DRAINING)")
+        except ServerFault as fault:
+            assert fault.code == ErrorCode.DRAINING
+        # ... while the pre-drain flow finishes exactly.
+        await flow.send(streams["flow-0"][100:])
+        got = await flow.finish(timeout=5.0)
+        assert got == expected["flow-0"]
+        await stopper
+        await client.close()
+
+    run(main())

@@ -1,0 +1,126 @@
+"""Wire-protocol framing: encode/decode round trips, incremental
+parsing at adversarial split points, and the frame-size limit."""
+
+import struct
+
+import pytest
+
+from repro.server.protocol import (
+    CONNECTION_FLOW,
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_data,
+    decode_error,
+    decode_finish_flow,
+    decode_hello,
+    decode_open_flow,
+    decode_result,
+    encode_data,
+    encode_error,
+    encode_finish_flow,
+    encode_goodbye,
+    encode_hello,
+    encode_open_flow,
+    encode_result,
+)
+
+
+def decode_all(blob: bytes, max_frame: int = 1 << 20):
+    return FrameDecoder(max_frame).feed(blob)
+
+
+# ----------------------------------------------------------------------
+def test_hello_roundtrip():
+    (frame,) = decode_all(encode_hello(PROTOCOL_VERSION, 12345))
+    assert frame.type == FrameType.HELLO
+    assert decode_hello(frame) == (PROTOCOL_VERSION, 12345)
+
+
+def test_open_data_finish_roundtrip():
+    blob = (
+        encode_open_flow(7)
+        + encode_data(7, b"<methodCall>")
+        + encode_finish_flow(7)
+    )
+    frames = decode_all(blob)
+    assert [f.type for f in frames] == [
+        FrameType.OPEN_FLOW, FrameType.DATA, FrameType.FINISH_FLOW,
+    ]
+    assert decode_open_flow(frames[0]) == 7
+    assert decode_data(frames[1]) == (7, b"<methodCall>")
+    assert decode_finish_flow(frames[2]) == 7
+
+
+def test_result_roundtrip_carries_objects():
+    items = [{"port": 1, "payload": b"x"}, None, (1, 2)]
+    (frame,) = decode_all(encode_result(9, True, items))
+    assert decode_result(frame) == (9, True, items)
+    (frame,) = decode_all(encode_result(9, False, []))
+    assert decode_result(frame) == (9, False, [])
+
+
+def test_error_roundtrip_unicode_message():
+    blob = encode_error(CONNECTION_FLOW, ErrorCode.IDLE_TIMEOUT, "idle ⏱")
+    (frame,) = decode_all(blob)
+    assert decode_error(frame) == (
+        CONNECTION_FLOW, ErrorCode.IDLE_TIMEOUT, "idle ⏱",
+    )
+
+
+def test_goodbye_is_minimal():
+    (frame,) = decode_all(encode_goodbye())
+    assert frame.type == FrameType.GOODBYE
+    assert frame.payload == b""
+
+
+# ----------------------------------------------------------------------
+def test_decoder_handles_byte_at_a_time_delivery():
+    blob = encode_open_flow(1) + encode_data(1, b"abc") + encode_goodbye()
+    decoder = FrameDecoder()
+    frames = []
+    for i in range(len(blob)):
+        frames += decoder.feed(blob[i : i + 1])
+    assert [f.type for f in frames] == [
+        FrameType.OPEN_FLOW, FrameType.DATA, FrameType.GOODBYE,
+    ]
+    assert decoder.pending() == 0
+
+
+def test_decoder_rejects_oversized_length_before_body():
+    """The limit fires on the *declared* length, so the body never has
+    to arrive (or be buffered) for the rejection."""
+    decoder = FrameDecoder(max_frame=64)
+    header = struct.pack("!I", 65)
+    with pytest.raises(ProtocolError) as info:
+        decoder.feed(header)  # not a single body byte supplied
+    assert info.value.code == ErrorCode.FRAME_TOO_LARGE
+
+
+def test_decoder_accepts_frame_at_exact_limit():
+    chunk = b"x" * 59
+    blob = encode_data(3, chunk)
+    assert len(blob) - 4 == 64
+    (frame,) = FrameDecoder(max_frame=64).feed(blob)
+    assert decode_data(frame) == (3, chunk)
+
+
+def test_decoder_rejects_empty_body():
+    with pytest.raises(ProtocolError):
+        FrameDecoder().feed(struct.pack("!I", 0))
+
+
+def test_short_payload_raises_protocol_error():
+    with pytest.raises(ProtocolError):
+        decode_hello(Frame(FrameType.HELLO, b"\x00"))
+    with pytest.raises(ProtocolError):
+        decode_result(Frame(FrameType.RESULT, b"\x00\x00"))
+
+
+def test_undecodable_result_payload_raises():
+    frame = Frame(FrameType.RESULT, struct.pack("!IB", 1, 1) + b"junk")
+    with pytest.raises(ProtocolError):
+        decode_result(frame)

@@ -1,8 +1,14 @@
-"""The metrics registry: counters, gauges, log-bucketed histograms."""
+"""The metrics registry: counters, gauges, log-bucketed histograms,
+and the Prometheus plaintext exposition."""
 
 import json
 
-from repro.service.metrics import Histogram, MetricsRegistry
+from repro.service.metrics import (
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    prometheus_name,
+)
 
 
 def test_counter_accumulates():
@@ -65,3 +71,68 @@ def test_snapshot_is_json_safe():
     registry.histogram("h").observe(0.01)
     encoded = json.dumps(registry.snapshot())
     assert "histograms" in encoded
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+def test_prometheus_name_sanitizes():
+    assert prometheus_name("server.rx.bytes") == "repro_server_rx_bytes"
+    assert prometheus_name("queue.depth.0") == "repro_queue_depth_0"
+    assert prometheus_name("weird name-here!") == "repro_weird_name_here_"
+    # A leading digit is invalid in the exposition grammar.
+    assert prometheus_name("0day", prefix="") == "_0day"
+    assert prometheus_name("ok:colon", prefix="") == "ok:colon"
+
+
+def test_escape_label_value():
+    assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("line1\nline2") == "line1\\nline2"
+    # Order matters: the backslash introduced by the quote escape must
+    # not itself be re-escaped.
+    assert escape_label_value('\\"') == '\\\\\\"'
+
+
+def test_render_counters_and_gauges():
+    registry = MetricsRegistry()
+    registry.counter("rx.bytes").inc(42)
+    registry.gauge("queue.depth.1").set(3)
+    text = registry.render_prometheus()
+    assert "# TYPE repro_rx_bytes counter\nrepro_rx_bytes 42" in text
+    assert "# TYPE repro_queue_depth_1 gauge\nrepro_queue_depth_1 3" in text
+    assert text.endswith("\n")
+
+
+def test_render_histogram_bucket_cumulative_semantics():
+    """le buckets are cumulative, +Inf equals _count, _sum is the
+    total of observations."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    # Three observations into the 2e-6 bucket's range and one huge
+    # outlier beyond every bound.
+    for value in (1.5e-6, 1.6e-6, 1.9e-6, 1e9):
+        hist.observe(value)
+    text = registry.render_prometheus()
+    lines = [ln for ln in text.splitlines() if ln.startswith("repro_lat")]
+    bucket_counts = []
+    for line in lines:
+        if "_bucket" in line:
+            bucket_counts.append(int(line.rsplit(" ", 1)[1]))
+    # Cumulative: monotonically nondecreasing across buckets.
+    assert bucket_counts == sorted(bucket_counts)
+    # The 1e-6 bucket holds nothing; every bucket from 2e-6 on sees 3.
+    assert bucket_counts[0] == 0
+    assert bucket_counts[1] == 3
+    # +Inf equals the histogram count (the outlier only shows there).
+    assert 'repro_lat_bucket{le="+Inf"} 4' in text
+    assert "repro_lat_count 4" in text
+    assert "repro_lat_sum 1e+09" in text
+
+
+def test_render_histogram_empty():
+    registry = MetricsRegistry()
+    registry.histogram("idle")
+    text = registry.render_prometheus()
+    assert 'repro_idle_bucket{le="+Inf"} 0' in text
+    assert "repro_idle_count 0" in text
