@@ -45,11 +45,20 @@ _bench_rates: dict[str, float | None] = {}
 def bench_record():
     """Record one engine's measured rate (Gbps) for BENCH_throughput.json.
 
+    Rates (``unit="gbps"``, the default) also write a derived
+    ``"<engine> MB/s"`` key so the record is readable in both units;
+    unitless entries (speedup ratios, CPU counts) pass ``unit=None``.
     ``None`` records as JSON ``null`` — the explicit "not measured on
     this host" marker (e.g. worker-scaling ratios on tiny hosts)."""
 
-    def record(engine: str, gbps: float | None) -> None:
-        _bench_rates[engine] = None if gbps is None else round(gbps, 9)
+    def record(
+        engine: str, value: float | None, unit: str | None = "gbps"
+    ) -> None:
+        _bench_rates[engine] = None if value is None else round(value, 9)
+        if unit == "gbps":
+            _bench_rates[f"{engine} MB/s"] = (
+                None if value is None else round(value * 125.0, 6)
+            )
 
     return record
 

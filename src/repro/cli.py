@@ -145,7 +145,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     expected = {flow: router.route(data) for flow, data in streams.items()}
     single_s = time.perf_counter() - started
 
-    spec = RouterSpec()
+    spec = RouterSpec(engine=args.engine)
     started = time.perf_counter()
     with ScanService(
         spec, n_workers=args.workers, queue_depth=args.queue_depth
@@ -199,7 +199,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     grammar = (
         _load_grammar(args.grammar) if args.grammar != "xmlrpc" else None
     )
-    spec = RouterSpec(grammar=grammar)
+    spec = RouterSpec(grammar=grammar, engine=args.engine)
 
     async def main() -> int:
         server = ScanServer(
@@ -344,9 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="strict PDA mode (§5.2 stack extension)")
     tag.add_argument("--stream", action="store_true",
                      help="with --stack: accept back-to-back sentences")
-    tag.add_argument("--engine", choices=("compiled", "interpreted"),
+    tag.add_argument("--engine",
+                     choices=("compiled", "interpreted", "vector"),
                      default="compiled",
-                     help="software scan engine (default: compiled tables)")
+                     help="software scan engine (default: compiled "
+                     "tables; vector = wide-datapath NumPy engine)")
     tag.set_defaults(func=_cmd_tag)
 
     generate = sub.add_parser("generate", help="compile grammar to hardware")
@@ -381,6 +383,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="submission chunk size in bytes")
     serve.add_argument("--queue-depth", type=int, default=64)
     serve.add_argument("--seed", type=int, default=2006)
+    serve.add_argument("--engine",
+                       choices=("compiled", "vector"),
+                       default="compiled",
+                       help="scan engine the workers run (streaming "
+                       "needs a compiled-family engine)")
     serve.add_argument("--json", action="store_true",
                        help="emit the report (plus service stats) as JSON")
     serve.set_defaults(func=_cmd_serve_bench)
@@ -404,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="largest accepted wire frame in bytes")
     server.add_argument("--queue-depth", type=int, default=64,
                         help="per-worker bounded queue depth")
+    server.add_argument("--engine",
+                        choices=("compiled", "vector"),
+                        default="compiled",
+                        help="scan engine for sessions and workers "
+                        "(streaming needs a compiled-family engine)")
     server.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(

@@ -16,8 +16,10 @@ from repro.core.generator import TaggerCircuit, TaggerGenerator, TaggerOptions
 from repro.core.compiled import CompiledStream, CompiledTagger
 from repro.core.scanplan import DetectEvent, ScanPlan, build_scan_plan
 from repro.core.tagger import BehavioralTagger, GateLevelTagger
+from repro.core.vectorscan import BatchScanner, VectorTagger
 
 __all__ = [
+    "BatchScanner",
     "BehavioralTagger",
     "BufferedSession",
     "CompiledStream",
@@ -31,5 +33,6 @@ __all__ = [
     "TaggerGenerator",
     "TaggerOptions",
     "TokenTagger",
+    "VectorTagger",
     "build_scan_plan",
 ]

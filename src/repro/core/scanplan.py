@@ -15,6 +15,7 @@ one tagger per benchmark round) stop paying the rebuild cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 from weakref import WeakKeyDictionary
 
 from repro.core.wiring import WiringOptions
@@ -29,9 +30,13 @@ from repro.grammar.regex.glushkov import Glushkov, build_glushkov_cached
 from repro.grammar.symbols import END
 
 
-@dataclass(frozen=True)
-class DetectEvent:
-    """A raw detection: ``occurrence`` matched ending at byte ``end - 1``."""
+class DetectEvent(NamedTuple):
+    """A raw detection: ``occurrence`` matched ending at byte ``end - 1``.
+
+    A named tuple (not a frozen dataclass) so the hot paths that emit
+    events in bulk — the compiled loop and the vector engine's
+    generated programs — can construct them at plain-tuple cost.
+    """
 
     occurrence: Occurrence
     end: int  # exclusive

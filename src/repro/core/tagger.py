@@ -49,8 +49,11 @@ class BehavioralTagger:
 
     ``engine`` selects the scan implementation: ``"compiled"`` (the
     default) runs the precompiled table-driven engine, bit-exact with
-    the interpreted loop; ``"interpreted"`` runs the original
-    per-byte Python loop (the reference semantics).
+    the interpreted loop; ``"vector"`` runs the wide-datapath NumPy
+    engine (:class:`~repro.core.vectorscan.VectorTagger`, which
+    degrades to the compiled loop when NumPy is absent);
+    ``"interpreted"`` runs the original per-byte Python loop (the
+    reference semantics).
 
     Example
     -------
@@ -64,11 +67,11 @@ class BehavioralTagger:
         self,
         grammar: Grammar,
         options: TaggerOptions | None = None,
-        engine: Literal["compiled", "interpreted"] = "compiled",
+        engine: Literal["compiled", "interpreted", "vector"] = "compiled",
     ) -> None:
         self.grammar = grammar
         self.options = options or TaggerOptions()
-        if engine not in ("compiled", "interpreted"):
+        if engine not in ("compiled", "interpreted", "vector"):
             raise ValueError(f"unknown tagger engine {engine!r}")
         self.engine = engine
         plan = build_scan_plan(grammar, self.options.wiring)
@@ -85,11 +88,18 @@ class BehavioralTagger:
         #: stable unit ordering, so same-byte events come out in the
         #: same order as the hardware's detect port scan.
         self._unit_order = plan.unit_order
-        self.compiled: CompiledTagger | None = (
-            CompiledTagger(grammar, self.options, plan=plan)
-            if engine == "compiled"
-            else None
-        )
+        if engine == "vector":
+            from repro.core.vectorscan import VectorTagger
+
+            self.compiled: CompiledTagger | None = VectorTagger(
+                grammar, self.options, plan=plan
+            )
+        else:
+            self.compiled = (
+                CompiledTagger(grammar, self.options, plan=plan)
+                if engine == "compiled"
+                else None
+            )
 
     # ------------------------------------------------------------------
     def __reduce__(self):

@@ -346,7 +346,45 @@ class ScanServer:
         )
         if self.service is not None:
             return self.service.stats()
-        return self.metrics.snapshot()
+        # In-process mode: report the scan engine's capability flags
+        # (pool mode reports them through the service's stats), plus
+        # the vector engine's skip-efficiency counters when live.
+        from repro.core.vectorscan import capability
+
+        engine = {
+            "name": getattr(self.spec, "engine", "compiled"),
+            **capability(),
+        }
+        tagger = self._vector_tagger()
+        if tagger is not None:
+            engine["vector_active"] = tagger.vector_active
+            scanned = tagger.bytes_scanned
+            skipped = tagger.bytes_skipped
+            self.metrics.counter("vector.bytes_scanned").value = scanned
+            self.metrics.counter("vector.bytes_skipped").value = skipped
+            if scanned:
+                from repro.service.service import SKIP_RATIO_BOUNDS
+
+                self.metrics.histogram(
+                    "vector.skip_ratio", bounds=SKIP_RATIO_BOUNDS
+                ).observe(skipped / scanned)
+        snapshot = self.metrics.snapshot()
+        snapshot["engine"] = engine
+        return snapshot
+
+    def _vector_tagger(self):
+        """The in-process backend's vector tagger, if that is what the
+        spec built (None on the compiled/interpreted paths)."""
+        from repro.core.vectorscan import VectorTagger
+
+        backend = self._backend
+        tagger = getattr(backend, "tagger", None)
+        if tagger is None:
+            router = getattr(backend, "router", None)
+            tagger = getattr(
+                getattr(router, "tagger", None), "compiled", None
+            )
+        return tagger if isinstance(tagger, VectorTagger) else None
 
     # ------------------------------------------------------------------
     # data-plane connection handling

@@ -77,53 +77,60 @@ class Gauge:
         self.value = value
 
 
-#: Histogram bucket upper bounds: 1 µs · 2^i, topping out above a
-#: minute — wide enough for per-chunk scan times and full round trips.
+#: Default histogram bucket upper bounds: 1 µs · 2^i, topping out
+#: above a minute — wide enough for per-chunk scan times and full
+#: round trips.
 _BUCKET_BOUNDS = tuple(1e-6 * (1 << i) for i in range(27))
 
 
 class Histogram:
-    """Log₂-bucketed latency histogram over seconds.
+    """Log₂-bucketed histogram (latency seconds by default).
 
     Fixed buckets keep ``observe`` O(log n_buckets) with no allocation;
     quantiles are read back bucket-resolution-accurate (a factor of 2),
     which is plenty to tell "microseconds" from "milliseconds" from
-    "stalled".
+    "stalled". ``bounds`` overrides the bucket edges for unitless
+    distributions (batch sizes, skip ratios).
     """
 
-    __slots__ = ("name", "counts", "count", "total", "max")
+    __slots__ = ("name", "bounds", "counts", "count", "total", "max")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> None:
         self.name = name
-        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.bounds = _BUCKET_BOUNDS if bounds is None else tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
         self.max = 0.0
 
-    def observe(self, seconds: float) -> None:
-        lo, hi = 0, len(_BUCKET_BOUNDS)
+    def observe(self, value: float) -> None:
+        bounds = self.bounds
+        lo, hi = 0, len(bounds)
         while lo < hi:
             mid = (lo + hi) // 2
-            if seconds <= _BUCKET_BOUNDS[mid]:
+            if value <= bounds[mid]:
                 hi = mid
             else:
                 lo = mid + 1
         self.counts[lo] += 1
         self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
+        self.total += value
+        if value > self.max:
+            self.max = value
 
     def quantile(self, q: float) -> float:
         """Upper bound of the bucket holding the q-quantile sample."""
         if not self.count:
             return 0.0
+        bounds = self.bounds
         rank = q * self.count
         seen = 0
         for i, n in enumerate(self.counts):
             seen += n
             if seen >= rank:
-                return _BUCKET_BOUNDS[min(i, len(_BUCKET_BOUNDS) - 1)]
+                return bounds[min(i, len(bounds) - 1)]
         return self.max
 
     def summary(self) -> dict:
@@ -159,10 +166,14 @@ class MetricsRegistry:
             metric = self._gauges[name] = Gauge(name)
         return metric
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """Named histogram; ``bounds`` applies on first creation only
+        (an existing instrument keeps its buckets)."""
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = Histogram(name)
+            metric = self._histograms[name] = Histogram(name, bounds)
         return metric
 
     # ------------------------------------------------------------------
@@ -187,7 +198,7 @@ class MetricsRegistry:
             metric = prometheus_name(name, prefix)
             lines.append(f"# TYPE {metric} histogram")
             cumulative = 0
-            for bound, count in zip(_BUCKET_BOUNDS, hist.counts):
+            for bound, count in zip(hist.bounds, hist.counts):
                 cumulative += count
                 le = escape_label_value(f"{bound:.6g}")
                 lines.append(

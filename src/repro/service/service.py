@@ -58,17 +58,37 @@ __all__ = [
     "TaggerSpec",
 ]
 
+#: Bucket edges for the cross-flow batch-size histogram (flow counts).
+BATCH_SIZE_BOUNDS = tuple(float(1 << i) for i in range(9))
+
+#: Bucket edges for the dead-region skip-efficiency histogram (ratio).
+SKIP_RATIO_BOUNDS = tuple(i / 10 for i in range(1, 11))
+
 
 # ----------------------------------------------------------------------
 # Worker specs: compact, picklable descriptions of what a worker runs.
 # Shipped once at spawn; the worker rebuilds the engine through the
 # shared plan/table caches (see CompiledTagger.__reduce__).
 # ----------------------------------------------------------------------
+def _batch_scanner_for(tagger):
+    """A :class:`~repro.core.vectorscan.BatchScanner` over ``tagger``
+    when it is a vector tagger with live tables, else None (workers
+    then feed strictly per flow)."""
+    from repro.core.vectorscan import BatchScanner, VectorTagger
+
+    if isinstance(tagger, VectorTagger) and tagger.vector_active:
+        return BatchScanner(tagger)
+    return None
+
+
 class _RouterBackend:
     """Per-worker XML-RPC routing backend (one session per flow)."""
 
     def __init__(self, router) -> None:
         self.router = router
+        self.scanner = _batch_scanner_for(
+            getattr(router.tagger, "compiled", None)
+        )
 
     def new_session(self):
         return self.router.stream()
@@ -77,12 +97,25 @@ class _RouterBackend:
     def peek(session):
         return session.peek_finish()
 
+    def feed_many(self, sessions, chunks):
+        """Cross-flow batch step: lockstep the underlying scan
+        sessions, then run each flow's routing state machine over its
+        own completed results."""
+        pairs = self.scanner.feed_scan_many(
+            [session.scan_session for session in sessions], chunks
+        )
+        return [
+            session.feed_prepared(chunk, flow_pairs)
+            for session, chunk, flow_pairs in zip(sessions, chunks, pairs)
+        ]
+
 
 class _TaggerBackend:
     """Per-worker raw-event tagging backend (one session per flow)."""
 
     def __init__(self, tagger) -> None:
         self.tagger = tagger
+        self.scanner = _batch_scanner_for(tagger)
 
     def new_session(self):
         return self.tagger.stream()
@@ -90,6 +123,25 @@ class _TaggerBackend:
     @staticmethod
     def peek(session):
         return [event for event, _start in session.finish_scan_snapshot()]
+
+    def feed_many(self, sessions, chunks):
+        return self.scanner.feed_many(sessions, chunks)
+
+
+def _engine_tagger(grammar, options, engine: str):
+    """Build the worker-side tagger for an engine name."""
+    if engine == "vector":
+        from repro.core.vectorscan import VectorTagger
+
+        return VectorTagger(grammar, options)
+    if engine == "compiled":
+        from repro.core.compiled import CompiledTagger
+
+        return CompiledTagger(grammar, options)
+    raise ServiceError(
+        f"service specs support engine 'compiled' or 'vector', "
+        f"not {engine!r} (streaming sessions need a compiled scan)"
+    )
 
 
 @dataclass(frozen=True)
@@ -100,14 +152,31 @@ class RouterSpec:
     grammar: Grammar | None = None
     table: Any = None
     method_element: str = "methodName"
+    engine: str = "compiled"
 
     def build(self) -> _RouterBackend:
         from repro.apps.xmlrpc.router import ContentBasedRouter
 
+        tagger = None
+        grammar = self.grammar
+        if self.engine != "compiled":
+            if self.engine != "vector":
+                raise ServiceError(
+                    f"service specs support engine 'compiled' or "
+                    f"'vector', not {self.engine!r}"
+                )
+            if grammar is None:
+                from repro.grammar.examples import xmlrpc
+
+                grammar = xmlrpc()
+            from repro.core.tagger import BehavioralTagger
+
+            tagger = BehavioralTagger(grammar, engine="vector")
         return _RouterBackend(
             ContentBasedRouter(
-                grammar=self.grammar,
+                grammar=grammar,
                 table=self.table,
+                tagger=tagger,
                 method_element=self.method_element,
             )
         )
@@ -120,11 +189,12 @@ class TaggerSpec:
 
     grammar: Grammar
     options: TaggerOptions | None = None
+    engine: str = "compiled"
 
     def build(self) -> _TaggerBackend:
-        from repro.core.compiled import CompiledTagger
-
-        return _TaggerBackend(CompiledTagger(self.grammar, self.options))
+        return _TaggerBackend(
+            _engine_tagger(self.grammar, self.options, self.engine)
+        )
 
 
 # ----------------------------------------------------------------------
@@ -157,12 +227,26 @@ class ScanService:
         start_method: str | None = None,
         respawn_limit: int = 3,
         metrics: MetricsRegistry | None = None,
+        engine: str | None = None,
     ) -> None:
         if backpressure not in ("block", "raise"):
             raise ServiceError(f"unknown backpressure policy {backpressure!r}")
         if n_workers < 1:
             raise ServiceError("need at least one worker")
+        if engine is not None:
+            # Convenience knob: override the spec's engine without the
+            # caller having to rebuild it by hand.
+            import dataclasses
+
+            try:
+                spec = dataclasses.replace(spec, engine=engine)
+            except TypeError:
+                raise ServiceError(
+                    f"spec {type(spec).__name__} does not take an "
+                    f"engine override"
+                ) from None
         self.spec = spec
+        self.engine = getattr(spec, "engine", "compiled")
         self.backpressure = backpressure
         self.queue_depth = queue_depth
         self.respawn_limit = respawn_limit
@@ -387,6 +471,23 @@ class ScanService:
         _worker, task_id, op, flow, out, elapsed, error = item
         if op == "stopped":
             return
+        if op == "batch_stats":
+            # Out-of-band worker observability: how many flows each
+            # greedy drain stepped together, and the vector engine's
+            # dead-region skip efficiency (bytes skipped / scanned).
+            self.metrics.histogram(
+                "batch.size", bounds=BATCH_SIZE_BOUNDS
+            ).observe(out["flows"])
+            scanned = out.get("scanned", 0)
+            if scanned:
+                self.metrics.counter("vector.bytes_scanned").inc(scanned)
+                self.metrics.counter("vector.bytes_skipped").inc(
+                    out.get("skipped", 0)
+                )
+                self.metrics.histogram(
+                    "vector.skip_ratio", bounds=SKIP_RATIO_BOUNDS
+                ).observe(out.get("skipped", 0) / scanned)
+            return
         known = task_id in self._inflight
         if known:
             _w, _op, _flow, submitted = self._inflight.pop(task_id)
@@ -561,6 +662,9 @@ class ScanService:
             "alive": sum(1 for h in self.workers if h.alive),
             "respawns": list(self._respawns),
         }
+        from repro.core.vectorscan import capability
+
+        snapshot["engine"] = {"name": self.engine, **capability()}
         return snapshot
 
     def close(self, drain: bool = True, timeout: float = 60.0) -> None:

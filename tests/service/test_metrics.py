@@ -136,3 +136,56 @@ def test_render_histogram_empty():
     text = registry.render_prometheus()
     assert 'repro_idle_bucket{le="+Inf"} 0' in text
     assert "repro_idle_count 0" in text
+
+
+# ----------------------------------------------------------------------
+# custom bucket bounds (batch sizes, skip ratios)
+# ----------------------------------------------------------------------
+def test_histogram_custom_bounds():
+    hist = Histogram("batch.size", bounds=(1.0, 2.0, 4.0, 8.0))
+    assert hist.bounds == (1.0, 2.0, 4.0, 8.0)
+    for size in (1, 2, 3, 7, 100):
+        hist.observe(size)
+    # counts: <=1, <=2, <=4, <=8, overflow
+    assert hist.counts == [1, 1, 1, 1, 1]
+    assert hist.quantile(0.5) == 4.0
+    assert hist.summary()["count"] == 5
+
+
+def test_histogram_bounds_fixed_on_first_creation():
+    registry = MetricsRegistry()
+    first = registry.histogram("batch.size", bounds=(1.0, 8.0))
+    again = registry.histogram("batch.size", bounds=(2.0, 4.0, 16.0))
+    assert again is first
+    assert again.bounds == (1.0, 8.0)
+
+
+def test_render_histogram_custom_bounds():
+    registry = MetricsRegistry()
+    hist = registry.histogram("skip.ratio", bounds=(0.5, 1.0))
+    hist.observe(0.25)
+    hist.observe(0.75)
+    text = registry.render_prometheus()
+    assert 'repro_skip_ratio_bucket{le="0.5"} 1' in text
+    assert 'repro_skip_ratio_bucket{le="1"} 2' in text
+    assert 'repro_skip_ratio_bucket{le="+Inf"} 2' in text
+
+
+def test_service_batch_and_skip_instruments():
+    """The service-layer bounds register usable instruments: batch
+    sizes land in power-of-two buckets, skip ratios in tenths."""
+    from repro.service.service import BATCH_SIZE_BOUNDS, SKIP_RATIO_BOUNDS
+
+    registry = MetricsRegistry()
+    batch = registry.histogram("batch.size", bounds=BATCH_SIZE_BOUNDS)
+    for flows in (1, 2, 8, 32, 300):
+        batch.observe(flows)
+    skip = registry.histogram("vector.skip_ratio", bounds=SKIP_RATIO_BOUNDS)
+    skip.observe(0.0)
+    skip.observe(0.97)
+    snapshot = registry.snapshot()
+    assert snapshot["histograms"]["batch.size"]["count"] == 5
+    assert snapshot["histograms"]["batch.size"]["max_s"] == 300
+    assert snapshot["histograms"]["vector.skip_ratio"]["p99_s"] == 1.0
+    text = registry.render_prometheus()
+    assert 'repro_batch_size_bucket{le="8"} 3' in text
