@@ -74,6 +74,9 @@ def pytest_sessionfinish(session):
         # Merge, keeping entries other tools own (e.g. the CLI
         # client-bench's "server round-trip").
         existing.update(_bench_rates)
+        from repro.bench.host import host_info
+
+        existing.update(host_info())
         BENCH_JSON.write_text(
             json.dumps(existing, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",

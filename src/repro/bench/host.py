@@ -1,0 +1,39 @@
+"""Host identification for benchmark records.
+
+``BENCH_throughput.json`` accumulates rates across revisions, and —
+because the driver may run on different machines over time — across
+hosts.  A compiled-vs-native ratio from a 2-core container and a
+vector rate from a 32-core workstation are not comparable; recording
+the host's CPU count and model with every merge is what keeps the
+trajectory interpretable (the ``service host cpus`` entry already
+gates worker-scaling ratios the same way).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+__all__ = ["host_info"]
+
+
+def _cpu_model() -> str | None:
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as handle:
+            for line in handle:
+                # x86 says "model name", several ARM kernels "Processor".
+                if line.lower().startswith(("model name", "processor\t")):
+                    value = line.split(":", 1)[-1].strip()
+                    if value and not value.isdigit():
+                        return value
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or None
+
+
+def host_info() -> dict:
+    """JSON-safe host identification merged into every bench record."""
+    return {
+        "host cpus": float(os.cpu_count() or 1),
+        "host cpu model": _cpu_model(),
+    }

@@ -243,6 +243,8 @@ def _record_bench_entry(key: str, value: float | None) -> None:
     import json
     import pathlib
 
+    from repro.bench.host import host_info
+
     path = pathlib.Path.cwd() / "BENCH_throughput.json"
     rates: dict = {}
     if path.exists():
@@ -251,6 +253,8 @@ def _record_bench_entry(key: str, value: float | None) -> None:
         except ValueError:
             rates = {}
     rates[key] = None if value is None else round(value, 9)
+    # Stamp the measuring host so cross-host numbers stay interpretable.
+    rates.update(host_info())
     path.write_text(
         json.dumps(rates, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
@@ -299,6 +303,23 @@ def _cmd_client_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_capabilities(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.capabilities import (
+        describe_capabilities,
+        engine_capabilities,
+    )
+
+    if args.json:
+        print(json.dumps(
+            engine_capabilities(probe=args.probe), indent=2, sort_keys=True
+        ))
+    else:
+        print(describe_capabilities(probe=args.probe))
+    return 0
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     from repro.bench.table1 import format_table1, run_table1
 
@@ -323,11 +344,28 @@ def _cmd_ablation(_args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def _version_string() -> str:
+    from repro import __version__
+    from repro.core.capabilities import capability_summary
+
+    return f"repro {__version__} ({capability_summary()})"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CFG token tagger reproduction (Cho/Moscola/Lockwood)",
     )
+
+    class _Version(argparse.Action):
+        # Lazy --version: the capability summary imports engine modules,
+        # so compose it only when actually asked for.
+        def __call__(self, parser, namespace, values, option_string=None):
+            print(_version_string())
+            parser.exit()
+
+    parser.add_argument("--version", action=_Version, nargs=0,
+                        help="print version and engine capabilities")
     sub = parser.add_subparsers(dest="command", required=True)
 
     info = sub.add_parser("info", help="describe a grammar")
@@ -345,10 +383,11 @@ def build_parser() -> argparse.ArgumentParser:
     tag.add_argument("--stream", action="store_true",
                      help="with --stack: accept back-to-back sentences")
     tag.add_argument("--engine",
-                     choices=("compiled", "interpreted", "vector"),
+                     choices=("compiled", "interpreted", "vector", "native"),
                      default="compiled",
                      help="software scan engine (default: compiled "
-                     "tables; vector = wide-datapath NumPy engine)")
+                     "tables; vector = wide-datapath NumPy engine; "
+                     "native = C inner loop over the dense tables)")
     tag.set_defaults(func=_cmd_tag)
 
     generate = sub.add_parser("generate", help="compile grammar to hardware")
@@ -384,7 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-depth", type=int, default=64)
     serve.add_argument("--seed", type=int, default=2006)
     serve.add_argument("--engine",
-                       choices=("compiled", "vector"),
+                       choices=("compiled", "vector", "native"),
                        default="compiled",
                        help="scan engine the workers run (streaming "
                        "needs a compiled-family engine)")
@@ -412,7 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument("--queue-depth", type=int, default=64,
                         help="per-worker bounded queue depth")
     server.add_argument("--engine",
-                        choices=("compiled", "vector"),
+                        choices=("compiled", "vector", "native"),
                         default="compiled",
                         help="scan engine for sessions and workers "
                         "(streaming needs a compiled-family engine)")
@@ -438,6 +477,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not update BENCH_throughput.json")
     bench.add_argument("--json", action="store_true")
     bench.set_defaults(func=_cmd_client_bench)
+
+    caps = sub.add_parser(
+        "capabilities",
+        help="report per-engine runtime capabilities (numpy, native "
+        "kernel, compiler, disable-env flags)",
+    )
+    caps.add_argument("--probe", action="store_true",
+                      help="attempt a just-in-time native kernel build "
+                      "instead of only reporting what is loaded")
+    caps.add_argument("--json", action="store_true")
+    caps.set_defaults(func=_cmd_capabilities)
 
     sub.add_parser("table1", help="reproduce Table 1").set_defaults(
         func=_cmd_table1

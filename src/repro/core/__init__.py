@@ -17,6 +17,8 @@ from repro.core.compiled import CompiledStream, CompiledTagger
 from repro.core.scanplan import DetectEvent, ScanPlan, build_scan_plan
 from repro.core.tagger import BehavioralTagger, GateLevelTagger
 from repro.core.vectorscan import BatchScanner, VectorTagger
+from repro.core.nativescan import NativeTagger
+from repro.core.capabilities import engine_capabilities
 
 __all__ = [
     "BatchScanner",
@@ -26,6 +28,7 @@ __all__ = [
     "CompiledTagger",
     "DetectEvent",
     "GateLevelTagger",
+    "NativeTagger",
     "ScanPlan",
     "StreamSession",
     "TaggedToken",
@@ -35,4 +38,5 @@ __all__ = [
     "TokenTagger",
     "VectorTagger",
     "build_scan_plan",
+    "engine_capabilities",
 ]

@@ -1,0 +1,678 @@
+/* Native scan kernel: the dense product-automaton tables lowered to a
+ * flat C inner loop.
+ *
+ * This file is the checked-in native form of the scan engine (the
+ * artifact a Cython lowering of the wide-datapath tables would emit,
+ * maintained directly as CPython-API C so no Cython toolchain is ever
+ * required to build or rebuild it).  The Python side
+ * (repro.core.nativescan) flattens the closed product automaton that
+ * repro.core.vectorscan computes into four read-only tables:
+ *
+ *   class_table[256]        byte -> byte-equivalence class
+ *   step[state*C + class]   (next_state*C) << 2 | skip << 1 | eff
+ *   prog_idx[state*C+class] offset of the edge's effect program
+ *   progs[]                 int32 bytecode replaying an edge's effects
+ *
+ * plus per-state inert-byte prefilters for dead-region skipping
+ * (skip_ofs / live_all) and the per-unit earliest-start register
+ * capacities.  scan_chunk() then consumes an entire chunk in one call:
+ * the quiet path is a two-load table walk with the GIL released, skip
+ * edges fast-forward over inert bytes memchr-style, and effectful
+ * edges run their tiny program against C-resident earliest-start
+ * registers, appending (unit, end, match_start) triples to a spill
+ * buffer.  Only those sparse triples ever surface to Python, where
+ * they are materialized as the exact DetectEvent pairs the compiled
+ * engine would have produced (same events, same order, same error
+ * positions — enforced by tests/core/test_nativescan.py).
+ *
+ * Effect-program bytecode (all int32):
+ *   OP_END                        end of program
+ *   OP_ERR                        record a §5.2 error position
+ *   OP_EVENT u k j0..j(k-1)       emit unit u ending here; match start
+ *                                 is min over starts[u][j..]
+ *   OP_STARTS u m (c s0..s(c-1))*m  replace starts[u] with m values,
+ *                                 each min over old starts[u][s..]
+ *                                 (c == 0 means "current position")
+ *
+ * The program order (ERR, EVENTs, STARTS) mirrors one iteration of the
+ * compiled per-byte loop, which is what makes bit-exactness structural.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <string.h>
+
+#define CAPSULE_NAME "repro.core._nativescan.tables"
+
+enum { OP_END = 0, OP_ERR = 1, OP_EVENT = 2, OP_STARTS = 3 };
+
+/* Spill-buffer capacity in (unit, end, start) triples: drained (with
+ * the GIL re-acquired) whenever fewer than max_per_edge slots remain,
+ * so one edge's program can never overflow it. */
+#define HITS_CAP 4096
+
+typedef struct {
+    int32_t n_states;
+    int32_t n_classes;
+    int32_t n_units;
+    int32_t n_progs;        /* int32 slots in progs */
+    int32_t n_skip_rows;    /* 256-byte rows in live_all */
+    int32_t total_cap;      /* sum of unit register capacities */
+    int32_t max_cap;        /* largest single unit capacity */
+    int32_t max_per_edge;   /* most triples one program can emit */
+    uint8_t class_table[256];
+    int32_t *step;          /* n_states * n_classes */
+    int32_t *prog_idx;      /* n_states * n_classes */
+    int32_t *progs;
+    int32_t *skip_ofs;      /* n_states; row index into live_all or -1 */
+    uint8_t *live_all;      /* n_skip_rows * 256 */
+    int32_t *unit_ofs;      /* n_units + 1 prefix offsets */
+    int32_t *unit_caps;     /* n_units */
+    PyObject *units;        /* tuple of unit objects (strong ref) */
+    PyTypeObject *det_type; /* DetectEvent, a tuple subclass (strong) */
+} NativeTables;
+
+static void
+tables_free(NativeTables *t)
+{
+    if (t == NULL)
+        return;
+    PyMem_Free(t->step);
+    PyMem_Free(t->prog_idx);
+    PyMem_Free(t->progs);
+    PyMem_Free(t->skip_ofs);
+    PyMem_Free(t->live_all);
+    PyMem_Free(t->unit_ofs);
+    PyMem_Free(t->unit_caps);
+    Py_XDECREF(t->units);
+    Py_XDECREF((PyObject *)t->det_type);
+    PyMem_Free(t);
+}
+
+static void
+tables_destructor(PyObject *capsule)
+{
+    tables_free(PyCapsule_GetPointer(capsule, CAPSULE_NAME));
+}
+
+static void *
+copy_buffer(const Py_buffer *view)
+{
+    void *mem = PyMem_Malloc(view->len ? (size_t)view->len : 1);
+    if (mem == NULL) {
+        PyErr_NoMemory();
+        return NULL;
+    }
+    memcpy(mem, view->buf, (size_t)view->len);
+    return mem;
+}
+
+/* ------------------------------------------------------------------ */
+/* build_tables: validate + copy the flat tables into a capsule        */
+/* ------------------------------------------------------------------ */
+
+static int
+validate_progs(const int32_t *progs, Py_ssize_t n_progs,
+               const int32_t *caps, int32_t n_units, uint8_t *starts_bitmap)
+{
+    /* One linear walk: the stream must be a well-formed concatenation
+     * of programs, and every op's unit/register indices must stay in
+     * bounds, so the interpreter can never read outside the register
+     * block even if handed a hostile table. Marks valid program start
+     * offsets in the bitmap. */
+    Py_ssize_t q = 0;
+    int at_start = 1;
+    while (q < n_progs) {
+        if (at_start)
+            starts_bitmap[q >> 3] |= (uint8_t)(1u << (q & 7));
+        at_start = 0;
+        int32_t op = progs[q++];
+        if (op == OP_END) {
+            at_start = 1;
+        }
+        else if (op == OP_ERR) {
+            /* no operands */
+        }
+        else if (op == OP_EVENT) {
+            if (q + 2 > n_progs)
+                return -1;
+            int32_t u = progs[q++];
+            int32_t k = progs[q++];
+            if (u < 0 || u >= n_units || k < 1 || q + k > n_progs)
+                return -1;
+            for (int32_t x = 0; x < k; x++) {
+                int32_t j = progs[q++];
+                if (j < 0 || j >= caps[u])
+                    return -1;
+            }
+        }
+        else if (op == OP_STARTS) {
+            if (q + 2 > n_progs)
+                return -1;
+            int32_t u = progs[q++];
+            int32_t m = progs[q++];
+            if (u < 0 || u >= n_units || m < 0 || m > caps[u])
+                return -1;
+            for (int32_t x = 0; x < m; x++) {
+                if (q >= n_progs)
+                    return -1;
+                int32_t c = progs[q++];
+                if (c < 0 || q + c > n_progs)
+                    return -1;
+                for (int32_t r = 0; r < c; r++) {
+                    int32_t s = progs[q++];
+                    if (s < 0 || s >= caps[u])
+                        return -1;
+                }
+            }
+        }
+        else {
+            return -1;
+        }
+    }
+    return at_start ? 0 : -1; /* must end exactly on a program boundary */
+}
+
+static PyObject *
+build_tables(PyObject *self, PyObject *args)
+{
+    int n_states, n_classes, n_units, max_per_edge;
+    Py_buffer class_table = {0}, step = {0}, prog_idx = {0}, progs = {0};
+    Py_buffer skip_ofs = {0}, live_all = {0}, unit_caps = {0};
+    PyObject *units, *det;
+    NativeTables *t = NULL;
+    uint8_t *bitmap = NULL;
+
+    if (!PyArg_ParseTuple(
+            args, "iiiy*y*y*y*y*y*y*O!Oi:build_tables",
+            &n_states, &n_classes, &n_units,
+            &class_table, &step, &prog_idx, &progs,
+            &skip_ofs, &live_all, &unit_caps,
+            &PyTuple_Type, &units, &det, &max_per_edge))
+        return NULL;
+
+#define FAIL(msg)                                                     \
+    do {                                                              \
+        if (!PyErr_Occurred())                                        \
+            PyErr_SetString(PyExc_ValueError, msg);                   \
+        goto error;                                                   \
+    } while (0)
+
+    if (n_states < 1 || n_classes < 1 || n_classes > 256 || n_units < 0)
+        FAIL("bad table dimensions");
+    if ((int64_t)n_states * n_classes > (int64_t)1 << 28)
+        FAIL("step table too large");
+    Py_ssize_t n_edges = (Py_ssize_t)n_states * n_classes;
+    if (class_table.len != 256)
+        FAIL("class_table must be 256 bytes");
+    if (step.len != n_edges * 4 || prog_idx.len != n_edges * 4)
+        FAIL("step/prog_idx size mismatch");
+    if (progs.len % 4 || skip_ofs.len != (Py_ssize_t)n_states * 4)
+        FAIL("progs/skip_ofs size mismatch");
+    if (live_all.len % 256 || unit_caps.len != (Py_ssize_t)n_units * 4)
+        FAIL("live_all/unit_caps size mismatch");
+    if (PyTuple_GET_SIZE(units) != n_units)
+        FAIL("units tuple size mismatch");
+    if (!PyType_Check(det) ||
+        !PyType_IsSubtype((PyTypeObject *)det, &PyTuple_Type) ||
+        ((PyTypeObject *)det)->tp_itemsize != (Py_ssize_t)sizeof(PyObject *) ||
+        ((PyTypeObject *)det)->tp_basicsize != PyTuple_Type.tp_basicsize)
+        FAIL("event type must be a plain tuple subclass");
+    if (max_per_edge < 1 || max_per_edge > HITS_CAP / 2)
+        FAIL("bad max_per_edge");
+
+    t = PyMem_Calloc(1, sizeof(NativeTables));
+    if (t == NULL) {
+        PyErr_NoMemory();
+        goto error;
+    }
+    t->n_states = n_states;
+    t->n_classes = n_classes;
+    t->n_units = n_units;
+    t->n_progs = (int32_t)(progs.len / 4);
+    t->n_skip_rows = (int32_t)(live_all.len / 256);
+    t->max_per_edge = max_per_edge;
+    memcpy(t->class_table, class_table.buf, 256);
+    if ((t->step = copy_buffer(&step)) == NULL ||
+        (t->prog_idx = copy_buffer(&prog_idx)) == NULL ||
+        (t->progs = copy_buffer(&progs)) == NULL ||
+        (t->skip_ofs = copy_buffer(&skip_ofs)) == NULL ||
+        (t->live_all = copy_buffer(&live_all)) == NULL ||
+        (t->unit_caps = copy_buffer(&unit_caps)) == NULL)
+        goto error;
+    t->unit_ofs = PyMem_Malloc(((size_t)n_units + 1) * sizeof(int32_t));
+    if (t->unit_ofs == NULL) {
+        PyErr_NoMemory();
+        goto error;
+    }
+
+    for (int i = 0; i < 256; i++)
+        if (t->class_table[i] >= n_classes)
+            FAIL("class_table entry out of range");
+
+    int64_t total = 0;
+    t->max_cap = 1;
+    for (int u = 0; u < n_units; u++) {
+        int32_t cap = t->unit_caps[u];
+        if (cap < 1 || cap > 1 << 16)
+            FAIL("unit capacity out of range");
+        t->unit_ofs[u] = (int32_t)total;
+        total += cap;
+        if (cap > t->max_cap)
+            t->max_cap = cap;
+    }
+    t->unit_ofs[n_units] = (int32_t)total;
+    if (total > (int64_t)1 << 24)
+        FAIL("register file too large");
+    t->total_cap = (int32_t)total;
+
+    bitmap = PyMem_Calloc(((size_t)t->n_progs >> 3) + 1, 1);
+    if (bitmap == NULL) {
+        PyErr_NoMemory();
+        goto error;
+    }
+    if (validate_progs(t->progs, t->n_progs, t->unit_caps, n_units, bitmap))
+        FAIL("malformed effect program stream");
+
+    for (Py_ssize_t e = 0; e < n_edges; e++) {
+        uint32_t v = (uint32_t)t->step[e];
+        uint32_t next = v >> 2;
+        if ((v & 3u) == 3u)
+            FAIL("edge cannot be both effectful and skippable");
+        if (next >= (uint32_t)n_edges || next % (uint32_t)n_classes)
+            FAIL("step target out of range");
+        if (v & 1u) {
+            int32_t off = t->prog_idx[e];
+            if (off < 0 || off >= t->n_progs ||
+                !(bitmap[off >> 3] & (1u << (off & 7))))
+                FAIL("prog_idx does not address a program start");
+        }
+        if (v & 2u) {
+            /* skip edges must be bare self-loops of a state that has
+             * an inert-byte prefilter row */
+            Py_ssize_t state_row = e - e % n_classes;
+            if (next != (uint32_t)state_row)
+                FAIL("skip edge is not a self-loop");
+            int32_t row = t->skip_ofs[e / n_classes];
+            if (row < 0 || row >= t->n_skip_rows)
+                FAIL("skip edge without a live-byte row");
+        }
+    }
+
+    PyMem_Free(bitmap);
+    bitmap = NULL;
+    Py_INCREF(units);
+    t->units = units;
+    Py_INCREF(det);
+    t->det_type = (PyTypeObject *)det;
+
+    PyBuffer_Release(&class_table);
+    PyBuffer_Release(&step);
+    PyBuffer_Release(&prog_idx);
+    PyBuffer_Release(&progs);
+    PyBuffer_Release(&skip_ofs);
+    PyBuffer_Release(&live_all);
+    PyBuffer_Release(&unit_caps);
+
+    PyObject *capsule = PyCapsule_New(t, CAPSULE_NAME, tables_destructor);
+    if (capsule == NULL) {
+        tables_free(t);
+        return NULL;
+    }
+    return capsule;
+
+error:
+    PyMem_Free(bitmap);
+    tables_free(t);
+    PyBuffer_Release(&class_table);
+    PyBuffer_Release(&step);
+    PyBuffer_Release(&prog_idx);
+    PyBuffer_Release(&progs);
+    PyBuffer_Release(&skip_ofs);
+    PyBuffer_Release(&live_all);
+    PyBuffer_Release(&unit_caps);
+    return NULL;
+#undef FAIL
+}
+
+/* ------------------------------------------------------------------ */
+/* the effect-program interpreter (runs with the GIL released)         */
+/* ------------------------------------------------------------------ */
+
+static inline int
+run_prog(const NativeTables *t, const int32_t *pc,
+         long long pos, int64_t *starts, int32_t *lens, int64_t *scratch,
+         int64_t *hits, Py_ssize_t *ph, int rec_err)
+{
+    const int32_t *pe = t->progs + t->n_progs;
+    Py_ssize_t h = *ph;
+    for (;;) {
+        if (pc >= pe)
+            return -1;
+        int32_t op = *pc++;
+        if (op == OP_END)
+            break;
+        if (op == OP_ERR) {
+            if (rec_err) {
+                hits[3 * h] = -1;
+                hits[3 * h + 1] = pos;
+                hits[3 * h + 2] = 0;
+                h++;
+            }
+        }
+        else if (op == OP_EVENT) {
+            int32_t u = *pc++;
+            int32_t k = *pc++;
+            const int64_t *su = starts + t->unit_ofs[u];
+            int64_t m = su[*pc++];
+            for (int32_t x = 1; x < k; x++) {
+                int64_t v = su[*pc++];
+                if (v < m)
+                    m = v;
+            }
+            hits[3 * h] = u;
+            hits[3 * h + 1] = pos;
+            hits[3 * h + 2] = m;
+            h++;
+        }
+        else { /* OP_STARTS (validated at build time) */
+            int32_t u = *pc++;
+            int32_t m = *pc++;
+            int64_t *su = starts + t->unit_ofs[u];
+            for (int32_t x = 0; x < m; x++) {
+                int32_t c = *pc++;
+                int64_t val;
+                if (c == 0)
+                    val = pos;
+                else {
+                    val = su[*pc++];
+                    for (int32_t r = 1; r < c; r++) {
+                        int64_t v = su[*pc++];
+                        if (v < val)
+                            val = v;
+                    }
+                }
+                scratch[x] = val;
+            }
+            memcpy(su, scratch, (size_t)m * sizeof(int64_t));
+            lens[u] = m;
+        }
+    }
+    *ph = h;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* drain: materialize spill-buffer triples as Python objects           */
+/* ------------------------------------------------------------------ */
+
+static int
+drain_hits(const NativeTables *t, const int64_t *hits, Py_ssize_t h,
+           PyObject *out, PyObject *errors, int pairs)
+{
+    for (Py_ssize_t i = 0; i < h; i++) {
+        int64_t u = hits[3 * i];
+        long long pos = (long long)hits[3 * i + 1];
+        if (u < 0) {
+            PyObject *p = PyLong_FromLongLong(pos);
+            if (p == NULL)
+                return -1;
+            int r = PyList_Append(errors, p);
+            Py_DECREF(p);
+            if (r < 0)
+                return -1;
+            continue;
+        }
+        /* DetectEvent(unit, end): allocated directly as the tuple
+         * subclass (what tuple.__new__ would do), skipping the
+         * namedtuple's Python-level __new__. */
+        PyObject *event = t->det_type->tp_alloc(t->det_type, 2);
+        if (event == NULL)
+            return -1;
+        PyObject *unit = PyTuple_GET_ITEM(t->units, (Py_ssize_t)u);
+        Py_INCREF(unit);
+        PyTuple_SET_ITEM(event, 0, unit);
+        PyObject *end = PyLong_FromLongLong(pos);
+        if (end == NULL) {
+            Py_DECREF(event);
+            return -1;
+        }
+        PyTuple_SET_ITEM(event, 1, end);
+        if (!pairs) {
+            /* events-only mode: the caller wants the bare DetectEvent
+             * stream (CompiledTagger.events()), so skip the (event,
+             * match_start) pair it would immediately strip. */
+            int r0 = PyList_Append(out, event);
+            Py_DECREF(event);
+            if (r0 < 0)
+                return -1;
+            continue;
+        }
+        PyObject *start = PyLong_FromLongLong((long long)hits[3 * i + 2]);
+        if (start == NULL) {
+            Py_DECREF(event);
+            return -1;
+        }
+        PyObject *pair = PyTuple_New(2);
+        if (pair == NULL) {
+            Py_DECREF(event);
+            Py_DECREF(start);
+            return -1;
+        }
+        PyTuple_SET_ITEM(pair, 0, event);
+        PyTuple_SET_ITEM(pair, 1, start);
+        int r = PyList_Append(out, pair);
+        Py_DECREF(pair);
+        if (r < 0)
+            return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* scan_chunk                                                          */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+scan_chunk(PyObject *self, PyObject *args)
+{
+    PyObject *capsule, *starts_list, *out, *errors;
+    int state;
+    int pairs = 1;
+    long long base;
+    Py_buffer data;
+
+    if (!PyArg_ParseTuple(args, "OiLy*O!O!O|p:scan_chunk",
+                          &capsule, &state, &base, &data,
+                          &PyList_Type, &starts_list,
+                          &PyList_Type, &out, &errors, &pairs))
+        return NULL;
+
+    NativeTables *t = PyCapsule_GetPointer(capsule, CAPSULE_NAME);
+    if (t == NULL)
+        goto arg_error;
+    if (state < 0 || state >= t->n_states) {
+        PyErr_SetString(PyExc_ValueError, "state id out of range");
+        goto arg_error;
+    }
+    if (PyList_GET_SIZE(starts_list) != t->n_units) {
+        PyErr_SetString(PyExc_ValueError, "starts list size mismatch");
+        goto arg_error;
+    }
+    if (errors != Py_None && !PyList_Check(errors)) {
+        PyErr_SetString(PyExc_TypeError, "errors must be a list or None");
+        goto arg_error;
+    }
+
+    int64_t *starts = NULL, *scratch = NULL, *hits = NULL;
+    int32_t *lens = NULL;
+    starts = PyMem_Malloc(((size_t)t->total_cap + 1) * sizeof(int64_t));
+    lens = PyMem_Malloc(((size_t)t->n_units + 1) * sizeof(int32_t));
+    scratch = PyMem_Malloc((size_t)t->max_cap * sizeof(int64_t));
+    hits = PyMem_Malloc((size_t)HITS_CAP * 3 * sizeof(int64_t));
+    if (starts == NULL || lens == NULL || scratch == NULL || hits == NULL) {
+        PyErr_NoMemory();
+        goto mem_error;
+    }
+
+    /* Load the per-unit earliest-start registers. */
+    for (int32_t u = 0; u < t->n_units; u++) {
+        PyObject *row = PyList_GET_ITEM(starts_list, u);
+        PyObject **items;
+        Py_ssize_t nrow;
+        if (PyList_Check(row)) {
+            items = ((PyListObject *)row)->ob_item;
+            nrow = PyList_GET_SIZE(row);
+        }
+        else if (PyTuple_Check(row)) {
+            items = ((PyTupleObject *)row)->ob_item;
+            nrow = PyTuple_GET_SIZE(row);
+        }
+        else {
+            PyErr_SetString(PyExc_TypeError,
+                            "starts rows must be lists or tuples");
+            goto mem_error;
+        }
+        if (nrow > t->unit_caps[u]) {
+            PyErr_SetString(PyExc_ValueError,
+                            "starts row exceeds unit capacity");
+            goto mem_error;
+        }
+        lens[u] = (int32_t)nrow;
+        int64_t *su = starts + t->unit_ofs[u];
+        for (Py_ssize_t j = 0; j < nrow; j++) {
+            su[j] = PyLong_AsLongLong(items[j]);
+            if (su[j] == -1 && PyErr_Occurred())
+                goto mem_error;
+        }
+    }
+
+    {
+        const uint8_t *dp = (const uint8_t *)data.buf;
+        const uint8_t *ct = t->class_table;
+        const int32_t *steps = t->step;
+        const int32_t C = t->n_classes;
+        Py_ssize_t n = data.len, i = 0, h = 0;
+        int32_t sp = state * C; /* premultiplied state */
+        long long skipped = 0;
+        int rec_err = (errors != Py_None);
+        Py_ssize_t drain_mark = HITS_CAP - t->max_per_edge;
+        int fail = 0, corrupt = 0;
+
+        Py_BEGIN_ALLOW_THREADS
+        while (i < n) {
+            uint32_t c = ct[dp[i]];
+            uint32_t v = (uint32_t)steps[sp + c];
+            if (v & 3u) {
+                if (v & 1u) {
+                    if (run_prog(t, t->progs + t->prog_idx[sp + c],
+                                 base + i, starts, lens, scratch,
+                                 hits, &h, rec_err)) {
+                        corrupt = 1;
+                        break;
+                    }
+                    if (h >= drain_mark) {
+                        Py_BLOCK_THREADS
+                        if (drain_hits(t, hits, h, out, errors, pairs) < 0)
+                            fail = 1;
+                        h = 0;
+                        Py_UNBLOCK_THREADS
+                        if (fail)
+                            break;
+                    }
+                }
+                else {
+                    /* Inert self-loop in a dead state: fast-forward to
+                     * the next live byte through the state's prefilter
+                     * (one load per byte, no table step). */
+                    const uint8_t *lv =
+                        t->live_all +
+                        ((size_t)t->skip_ofs[sp / C] << 8);
+                    Py_ssize_t j = i + 1;
+                    while (j < n && !lv[dp[j]])
+                        j++;
+                    skipped += j - i;
+                    i = j;
+                    continue;
+                }
+            }
+            sp = (int32_t)(v >> 2);
+            i++;
+        }
+        Py_END_ALLOW_THREADS
+
+        if (corrupt) {
+            PyErr_SetString(PyExc_RuntimeError,
+                            "native effect program out of bounds");
+            goto mem_error;
+        }
+        if (fail || (h && drain_hits(t, hits, h, out, errors, pairs) < 0))
+            goto mem_error;
+
+        /* Write the registers back as fresh Python lists. */
+        for (int32_t u = 0; u < t->n_units; u++) {
+            PyObject *row = PyList_New(lens[u]);
+            if (row == NULL)
+                goto mem_error;
+            const int64_t *su = starts + t->unit_ofs[u];
+            for (int32_t j = 0; j < lens[u]; j++) {
+                PyObject *v2 = PyLong_FromLongLong((long long)su[j]);
+                if (v2 == NULL) {
+                    Py_DECREF(row);
+                    goto mem_error;
+                }
+                PyList_SET_ITEM(row, j, v2);
+            }
+            PyList_SetItem(starts_list, u, row); /* steals row */
+        }
+
+        PyMem_Free(starts);
+        PyMem_Free(lens);
+        PyMem_Free(scratch);
+        PyMem_Free(hits);
+        PyBuffer_Release(&data);
+        return Py_BuildValue("iL", sp / C, skipped);
+    }
+
+mem_error:
+    PyMem_Free(starts);
+    PyMem_Free(lens);
+    PyMem_Free(scratch);
+    PyMem_Free(hits);
+arg_error:
+    PyBuffer_Release(&data);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef nativescan_methods[] = {
+    {"build_tables", build_tables, METH_VARARGS,
+     "Validate and intern the flat scan tables; returns a capsule."},
+    {"scan_chunk", scan_chunk, METH_VARARGS,
+     "Scan one chunk through the native loop; returns (state, skipped)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef nativescan_module = {
+    PyModuleDef_HEAD_INIT,
+    "_nativescan",
+    "C inner loop over the dense product-automaton tables.",
+    -1,
+    nativescan_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__nativescan(void)
+{
+    PyObject *mod = PyModule_Create(&nativescan_module);
+    if (mod == NULL)
+        return NULL;
+    if (PyModule_AddIntConstant(mod, "HITS_CAP", HITS_CAP) ||
+        PyModule_AddStringConstant(mod, "KERNEL", "c")) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

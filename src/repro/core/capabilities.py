@@ -1,0 +1,75 @@
+"""Unified engine-capability reporting.
+
+Every optional engine has its own ``capability()`` — the vector
+engine's NumPy gate (:func:`repro.core.vectorscan.capability`) and the
+native engine's kernel/compiler gate
+(:func:`repro.core.nativescan.capability`).  This module is the one
+place that composes them into the block surfaced everywhere a consumer
+asks "what is this process actually running": the CLI ``capabilities``
+command and ``--version`` banner, ``ScanService.stats()``, and the
+server admin ``/stats`` endpoint.
+
+``probe=False`` (the default everywhere observability calls this)
+never triggers a just-in-time kernel build — it reports what is
+already loaded or prebuilt, so a stats scrape stays cheap and
+side-effect free.
+"""
+
+from __future__ import annotations
+
+__all__ = ["describe_capabilities", "engine_capabilities"]
+
+#: Every engine name BehavioralTagger accepts, fallback ladder order.
+ENGINES = ("interpreted", "compiled", "vector", "native")
+
+
+def engine_capabilities(
+    engine: str | None = None, probe: bool = False
+) -> dict:
+    """One dict with every optional engine's runtime flags.
+
+    ``engine`` (when given) names the engine the caller has selected —
+    e.g. a service's configured worker engine — and is echoed under
+    ``"name"`` so stats consumers see both the choice and the
+    environment it lands in.
+    """
+    from repro.core import nativescan, vectorscan
+
+    caps: dict = {
+        "engines": list(ENGINES),
+        "vector": vectorscan.capability(),
+        "native": nativescan.capability(probe=probe),
+    }
+    if engine is not None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        caps["name"] = engine
+    return caps
+
+
+def describe_capabilities(probe: bool = False) -> str:
+    """Human-readable flag listing (the CLI ``capabilities`` command)."""
+    caps = engine_capabilities(probe=probe)
+    lines = [f"engines: {', '.join(caps['engines'])}"]
+    for name in ("vector", "native"):
+        flags = ", ".join(f"{k}={v}" for k, v in caps[name].items())
+        lines.append(f"{name}: {flags}")
+    return "\n".join(lines)
+
+
+def capability_summary() -> str:
+    """One-line summary for the ``--version`` banner."""
+    caps = engine_capabilities()
+    vector = "numpy" if caps["vector"]["numpy"] else "no-numpy"
+    native = caps["native"]
+    if native["native"]:
+        kernel = native["source"] or "loaded"
+    elif native["disabled_by_env"]:
+        kernel = "disabled"
+    elif native["compiler"]:
+        kernel = "buildable"
+    else:
+        kernel = "no-compiler"
+    return f"vector: {vector}; native: {kernel}"

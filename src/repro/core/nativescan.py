@@ -1,0 +1,264 @@
+"""Native scan engine: the dense tables stepped by a C inner loop.
+
+Fourth engine in the ladder (interpreted → compiled → vector →
+native).  The paper's datapath sustains line rate because the product
+automaton is lowered into flat hardware tables; this module performs
+the same lowering in software.  The closed product automaton that
+:mod:`repro.core.vectorscan` computes — byte-equivalence classes,
+per-``(state, class)`` edges, dead-region inert masks and effect
+signatures — is flattened into four contiguous arrays:
+
+* ``step[state * C + class]``: the premultiplied next state with a
+  2-bit tag (effectful / skippable) folded into the low bits, so the
+  quiet path is two loads and a shift per byte;
+* ``prog_idx`` + ``progs``: every effectful edge's replay program
+  (error position, events with earliest-start folds, start-register
+  moves) lowered to a tiny int32 bytecode executed inside the C loop;
+* ``skip_ofs`` + ``live_all``: per-dead-state raw-byte prefilters the
+  loop uses to fast-forward over inert regions memchr-style.
+
+:func:`_nativescan.scan_chunk` then consumes an entire chunk in one
+call with the GIL released, surfacing only the sparse effectful
+results (events, error positions) back to Python — bit-exact with the
+other three engines, enforced by the 4-way differential suite in
+``tests/core/test_nativescan.py``.
+
+The kernel builds on demand from the checked-in C source (see
+:mod:`repro.core._native_build`); without a compiler, with
+``REPRO_DISABLE_NATIVE=1``, or for automata that resist densification,
+:class:`NativeTagger` degrades transparently down the ladder to the
+vector or compiled loop.  :func:`capability` reports which rung is
+live.  NumPy is *not* required: the dense closure is pure Python, so
+the native engine stays available under ``REPRO_DISABLE_NUMPY=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from weakref import WeakKeyDictionary
+
+from repro.core import _native_build
+from repro.core.scanplan import DetectEvent, _wiring_key
+from repro.core.vectorscan import VectorTagger, _dense_tables_for
+
+__all__ = ["NativeTagger", "capability"]
+
+#: Effect-program opcodes (mirrored by the C interpreter).
+_OP_END = 0
+_OP_ERR = 1
+_OP_EVENT = 2
+_OP_STARTS = 3
+
+
+def capability(probe: bool = False) -> dict:
+    """The native engine's runtime capability flags (for ``/stats``).
+
+    With ``probe=False`` (the default) this never invokes the C
+    compiler — ``native`` then reports whether a kernel is *already*
+    loaded or prebuilt. Pass ``probe=True`` to attempt (and cache) a
+    just-in-time build.
+    """
+    ext = _native_build.load_kernel(probe=probe)
+    return {
+        "native": ext is not None,
+        "disabled_by_env": bool(os.environ.get("REPRO_DISABLE_NATIVE")),
+        "compiler": _native_build.compiler_available(),
+        "source": _native_build.kernel_source(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Lowering the dense closure to flat C tables
+# ----------------------------------------------------------------------
+class _NativeTables:
+    """Flat native tables for one (grammar, wiring) pair, interned in a
+    validated capsule owned by the C module; shared by every
+    :class:`NativeTagger` over that pair."""
+
+    __slots__ = ("ext", "capsule")
+
+    def __init__(self, ext, vt, tables, units: tuple) -> None:
+        n_states = vt.n_states
+        repr_byte = vt.repr_byte
+        n_classes = len(repr_byte)
+        class_table = vt.class_table
+        edges = vt.edges
+        skip_live = vt.skip_live
+        n_units = len(units)
+        unit_caps = array(
+            "i",
+            (max(1, dfa.auto.n_positions) for dfa in tables.unit_dfas),
+        )
+
+        step = array("i")
+        prog_idx = array("i")
+        progs = array("i", [_OP_END])  # offset 0: the empty program
+        prog_offsets: dict[tuple, int] = {}
+        max_per_edge = 1
+
+        # Dead-state prefilters: one 256-entry raw-byte row per skip
+        # state (the class-indexed mask composed with the class map, so
+        # the C loop tests input bytes directly).
+        skip_ofs = array("i", [-1]) * n_states
+        rows: list[bytes] = []
+        for tid, live in skip_live.items():
+            skip_ofs[tid] = len(rows)
+            rows.append(bytes(live[class_table[b]] for b in range(256)))
+        live_all = b"".join(rows)
+
+        for tid in range(n_states):
+            base = tid << 8
+            for byte in repr_byte:
+                sig = edges[base | byte]
+                if sig.__class__ is int:
+                    skip = sig == tid and skip_ofs[tid] >= 0
+                    step.append((sig * n_classes) << 2 | (2 if skip else 0))
+                    prog_idx.append(0)
+                    continue
+                ntid, events, start_ops, err = sig
+                code = [_OP_ERR] if err else []
+                emitted = 1 if err else 0
+                for u, q in events or ():
+                    code += (_OP_EVENT, u, len(q))
+                    code += q
+                    emitted += 1
+                for u, moves in start_ops or ():
+                    code += (_OP_STARTS, u, len(moves))
+                    for srcs in moves:
+                        code.append(len(srcs))
+                        code += srcs
+                code.append(_OP_END)
+                key = tuple(code)
+                offset = prog_offsets.get(key)
+                if offset is None:
+                    offset = len(progs)
+                    progs.extend(code)
+                    prog_offsets[key] = offset
+                if emitted > max_per_edge:
+                    max_per_edge = emitted
+                step.append((ntid * n_classes) << 2 | 1)
+                prog_idx.append(offset)
+
+        self.ext = ext
+        self.capsule = ext.build_tables(
+            n_states,
+            n_classes,
+            n_units,
+            class_table,
+            step,
+            prog_idx,
+            progs,
+            skip_ofs,
+            live_all,
+            unit_caps,
+            tuple(units),
+            DetectEvent,
+            max_per_edge,
+        )
+
+
+_NATIVE_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+_UNBUILDABLE = object()
+
+
+def _native_tables_for(tagger) -> _NativeTables | None:
+    """The per-(grammar, wiring) native tables, or None when the kernel
+    is unavailable or the automaton resists densification."""
+    ext = _native_build.load_kernel()
+    if ext is None:
+        return None
+    vt = _dense_tables_for(tagger)
+    if vt is None:
+        return None
+    per_grammar = _NATIVE_CACHE.get(tagger.grammar)
+    if per_grammar is None:
+        per_grammar = {}
+        _NATIVE_CACHE[tagger.grammar] = per_grammar
+    key = _wiring_key(tagger.plan.wiring)
+    nt = per_grammar.get(key)
+    if nt is None:
+        if array("i").itemsize == 4:
+            try:
+                nt = _NativeTables(ext, vt, tagger.tables, tagger.plan.units)
+            except (ValueError, MemoryError, OverflowError):
+                nt = _UNBUILDABLE
+        else:  # pragma: no cover - exotic int width
+            nt = _UNBUILDABLE
+        per_grammar[key] = nt
+    return None if nt is _UNBUILDABLE else nt
+
+
+# ----------------------------------------------------------------------
+class NativeTagger(VectorTagger):
+    """Native-loop tagger: the vector engine with its per-window Python
+    loop replaced by one C call per chunk. Streaming sessions,
+    end-of-data flush and pickling discipline are inherited from the
+    compiled engine, which keeps bit-exactness structural.
+
+    Falls back transparently down the ladder — to the vector loop when
+    only the kernel is missing, to the compiled loop when the dense
+    tables are too — and :attr:`native_active` says which loop is
+    live.
+
+    Example
+    -------
+    >>> from repro.grammar.examples import if_then_else
+    >>> tagger = NativeTagger(if_then_else())
+    >>> [str(t) for t in tagger.tag(b"if true then go else stop")]  # doctest: +ELLIPSIS
+    [...]
+    """
+
+    def __init__(self, grammar, options=None, plan=None) -> None:
+        super().__init__(grammar, options, plan)
+        self._nt = _native_tables_for(self)
+
+    @property
+    def native_active(self) -> bool:
+        return self._nt is not None
+
+    def __reduce__(self):
+        return (NativeTagger, (self.grammar, self.options))
+
+    # ------------------------------------------------------------------
+    def events(self, data):
+        """Raw detection events, bit-exact with the other engines.
+
+        Native fast path: the kernel appends bare :class:`DetectEvent`
+        objects, skipping the (event, match start) pairs ``scan()``
+        carries and ``events()`` would immediately strip.
+        """
+        nt = self._nt
+        if nt is None:
+            return super().events(data)
+        st = self.new_state()
+        out: list = []
+        self.bytes_scanned += len(data)
+        state, skipped = nt.ext.scan_chunk(
+            nt.capsule, 0, 0, data, st.starts, out, None, False
+        )
+        self.bytes_skipped += skipped
+        st.tid8 = state << 8
+        st.pos = len(data)
+        tail: list = []
+        self._flush(st, tail)
+        out += [event for event, _start in tail]
+        return out
+
+    def _run(self, data, st, error_sink, out) -> None:
+        nt = self._nt
+        if nt is None:
+            return super()._run(data, st, error_sink, out)
+        self.bytes_scanned += len(data)
+        state, skipped = nt.ext.scan_chunk(
+            nt.capsule,
+            st.tid8 >> 8,
+            st.pos,
+            data,
+            st.starts,
+            out,
+            error_sink,
+        )
+        self.bytes_skipped += skipped
+        st.tid8 = state << 8
+        st.pos += len(data)

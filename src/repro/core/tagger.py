@@ -51,9 +51,12 @@ class BehavioralTagger:
     default) runs the precompiled table-driven engine, bit-exact with
     the interpreted loop; ``"vector"`` runs the wide-datapath NumPy
     engine (:class:`~repro.core.vectorscan.VectorTagger`, which
-    degrades to the compiled loop when NumPy is absent);
-    ``"interpreted"`` runs the original per-byte Python loop (the
-    reference semantics).
+    degrades to the compiled loop when NumPy is absent); ``"native"``
+    runs the C inner loop over the same dense tables
+    (:class:`~repro.core.nativescan.NativeTagger`, which degrades down
+    the same ladder without a compiler or with
+    ``REPRO_DISABLE_NATIVE=1``); ``"interpreted"`` runs the original
+    per-byte Python loop (the reference semantics).
 
     Example
     -------
@@ -67,11 +70,13 @@ class BehavioralTagger:
         self,
         grammar: Grammar,
         options: TaggerOptions | None = None,
-        engine: Literal["compiled", "interpreted", "vector"] = "compiled",
+        engine: Literal[
+            "compiled", "interpreted", "vector", "native"
+        ] = "compiled",
     ) -> None:
         self.grammar = grammar
         self.options = options or TaggerOptions()
-        if engine not in ("compiled", "interpreted", "vector"):
+        if engine not in ("compiled", "interpreted", "vector", "native"):
             raise ValueError(f"unknown tagger engine {engine!r}")
         self.engine = engine
         plan = build_scan_plan(grammar, self.options.wiring)
@@ -88,12 +93,16 @@ class BehavioralTagger:
         #: stable unit ordering, so same-byte events come out in the
         #: same order as the hardware's detect port scan.
         self._unit_order = plan.unit_order
-        if engine == "vector":
-            from repro.core.vectorscan import VectorTagger
+        if engine == "native":
+            from repro.core.nativescan import NativeTagger
 
-            self.compiled: CompiledTagger | None = VectorTagger(
+            self.compiled: CompiledTagger | None = NativeTagger(
                 grammar, self.options, plan=plan
             )
+        elif engine == "vector":
+            from repro.core.vectorscan import VectorTagger
+
+            self.compiled = VectorTagger(grammar, self.options, plan=plan)
         else:
             self.compiled = (
                 CompiledTagger(grammar, self.options, plan=plan)

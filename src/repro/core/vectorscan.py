@@ -449,11 +449,15 @@ class _BatchTables:
 _VECTOR_CACHE: WeakKeyDictionary = WeakKeyDictionary()
 
 
-def _vector_tables_for(tagger: CompiledTagger) -> _VectorTables | None:
-    """The per-(grammar, wiring) vector tables, or None when NumPy is
-    unavailable or the product automaton is too large to densify."""
-    if _np is None:
-        return None
+def _dense_tables_for(tagger: CompiledTagger) -> _VectorTables | None:
+    """The per-(grammar, wiring) dense closure, or None when the
+    product automaton is too large to densify.
+
+    The closure itself (edges, byte classes, skip prefilters) is pure
+    Python — no NumPy — which is what lets the native engine reuse it
+    under ``REPRO_DISABLE_NUMPY=1``. Only the wide *loop* and the
+    batch lockstep kernel need NumPy; they gate on
+    :func:`_vector_tables_for` instead."""
     per_grammar = _VECTOR_CACHE.get(tagger.grammar)
     if per_grammar is None:
         per_grammar = {}
@@ -464,6 +468,13 @@ def _vector_tables_for(tagger: CompiledTagger) -> _VectorTables | None:
         vt = _VectorTables(tagger.tables, tagger.plan.units)
         per_grammar[key] = vt
     return vt if vt.ok else None
+
+
+def _vector_tables_for(tagger: CompiledTagger) -> _VectorTables | None:
+    """The dense tables gated on NumPy (the wide loop's requirement)."""
+    if _np is None:
+        return None
+    return _dense_tables_for(tagger)
 
 
 # ----------------------------------------------------------------------
@@ -646,7 +657,14 @@ class BatchScanner:
         tagger = self.tagger
         vt = tagger._vt
         bt = None
-        if vt is not None and len(sessions) >= self.min_flows:
+        # With the native kernel live, the per-flow C loop beats the
+        # NumPy lockstep gather at any batch size, so "fallback" per-flow
+        # dispatch is the fast path and lockstep is never engaged.
+        if (
+            vt is not None
+            and len(sessions) >= self.min_flows
+            and not getattr(tagger, "native_active", False)
+        ):
             bt = vt.batch_tables()
         if self.metrics is not None:
             self.metrics.histogram(

@@ -346,18 +346,20 @@ class ScanServer:
         )
         if self.service is not None:
             return self.service.stats()
-        # In-process mode: report the scan engine's capability flags
+        # In-process mode: report every engine's capability flags
         # (pool mode reports them through the service's stats), plus
-        # the vector engine's skip-efficiency counters when live.
-        from repro.core.vectorscan import capability
+        # the wide-loop skip-efficiency counters when live.
+        from repro.core.capabilities import engine_capabilities
 
-        engine = {
-            "name": getattr(self.spec, "engine", "compiled"),
-            **capability(),
-        }
+        engine = engine_capabilities(
+            getattr(self.spec, "engine", "compiled")
+        )
         tagger = self._vector_tagger()
         if tagger is not None:
             engine["vector_active"] = tagger.vector_active
+            engine["native_active"] = getattr(
+                tagger, "native_active", False
+            )
             scanned = tagger.bytes_scanned
             skipped = tagger.bytes_skipped
             self.metrics.counter("vector.bytes_scanned").value = scanned

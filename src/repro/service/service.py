@@ -130,6 +130,10 @@ class _TaggerBackend:
 
 def _engine_tagger(grammar, options, engine: str):
     """Build the worker-side tagger for an engine name."""
+    if engine == "native":
+        from repro.core.nativescan import NativeTagger
+
+        return NativeTagger(grammar, options)
     if engine == "vector":
         from repro.core.vectorscan import VectorTagger
 
@@ -139,8 +143,9 @@ def _engine_tagger(grammar, options, engine: str):
 
         return CompiledTagger(grammar, options)
     raise ServiceError(
-        f"service specs support engine 'compiled' or 'vector', "
-        f"not {engine!r} (streaming sessions need a compiled scan)"
+        f"service specs support engine 'compiled', 'vector' or "
+        f"'native', not {engine!r} (streaming sessions need a "
+        f"compiled scan)"
     )
 
 
@@ -160,10 +165,10 @@ class RouterSpec:
         tagger = None
         grammar = self.grammar
         if self.engine != "compiled":
-            if self.engine != "vector":
+            if self.engine not in ("vector", "native"):
                 raise ServiceError(
-                    f"service specs support engine 'compiled' or "
-                    f"'vector', not {self.engine!r}"
+                    f"service specs support engine 'compiled', "
+                    f"'vector' or 'native', not {self.engine!r}"
                 )
             if grammar is None:
                 from repro.grammar.examples import xmlrpc
@@ -171,7 +176,7 @@ class RouterSpec:
                 grammar = xmlrpc()
             from repro.core.tagger import BehavioralTagger
 
-            tagger = BehavioralTagger(grammar, engine="vector")
+            tagger = BehavioralTagger(grammar, engine=self.engine)
         return _RouterBackend(
             ContentBasedRouter(
                 grammar=grammar,
@@ -662,9 +667,9 @@ class ScanService:
             "alive": sum(1 for h in self.workers if h.alive),
             "respawns": list(self._respawns),
         }
-        from repro.core.vectorscan import capability
+        from repro.core.capabilities import engine_capabilities
 
-        snapshot["engine"] = {"name": self.engine, **capability()}
+        snapshot["engine"] = engine_capabilities(self.engine)
         return snapshot
 
     def close(self, drain: bool = True, timeout: float = 60.0) -> None:

@@ -1,0 +1,55 @@
+"""Unified engine-capability reporting (`repro.core.capabilities`).
+
+One helper feeds every surface that advertises acceleration status —
+CLI ``--version`` / ``capabilities``, the admin ``/stats`` endpoint,
+service snapshots — so the shape is pinned here once.
+"""
+
+import pytest
+
+from repro.core.capabilities import (
+    ENGINES,
+    capability_summary,
+    describe_capabilities,
+    engine_capabilities,
+)
+
+
+def test_engine_list_is_the_ladder():
+    assert ENGINES == ("interpreted", "compiled", "vector", "native")
+
+
+def test_engine_capabilities_shape():
+    caps = engine_capabilities()
+    assert set(caps) == {"engines", "vector", "native"}
+    assert caps["engines"] == list(ENGINES)
+    assert set(caps["vector"]) == {"numpy", "disabled_by_env", "width"}
+    assert set(caps["native"]) == {
+        "native",
+        "disabled_by_env",
+        "compiler",
+        "source",
+    }
+
+
+def test_engine_capabilities_names_the_selected_engine():
+    caps = engine_capabilities("vector")
+    assert caps["name"] == "vector"
+    with pytest.raises(ValueError):
+        engine_capabilities("turbo")
+
+
+def test_describe_capabilities_lists_every_engine():
+    text = describe_capabilities()
+    for line in ("vector:", "native:"):
+        assert line in text
+    assert isinstance(capability_summary(), str)
+    assert "vector:" in capability_summary()
+
+
+def test_disable_env_is_reported(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_NATIVE", "1")
+    caps = engine_capabilities()
+    assert caps["native"]["disabled_by_env"] is True
+    assert caps["native"]["native"] is False
+    assert "disabled" in capability_summary()
