@@ -44,8 +44,10 @@ from repro.grammar.dtd import dtd_to_grammar, parse_dtd
 from repro.grammar.yacc_parser import load_yacc_grammar, parse_yacc_grammar
 from repro.rtl import Netlist, Simulator, emit_vhdl
 from repro.service import (
+    CompiledArtifact,
     MetricsRegistry,
     QueueFull,
+    Registry,
     RouterSpec,
     ScanService,
     TaggerSpec,
@@ -61,6 +63,7 @@ __all__ = [
     "Backend",
     "BehavioralTagger",
     "BufferedSession",
+    "CompiledArtifact",
     "DecoderOptions",
     "Device",
     "GateLevelTagger",
@@ -69,6 +72,7 @@ __all__ = [
     "MetricsRegistry",
     "Netlist",
     "QueueFull",
+    "Registry",
     "ReproError",
     "RouterSpec",
     "ScanService",

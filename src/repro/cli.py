@@ -11,6 +11,9 @@ Commands mirror the paper's workflow:
   service against the single-process router;
 * ``serve`` — the asyncio TCP scan server (framed wire protocol,
   optional worker pool and admin/metrics endpoint);
+* ``registry`` — publish, list, inspect, and garbage-collect named
+  versioned grammars compiled ahead-of-time into an artifact store
+  (plus a cold-start benchmark: registry load vs recompile);
 * ``client-bench`` — closed-loop load generator against a running
   server, with byte-for-byte verification;
 * ``table1`` / ``figure15`` / ``ablation`` — print the experiment
@@ -196,10 +199,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import ScanServer
     from repro.service import RouterSpec
 
-    grammar = (
-        _load_grammar(args.grammar) if args.grammar != "xmlrpc" else None
-    )
-    spec = RouterSpec(grammar=grammar, engine=args.engine)
+    if args.registry is not None:
+        # --grammar is a registry ref: the server loads the published
+        # artifact (and gains the admin hot-swap endpoint).
+        spec = RouterSpec(grammar=None, engine=args.engine)
+        registry_kwargs = {
+            "registry": args.registry,
+            "grammar": args.grammar,
+        }
+    else:
+        grammar = (
+            _load_grammar(args.grammar)
+            if args.grammar != "xmlrpc"
+            else None
+        )
+        spec = RouterSpec(grammar=grammar, engine=args.engine)
+        registry_kwargs = {}
 
     async def main() -> int:
         server = ScanServer(
@@ -211,6 +226,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_frame=args.max_frame,
             queue_depth=args.queue_depth,
             admin_port=args.admin_port,
+            **registry_kwargs,
         )
         await server.start()
         host, port = server.address
@@ -236,6 +252,114 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(main())
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.registry import Registry
+
+    registry = Registry(args.store)
+    if args.registry_cmd == "publish":
+        grammar = _load_grammar(args.source)
+        ref = registry.publish(args.name, grammar)
+        print(ref)
+        return 0
+    if args.registry_cmd == "list":
+        entries = registry.list()
+        if args.json:
+            print(json.dumps(entries, indent=2, sort_keys=True))
+            return 0
+        if not entries:
+            print(f"no grammars in registry {registry.root}")
+            return 0
+        for entry in entries:
+            print(f"{entry['name']}  (latest @{entry['latest']})")
+            for vstr, info in entry["versions"].items():
+                print(f"  @{vstr}  content {info['content']}  "
+                      f"{info['objects']} object(s)")
+        return 0
+    if args.registry_cmd == "inspect":
+        print(json.dumps(registry.inspect(args.ref), indent=2,
+                         sort_keys=True))
+        return 0
+    if args.registry_cmd == "gc":
+        removed = registry.gc()
+        print(f"removed {removed} unreferenced object(s)")
+        return 0
+    if args.registry_cmd == "bench":
+        return _registry_bench(args, registry)
+    raise AssertionError(f"unknown registry command {args.registry_cmd}")
+
+
+def _registry_bench(args: argparse.Namespace, registry) -> int:
+    """Cold-start comparison: loading published tables vs recompiling
+    the grammar from source (the whole point of ahead-of-time
+    publication).  Every iteration parses/loads a *fresh* grammar
+    object, so the per-grammar engine caches are cold each time."""
+    import json
+    import time
+
+    from repro.core.capabilities import resolve_engine
+    from repro.core.tagger import BehavioralTagger
+    from repro.grammar.writer import write_yacc_grammar
+    from repro.grammar.yacc_parser import parse_yacc_grammar
+    from repro.service.registry import Registry
+
+    grammar = _load_grammar(args.grammar)
+    name = args.grammar if args.grammar in _BUILTIN_GRAMMARS else (
+        grammar.name or "bench"
+    )
+    source = write_yacc_grammar(grammar)
+    engine = resolve_engine("auto", streaming=True)
+    ref = registry.publish(name, grammar)
+    probe = b"<methodCall><methodName>a</methodName></methodCall>"
+
+    recompile_s = min(
+        _timed(
+            lambda: BehavioralTagger(
+                parse_yacc_grammar(source, name=name), engine=engine
+            ).tag(probe),
+            time,
+        )
+        for _ in range(args.repeat)
+    )
+    load_s = min(
+        _timed(
+            lambda: Registry(registry.root)
+            .load(ref)
+            .tagger(engine=engine)
+            .tag(probe),
+            time,
+        )
+        for _ in range(args.repeat)
+    )
+    speedup = recompile_s / load_s if load_s else None
+    report = {
+        "grammar": ref,
+        "engine": engine,
+        "recompile_s": round(recompile_s, 6),
+        "load_s": round(load_s, 6),
+        "speedup": None if speedup is None else round(speedup, 3),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"grammar   : {ref} (engine {engine})")
+        print(f"recompile : {recompile_s * 1e3:8.2f} ms")
+        print(f"load      : {load_s * 1e3:8.2f} ms")
+        print(f"speedup   : x{speedup:.2f}" if speedup else "speedup  : -")
+    if not args.no_record:
+        _record_bench_entry("registry cold-start recompile_s", recompile_s)
+        _record_bench_entry("registry cold-start load_s", load_s)
+        _record_bench_entry("registry cold-start speedup", speedup)
+    return 0
+
+
+def _timed(fn, time) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
 
 
 def _record_bench_entry(key: str, value: float | None) -> None:
@@ -382,12 +506,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="strict PDA mode (§5.2 stack extension)")
     tag.add_argument("--stream", action="store_true",
                      help="with --stack: accept back-to-back sentences")
+    from repro.core.capabilities import ENGINE_CHOICES
+
     tag.add_argument("--engine",
-                     choices=("compiled", "interpreted", "vector", "native"),
+                     choices=ENGINE_CHOICES,
                      default="compiled",
                      help="software scan engine (default: compiled "
                      "tables; vector = wide-datapath NumPy engine; "
-                     "native = C inner loop over the dense tables)")
+                     "native = C inner loop over the dense tables; "
+                     "auto = best available)")
     tag.set_defaults(func=_cmd_tag)
 
     generate = sub.add_parser("generate", help="compile grammar to hardware")
@@ -423,10 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-depth", type=int, default=64)
     serve.add_argument("--seed", type=int, default=2006)
     serve.add_argument("--engine",
-                       choices=("compiled", "vector", "native"),
+                       choices=("auto", "compiled", "vector", "native"),
                        default="compiled",
                        help="scan engine the workers run (streaming "
-                       "needs a compiled-family engine)")
+                       "needs a compiled-family engine; auto = best "
+                       "available)")
     serve.add_argument("--json", action="store_true",
                        help="emit the report (plus service stats) as JSON")
     serve.set_defaults(func=_cmd_serve_bench)
@@ -451,11 +579,57 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument("--queue-depth", type=int, default=64,
                         help="per-worker bounded queue depth")
     server.add_argument("--engine",
-                        choices=("compiled", "vector", "native"),
+                        choices=("auto", "compiled", "vector", "native"),
                         default="compiled",
                         help="scan engine for sessions and workers "
-                        "(streaming needs a compiled-family engine)")
+                        "(streaming needs a compiled-family engine; "
+                        "auto = best available)")
+    server.add_argument("--registry", metavar="STORE", default=None,
+                        help="grammar-registry store directory; makes "
+                        "--grammar a registry ref (name[@version]) and "
+                        "enables the admin POST /swap endpoint")
     server.set_defaults(func=_cmd_serve)
+
+    registry = sub.add_parser(
+        "registry",
+        help="manage the ahead-of-time compiled grammar registry",
+    )
+    registry.add_argument("--store", default=None,
+                          help="store directory (default: "
+                          "$REPRO_REGISTRY or ~/.cache/repro-registry)")
+    regsub = registry.add_subparsers(dest="registry_cmd", required=True)
+
+    reg_publish = regsub.add_parser(
+        "publish", help="compile a grammar and store it under a name"
+    )
+    reg_publish.add_argument("name", help="grammar name to publish as")
+    reg_publish.add_argument("source", help="grammar file or builtin name "
+                             f"({', '.join(_BUILTIN_GRAMMARS)})")
+
+    reg_list = regsub.add_parser(
+        "list", help="list registered grammars and versions"
+    )
+    reg_list.add_argument("--json", action="store_true")
+
+    reg_inspect = regsub.add_parser(
+        "inspect", help="show one version's manifest entry and objects"
+    )
+    reg_inspect.add_argument("ref", help="name or name@version")
+
+    regsub.add_parser("gc", help="delete unreferenced artifact objects")
+
+    reg_bench = regsub.add_parser(
+        "bench",
+        help="cold-start benchmark: registry load vs recompile",
+    )
+    reg_bench.add_argument("--grammar", default="xmlrpc",
+                           help="grammar file or builtin name")
+    reg_bench.add_argument("--repeat", type=int, default=3,
+                           help="iterations (best-of)")
+    reg_bench.add_argument("--json", action="store_true")
+    reg_bench.add_argument("--no-record", action="store_true",
+                           help="do not update BENCH_throughput.json")
+    registry.set_defaults(func=_cmd_registry)
 
     bench = sub.add_parser(
         "client-bench",

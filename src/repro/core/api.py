@@ -48,10 +48,17 @@ __all__ = [
 ]
 
 
+#: The release in which the deprecated pre-1.0 aliases are deleted
+#: (``error_positions``, ``push_frame``, ``push_packet`` — see the
+#: DESIGN.md §7 migration table).
+ALIAS_REMOVAL_VERSION = "2.0"
+
+
 def warn_deprecated(old: str, new: str) -> None:
     """Emit the standard deprecation warning for a renamed API."""
     warnings.warn(
-        f"{old} is deprecated; use {new} instead",
+        f"{old} is deprecated and will be removed in repro "
+        f"{ALIAS_REMOVAL_VERSION}; use {new} instead",
         DeprecationWarning,
         stacklevel=3,
     )

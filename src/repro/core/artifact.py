@@ -1,0 +1,360 @@
+"""Ahead-of-time compiled scan artifacts.
+
+The paper's deployment model compiles the grammar once, offline, and
+loads the resulting tables into the device; the software engines here
+instead materialize their tables lazily in every process.  This module
+closes that gap: :func:`build_artifact` runs the full compilation
+pipeline — :class:`~repro.core.scanplan.ScanPlan`, the compiled
+product-automaton tables, and the vector engine's dense closure (byte
+classes, edges, skip prefilters) — and serializes the result to one
+self-describing binary blob; :func:`load_artifact` restores it into
+the per-(grammar, wiring) caches so every engine on the ladder starts
+warm without paying the closure again.  The native kernel's flattened
+int32 tables re-lower from the restored dense closure (a few
+milliseconds) rather than being stored: they embed a C capsule that
+cannot round-trip, and lowering is three orders of magnitude cheaper
+than the closure it consumes.
+
+Blob layout::
+
+    b"RART" | u32 header length | JSON header | marshal payload
+
+The header carries everything needed to *identify* the artifact
+(format ABI, interpreter tag, grammar name, wiring fields, content
+key); the payload carries the tables as pure-builtin structures.
+``marshal`` (not pickle) keeps loads fast and free of arbitrary code
+execution, at the price of being interpreter-version specific — which
+is why :func:`interpreter_tag` is part of the object key and a
+mismatched blob raises :class:`ArtifactError` instead of loading.
+
+Keying is two-level:
+
+* :func:`content_id` — sha256 of the canonical grammar source
+  (:func:`~repro.grammar.writer.write_yacc_grammar`) plus the wiring
+  key.  This identifies the *logical* compilation input: two parses of
+  the same source under the same wiring share one content id (the
+  on-disk analogue of the in-process ``WeakKeyDictionary`` caches,
+  which miss for structurally-equal grammar objects).
+* :func:`object_key` — content id plus :func:`interpreter_tag` (format
+  ABI + ``sys.implementation.cache_tag``).  This addresses the stored
+  blob: bumping :data:`ARTIFACT_ABI` or changing interpreters
+  invalidates old objects without touching the logical identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import marshal
+import sys
+
+from repro.core.compiled import _TABLE_CACHE, _CompiledTables
+from repro.core.generator import TaggerOptions
+from repro.core.scanplan import _wiring_key, build_scan_plan
+from repro.core.tokenizer import TokenizerTemplateOptions
+from repro.core.wiring import WiringOptions
+from repro.errors import ReproError
+from repro.grammar.cfg import Grammar
+from repro.grammar.writer import write_yacc_grammar
+from repro.grammar.yacc_parser import parse_yacc_grammar
+
+__all__ = [
+    "ARTIFACT_ABI",
+    "ArtifactError",
+    "CompiledArtifact",
+    "build_artifact",
+    "content_id",
+    "interpreter_tag",
+    "load_artifact",
+    "object_key",
+    "options_from_wiring_fields",
+    "read_header",
+    "wiring_fields",
+]
+
+#: Bumped whenever the serialized table layout changes; part of the
+#: object key, so old blobs are simply never looked up again.
+ARTIFACT_ABI = 1
+
+_MAGIC = b"RART"
+
+#: Field order matching ``scanplan._wiring_key``.
+_WIRING_FIELDS = (
+    "context_duplication",
+    "start_mode",
+    "loop_on_accept",
+    "error_recovery",
+    "longest_match",
+    "keyword_boundary",
+)
+
+
+class ArtifactError(ReproError):
+    """A blob is corrupt, truncated, or built for another interpreter."""
+
+
+# ----------------------------------------------------------------------
+# keying
+# ----------------------------------------------------------------------
+def wiring_fields(wiring: WiringOptions) -> list:
+    """The wiring as a JSON-safe list (``_wiring_key`` order)."""
+    return list(_wiring_key(wiring))
+
+
+def options_from_wiring_fields(fields) -> TaggerOptions:
+    """Rebuild :class:`TaggerOptions` from :func:`wiring_fields`."""
+    if len(fields) != len(_WIRING_FIELDS):
+        raise ArtifactError(
+            f"wiring key has {len(fields)} fields, "
+            f"expected {len(_WIRING_FIELDS)}"
+        )
+    cd, start_mode, loop, recovery, longest, boundary = fields
+    return TaggerOptions(
+        wiring=WiringOptions(
+            context_duplication=bool(cd),
+            start_mode=str(start_mode),
+            loop_on_accept=bool(loop),
+            error_recovery=bool(recovery),
+            tokenizer=TokenizerTemplateOptions(
+                longest_match=bool(longest),
+                keyword_boundary=bool(boundary),
+            ),
+        )
+    )
+
+
+def content_id(source: str, wiring: WiringOptions) -> str:
+    """sha256 of the logical compilation input: source + wiring."""
+    digest = hashlib.sha256()
+    digest.update(source.encode("utf-8"))
+    digest.update(repr(_wiring_key(wiring)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def interpreter_tag() -> str:
+    """The ABI half of the object key: blob format + marshal format."""
+    return f"abi{ARTIFACT_ABI}-{sys.implementation.cache_tag}"
+
+
+def object_key(source: str, wiring: WiringOptions) -> str:
+    """sha256 addressing the stored blob (content id + engine ABI)."""
+    digest = hashlib.sha256()
+    digest.update(content_id(source, wiring).encode("ascii"))
+    digest.update(interpreter_tag().encode("ascii"))
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# build
+# ----------------------------------------------------------------------
+def build_artifact(
+    grammar: Grammar, options: TaggerOptions | None = None
+) -> bytes:
+    """Compile ``grammar`` fully and serialize the tables to one blob.
+
+    Runs the compiled product automaton *and* the dense closure the
+    vector/native engines share.  When the closure bails out (product
+    automaton past the state cap) the blob degrades to source + wiring
+    only and loading falls back to lazy compilation — correctness over
+    cold-start speed, same ladder discipline as the engines themselves.
+    """
+    from repro.core.compiled import CompiledTagger
+    from repro.core.vectorscan import _dense_tables_for
+
+    options = options or TaggerOptions()
+    source = write_yacc_grammar(grammar)
+    tagger = CompiledTagger(grammar, options)
+    vt = _dense_tables_for(tagger)
+    header = {
+        "format": _MAGIC.decode("ascii"),
+        "abi": ARTIFACT_ABI,
+        "interpreter": interpreter_tag(),
+        "grammar": grammar.name,
+        "wiring": wiring_fields(options.wiring),
+        "content": content_id(source, options.wiring),
+        "dense": vt is not None,
+    }
+    if vt is None:
+        payload: dict = {"source": source}
+    else:
+        tables = tagger.tables
+        # One DFA per token *name* (occurrences share them); store the
+        # interned subset states in interning order so the load-time
+        # replay reproduces identical state ids.
+        dfa_states: dict[str, list] = {}
+        for unit, dfa in zip(tagger.plan.units, tables.unit_dfas):
+            name = unit.terminal.name
+            if name not in dfa_states:
+                dfa_states[name] = list(dfa.state_positions)
+        payload = {
+            "source": source,
+            "tstates": list(tables.tstates),
+            "dfa_states": dfa_states,
+            "edges": vt.edges,
+            "class_table": vt.class_table,
+            "repr_byte": list(vt.repr_byte),
+            "skip_live": vt.skip_live,
+            "n_states": vt.n_states,
+        }
+        header["states"] = vt.n_states
+        header["classes"] = len(vt.repr_byte)
+    head = json.dumps(header, sort_keys=True).encode("utf-8")
+    return (
+        _MAGIC + len(head).to_bytes(4, "big") + head + marshal.dumps(payload)
+    )
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+def read_header(blob: bytes) -> dict:
+    """Parse and validate the JSON header without unmarshalling tables
+    (safe across interpreter versions; used by ``registry inspect``)."""
+    if blob[:4] != _MAGIC:
+        raise ArtifactError("not a scan artifact (bad magic)")
+    head_len = int.from_bytes(blob[4:8], "big")
+    if len(blob) < 8 + head_len:
+        raise ArtifactError("truncated artifact header")
+    try:
+        header = json.loads(blob[8 : 8 + head_len])
+    except ValueError as exc:
+        raise ArtifactError(f"corrupt artifact header: {exc}") from None
+    return header
+
+
+class CompiledArtifact:
+    """A loaded artifact: the grammar, its options, and warm caches.
+
+    Constructing taggers from an artifact is cheap — the plan, compiled
+    tables and dense closure are already installed in the engine caches
+    keyed by :attr:`grammar`, so :meth:`tagger` skips straight to
+    (at most) the native kernel's fast re-lowering.
+    """
+
+    __slots__ = ("grammar", "options", "header", "nbytes", "ref")
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        options: TaggerOptions,
+        header: dict,
+        nbytes: int = 0,
+    ) -> None:
+        self.grammar = grammar
+        self.options = options
+        self.header = header
+        self.nbytes = nbytes
+        #: ``name@version`` when loaded through a registry, else None.
+        self.ref: str | None = None
+
+    @property
+    def content(self) -> str:
+        return self.header["content"]
+
+    @property
+    def dense(self) -> bool:
+        return bool(self.header.get("dense"))
+
+    def tagger(self, engine: str = "auto"):
+        """A :class:`~repro.core.tagger.BehavioralTagger` over the
+        restored tables (``engine`` accepts the same names as
+        :func:`~repro.core.capabilities.resolve_engine`)."""
+        from repro.core.tagger import BehavioralTagger
+
+        return BehavioralTagger(self.grammar, self.options, engine=engine)
+
+
+def load_artifact(blob: bytes) -> CompiledArtifact:
+    """Deserialize a blob and install its tables into the engine caches.
+
+    Raises :class:`ArtifactError` for corrupt blobs or blobs built
+    under a different interpreter/ABI tag (callers holding the grammar
+    source — the registry does — recompile and republish instead).
+    """
+    header = read_header(blob)
+    if header.get("interpreter") != interpreter_tag():
+        raise ArtifactError(
+            f"artifact built for {header.get('interpreter')!r}, "
+            f"this interpreter is {interpreter_tag()!r}"
+        )
+    head_len = int.from_bytes(blob[4:8], "big")
+    try:
+        payload = marshal.loads(blob[8 + head_len :])
+    except (ValueError, EOFError, TypeError) as exc:
+        raise ArtifactError(f"corrupt artifact payload: {exc}") from None
+    grammar = parse_yacc_grammar(
+        payload["source"], name=header.get("grammar", "grammar")
+    )
+    options = options_from_wiring_fields(header["wiring"])
+    if header.get("dense"):
+        _install(grammar, options, payload)
+    artifact = CompiledArtifact(grammar, options, header, nbytes=len(blob))
+    return artifact
+
+
+def _install(grammar: Grammar, options: TaggerOptions, payload: dict) -> None:
+    """Rebuild the compiled tables and dense closure from a payload and
+    install them into the per-(grammar, wiring) engine caches.
+
+    The replay relies on interning determinism: token-DFA subset
+    states and global product states are appended in stored order, so
+    every integer id in the serialized edges/memo lands on the same
+    object it was derived from (the cold-start differential test pins
+    this across processes and engine-gate permutations).
+    """
+    from repro.core import vectorscan
+
+    plan = build_scan_plan(grammar, options.wiring)
+    key = _wiring_key(options.wiring)
+    tables = _CompiledTables(plan)
+    name_to_dfa = {}
+    for unit, dfa in zip(plan.units, tables.unit_dfas):
+        name_to_dfa.setdefault(unit.terminal.name, dfa)
+    for name, states in payload["dfa_states"].items():
+        dfa = name_to_dfa.get(name)
+        if dfa is None:
+            raise ArtifactError(f"artifact names unknown token {name!r}")
+        for positions in states[1:]:
+            dfa._state_id(tuple(positions))
+    for t in payload["tstates"][1:]:
+        tables._intern(t)
+    n_states = payload["n_states"]
+    if len(tables.tstates) < n_states:
+        raise ArtifactError(
+            f"artifact closure has {n_states} states but only "
+            f"{len(tables.tstates)} restored"
+        )
+    # The compiled engine's step memo is the dense edge set re-shifted
+    # (both are keyed ``tid << 8 | byte``), so one stored table serves
+    # both engines.
+    edges = payload["edges"]
+    memo = tables.memo
+    for k, sig in edges.items():
+        if sig.__class__ is int:
+            memo[k] = sig << 8
+        else:
+            memo[k] = (sig[0] << 8, sig[1], sig[2], sig[3])
+
+    vt = vectorscan._VectorTables.__new__(vectorscan._VectorTables)
+    vt.tables = tables
+    vt.units = plan.units
+    vt.ok = True
+    vt.n_states = n_states
+    vt.edges = edges
+    vt.class_table = payload["class_table"]
+    vt.repr_byte = payload["repr_byte"]
+    vt.skip_live = payload["skip_live"]
+    vt.memo8 = {}
+    vt._prog_cache = {}
+    vt._batch = None
+
+    per_tables = _TABLE_CACHE.get(grammar)
+    if per_tables is None:
+        per_tables = {}
+        _TABLE_CACHE[grammar] = per_tables
+    per_tables[key] = tables
+    per_vector = vectorscan._VECTOR_CACHE.get(grammar)
+    if per_vector is None:
+        per_vector = {}
+        vectorscan._VECTOR_CACHE[grammar] = per_vector
+    per_vector[key] = vt

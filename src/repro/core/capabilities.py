@@ -17,10 +17,67 @@ side-effect free.
 
 from __future__ import annotations
 
-__all__ = ["describe_capabilities", "engine_capabilities"]
+__all__ = [
+    "ENGINE_CHOICES",
+    "describe_capabilities",
+    "engine_capabilities",
+    "resolve_engine",
+]
 
 #: Every engine name BehavioralTagger accepts, fallback ladder order.
 ENGINES = ("interpreted", "compiled", "vector", "native")
+
+#: Spellings :func:`resolve_engine` accepts (CLI ``--engine`` choices).
+ENGINE_CHOICES = ("auto", "native", "vector", "compiled", "interpreted", "interp")
+
+_ALIASES = {"interp": "interpreted"}
+
+
+def resolve_engine(
+    name: str = "auto", *, streaming: bool = False, probe: bool = False
+) -> str:
+    """Canonicalize an engine selection to one of :data:`ENGINES`.
+
+    This is the single engine-name dispatch point shared by
+    ``BehavioralTagger``, the CLI ``--engine`` flags, ``ScanService``
+    and ``ScanServer`` (each module used to validate its own strings,
+    and the accepted sets had drifted).  Accepts the canonical names,
+    the ``"interp"`` shorthand, and ``"auto"`` — which walks the
+    fallback ladder top-down using the capability gates: native when a
+    kernel is loaded/prebuilt or a compiler could build one (and the
+    env gate allows it), else vector when NumPy imports, else
+    compiled.  ``probe=True`` lets the native check trigger a one-time
+    JIT build; the default stays side-effect free.
+
+    ``streaming=True`` additionally rejects ``"interpreted"``, whose
+    whole-buffer scan cannot carry state across chunk boundaries —
+    the services and server require an incremental engine.
+    """
+    canonical = _ALIASES.get(name, name)
+    if canonical == "auto":
+        from repro.core import nativescan, vectorscan
+
+        native = nativescan.capability(probe=probe)
+        vector = vectorscan.capability()
+        if not native["disabled_by_env"] and (
+            native["native"] or native["compiler"]
+        ):
+            canonical = "native"
+        elif vector["numpy"] and not vector["disabled_by_env"]:
+            canonical = "vector"
+        else:
+            canonical = "compiled"
+    if canonical not in ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of "
+            f"{ENGINES + ('auto', 'interp')}"
+        )
+    if streaming and canonical == "interpreted":
+        raise ValueError(
+            "engine 'interpreted' has no incremental scan; streaming "
+            "consumers need 'compiled', 'vector', 'native' or 'auto'"
+        )
+    return canonical
 
 
 def engine_capabilities(

@@ -71,13 +71,15 @@ class BehavioralTagger:
         grammar: Grammar,
         options: TaggerOptions | None = None,
         engine: Literal[
-            "compiled", "interpreted", "vector", "native"
+            "compiled", "interpreted", "vector", "native", "auto", "interp"
         ] = "compiled",
     ) -> None:
+        from repro.core.capabilities import resolve_engine
+
         self.grammar = grammar
         self.options = options or TaggerOptions()
-        if engine not in ("compiled", "interpreted", "vector", "native"):
-            raise ValueError(f"unknown tagger engine {engine!r}")
+        #: Canonical engine name (``"auto"``/``"interp"`` resolved).
+        engine = resolve_engine(engine)
         self.engine = engine
         plan = build_scan_plan(grammar, self.options.wiring)
         self.plan = plan
@@ -109,6 +111,32 @@ class BehavioralTagger:
                 if engine == "compiled"
                 else None
             )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ref(
+        cls,
+        ref: str,
+        engine: str = "auto",
+        registry=None,
+    ) -> "BehavioralTagger":
+        """Construct a tagger from a registry reference (``"xmlrpc@2"``).
+
+        The referenced artifact's precompiled tables are loaded from
+        the content-addressed store and installed into the engine
+        caches, so construction skips plan building and the dense
+        product-automaton closure entirely.  ``registry`` may be a
+        :class:`~repro.service.registry.Registry`, a store root path,
+        or None for the default store.
+        """
+        from repro.service.registry import Registry
+
+        if registry is None:
+            registry = Registry()
+        elif not isinstance(registry, Registry):
+            registry = Registry(registry)
+        artifact = registry.load(ref)
+        return cls(artifact.grammar, artifact.options, engine=engine)
 
     # ------------------------------------------------------------------
     def __reduce__(self):

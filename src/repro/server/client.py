@@ -134,6 +134,9 @@ class ScanClient:
         self.max_frame = max_frame
         #: The server's advertised frame limit (from its HELLO).
         self.server_max_frame = DEFAULT_MAX_FRAME
+        #: Registry refs the server advertised in its HELLO (empty for
+        #: servers without a grammar registry or predating the field).
+        self.server_grammars: tuple[str, ...] = ()
 
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -202,6 +205,7 @@ class ScanClient:
                 code=ErrorCode.VERSION_MISMATCH,
             )
         self.server_max_frame = server_max
+        self.server_grammars = protocol.decode_hello_grammars(frame)
 
     async def close(self) -> None:
         """Polite GOODBYE (waits briefly for the server's), then close."""

@@ -63,6 +63,7 @@ __all__ = [
     "decode_error",
     "decode_finish_flow",
     "decode_hello",
+    "decode_hello_grammars",
     "decode_open_flow",
     "decode_result",
     "encode_data",
@@ -179,9 +180,19 @@ def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
 
 
 def encode_hello(
-    version: int = PROTOCOL_VERSION, max_frame: int = DEFAULT_MAX_FRAME
+    version: int = PROTOCOL_VERSION,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    grammars: tuple[str, ...] | list[str] = (),
 ) -> bytes:
-    return encode_frame(FrameType.HELLO, _HELLO.pack(version, max_frame))
+    """``grammars`` (optional, server→client) advertises the registry
+    refs this server can serve, appended after the fixed fields as a
+    comma-separated UTF-8 list. Decoding uses ``unpack_from``, so
+    peers that predate the field simply ignore the extra bytes — the
+    handshake stays version-compatible both ways."""
+    payload = _HELLO.pack(version, max_frame)
+    if grammars:
+        payload += ",".join(grammars).encode("utf-8")
+    return encode_frame(FrameType.HELLO, payload)
 
 
 def encode_open_flow(flow_id: int) -> bytes:
@@ -229,6 +240,16 @@ def _unpack(spec: struct.Struct, frame: Frame) -> tuple:
 def decode_hello(frame: Frame) -> tuple[int, int]:
     """-> (version, max_frame)."""
     return _unpack(_HELLO, frame)  # type: ignore[return-value]
+
+
+def decode_hello_grammars(frame: Frame) -> tuple[str, ...]:
+    """The grammar refs advertised after the fixed HELLO fields
+    (empty for peers that do not send the field)."""
+    extra = frame.payload[_HELLO.size :]
+    if not extra:
+        return ()
+    text = extra.decode("utf-8", "replace")
+    return tuple(ref for ref in text.split(",") if ref)
 
 
 def decode_open_flow(frame: Frame) -> int:

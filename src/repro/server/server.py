@@ -35,6 +35,16 @@ Robustness model
   FINISH_FLOW are still honored and its final RESULT delivered), up to
   the drain timeout; then says GOODBYE and closes, discarding flows
   that never finished.
+* **Hot swap** — with a grammar registry attached, ``POST
+  /swap?grammar=name@version`` on the admin listener loads the new
+  artifact and installs it as a fresh *generation*: new OPEN_FLOWs
+  bind to it immediately, while flows already open keep streaming on
+  the generation (plan, tables, worker pool) they started on — the
+  same drain discipline as :meth:`stop`, applied per grammar version.
+  A generation with no remaining flows is retired (its worker pool
+  closed). Per-tenant traffic is accounted under
+  ``tenant.<ref>.*`` counters, and optional per-ref quotas bound the
+  open flows a grammar version may hold (``ERROR(OVERLOADED)``).
 
 Observability: counters/gauges/histograms land in one
 :class:`~repro.service.metrics.MetricsRegistry` (shared with the
@@ -49,6 +59,7 @@ import asyncio
 import contextlib
 import json
 import time
+import urllib.parse
 from typing import Any
 
 from repro.server import protocol
@@ -94,16 +105,36 @@ async def _read_frame(
 
 class _Flow:
     """Per-flow server state: the scan session (in-process mode) or
-    the service flow key (pool mode), plus timing for latency stats."""
+    the service flow key (pool mode), the grammar generation the flow
+    is pinned to, plus timing for latency stats."""
 
-    __slots__ = ("flow_id", "key", "session", "opened_at", "finishing")
+    __slots__ = ("flow_id", "key", "session", "gen", "opened_at", "finishing")
 
-    def __init__(self, flow_id: int, key: str, session) -> None:
+    def __init__(self, flow_id: int, key: str, session, gen) -> None:
         self.flow_id = flow_id
         self.key = key
         self.session = session
+        self.gen = gen
         self.opened_at = time.monotonic()
         self.finishing = False
+
+
+class _Generation:
+    """One served grammar version: its spec plus either an in-process
+    backend or a dedicated worker pool. Flows are pinned to the
+    generation they opened under, which is what lets a hot swap leave
+    in-flight flows scanning on the plan they started with."""
+
+    __slots__ = ("gen_id", "ref", "spec", "backend", "service")
+
+    def __init__(self, gen_id: int, ref: str, spec) -> None:
+        self.gen_id = gen_id
+        #: Registry ref served by this generation (``"name@version"``),
+        #: or the synthetic ``"default"`` for a spec-only server.
+        self.ref = ref
+        self.spec = spec
+        self.backend = None
+        self.service = None
 
 
 class _Connection:
@@ -168,6 +199,17 @@ class ScanServer:
     workers:
         0 (default) scans in-process on the event loop; N >= 1 starts a
         sharded :class:`~repro.service.ScanService` with N processes.
+    registry:
+        A :class:`~repro.service.registry.Registry` (or store root
+        path) enabling the admin hot-swap endpoint and the HELLO
+        grammar advertisement.
+    grammar:
+        Initial registry ref (``"name@version"``) to serve; requires
+        ``registry``. The spec's grammar field is replaced by the ref.
+    quotas:
+        Optional ``{ref: max_open_flows}`` per-tenant limits; a flow
+        opened past its grammar's quota is refused with
+        ``ERROR(OVERLOADED)``.
     """
 
     def __init__(
@@ -183,34 +225,47 @@ class ScanServer:
         admin_port: int | None = None,
         metrics: MetricsRegistry | None = None,
         write_high_water: int = 1 << 16,
+        registry: Any = None,
+        grammar: str | None = None,
+        quotas: dict[str, int] | None = None,
     ) -> None:
         if spec is None:
             from repro.service import RouterSpec
 
             spec = RouterSpec()
+        self._registry = None
+        if registry is not None:
+            from repro.service.registry import Registry
+
+            self._registry = (
+                registry
+                if isinstance(registry, Registry)
+                else Registry(registry)
+            )
+        ref = getattr(spec, "registry_ref", None) or "default"
+        if grammar is not None:
+            if self._registry is None:
+                raise ValueError(
+                    "grammar= (a registry ref) requires registry="
+                )
+            artifact = self._registry.load(grammar)
+            spec = self._spec_for_artifact(spec, artifact)
+            ref = artifact.ref or grammar
         self.spec = spec
         self.host = host
         self.port = port
         self.idle_timeout = idle_timeout
         self.max_frame = max_frame
+        self.queue_depth = queue_depth
         self.admin_port = admin_port
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.write_high_water = write_high_water
         self.workers = workers
-        self.service = None
-        self._backend = None
-        if workers:
-            from repro.service import ScanService
-
-            self.service = ScanService(
-                spec,
-                n_workers=workers,
-                queue_depth=queue_depth,
-                backpressure="raise",
-                metrics=self.metrics,
-            )
-        else:
-            self._backend = spec.build()
+        self.quotas = dict(quotas) if quotas else {}
+        self._gen_seq = 0
+        self._generations: dict[int, _Generation] = {}
+        self._started_pools = False
+        self._current = self._new_generation(spec, ref)
 
         self._server: asyncio.base_events.Server | None = None
         self._admin_server: asyncio.base_events.Server | None = None
@@ -228,6 +283,133 @@ class ScanServer:
         self._last_rx = time.monotonic()
 
     # ------------------------------------------------------------------
+    # grammar generations
+    # ------------------------------------------------------------------
+    @property
+    def service(self):
+        """The current generation's worker pool (None in-process)."""
+        return self._current.service
+
+    @property
+    def _backend(self):
+        """The current generation's in-process backend (None w/ pool)."""
+        return self._current.backend
+
+    def _new_generation(self, spec: Any, ref: str) -> _Generation:
+        self._gen_seq += 1
+        gen = _Generation(self._gen_seq, ref, spec)
+        if self.workers:
+            from repro.service import ScanService
+
+            gen.service = ScanService(
+                spec,
+                n_workers=self.workers,
+                queue_depth=self.queue_depth,
+                backpressure="raise",
+                metrics=self.metrics,
+            )
+            if self._started_pools:
+                gen.service.start()
+        else:
+            gen.backend = spec.build()
+        self._generations[gen.gen_id] = gen
+        return gen
+
+    def _spec_for_artifact(self, spec: Any, artifact) -> Any:
+        """The spec rebased onto a registry artifact's ref (workers
+        re-load the same artifact from the same store)."""
+        import dataclasses
+
+        try:
+            return dataclasses.replace(
+                spec,
+                grammar=None,
+                registry_ref=artifact.ref,
+                registry_root=str(self._registry.root),
+            )
+        except TypeError:
+            raise ValueError(
+                f"spec {type(spec).__name__} does not carry registry "
+                f"references; use RouterSpec or TaggerSpec"
+            ) from None
+
+    def swap_grammar(self, ref: str) -> dict:
+        """Hot-swap: serve ``ref`` for new flows, drain old ones.
+
+        Loads the artifact from the registry (warming this process's
+        caches), installs a fresh generation — with its own worker
+        pool when ``workers > 0`` — and points new OPEN_FLOWs at it.
+        Flows already open keep their original generation until they
+        finish; a fully drained generation is then retired. Returns a
+        summary dict (also the admin endpoint's response body).
+        """
+        if self._registry is None:
+            raise ValueError(
+                "hot swap needs a grammar registry (registry=...)"
+            )
+        artifact = self._registry.load(ref)
+        pinned = artifact.ref or ref
+        spec = self._spec_for_artifact(self.spec, artifact)
+        previous = self._current
+        # Reuse a still-live generation already serving this exact ref
+        # (swap back to the old version mid-drain without doubling
+        # pools).
+        for gen in self._generations.values():
+            if gen.ref == pinned:
+                self._current = gen
+                break
+        else:
+            self._current = self._new_generation(spec, pinned)
+        self.metrics.counter("server.swaps").inc()
+        self._retire_idle()
+        return {
+            "grammar": pinned,
+            "generation": self._current.gen_id,
+            "previous": previous.ref,
+            "draining": sum(
+                1
+                for conn in self._connections.values()
+                for flow in conn.flows.values()
+                if flow.gen is not self._current
+            ),
+        }
+
+    def _retire_idle(self) -> None:
+        """Drop generations no open flow references anymore."""
+        if len(self._generations) == 1:
+            return
+        live = {self._current.gen_id}
+        for conn in self._connections.values():
+            for flow in conn.flows.values():
+                live.add(flow.gen.gen_id)
+        for gen_id in [g for g in self._generations if g not in live]:
+            gen = self._generations.pop(gen_id)
+            if gen.service is not None:
+                gen.service.close(drain=False)
+            gen.backend = None
+            self.metrics.counter("server.swaps.retired").inc()
+
+    def _tenant_open(self, ref: str) -> int:
+        return sum(
+            1
+            for conn in self._connections.values()
+            for flow in conn.flows.values()
+            if flow.gen.ref == ref
+        )
+
+    def grammar_refs(self) -> tuple[str, ...]:
+        """Refs advertised in the server HELLO: the currently served
+        grammar first, then everything loadable from the registry."""
+        refs = []
+        if self._current.ref != "default":
+            refs.append(self._current.ref)
+        if self._registry is not None:
+            for ref in self._registry.refs():
+                if ref not in refs:
+                    refs.append(ref)
+        return tuple(refs[:32])
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "ScanServer":
@@ -236,8 +418,11 @@ class ScanServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
-        if self.service is not None:
-            self.service.start()
+        if self.workers:
+            self._started_pools = True
+            for gen in self._generations.values():
+                if gen.service is not None:
+                    gen.service.start()
             self._poll_task = asyncio.ensure_future(self._poll_service())
         if self.admin_port is not None:
             self._admin_server = await asyncio.start_server(
@@ -322,8 +507,9 @@ class ScanServer:
                         )
                 await conn.send(protocol.encode_goodbye())
             await conn.close()
-        if self.service is not None:
-            self.service.close(drain=drain)
+        for gen in self._generations.values():
+            if gen.service is not None:
+                gen.service.close(drain=drain)
         if self._server is not None:
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
@@ -344,8 +530,19 @@ class ScanServer:
         self.metrics.gauge("server.flows.pending_results").set(
             len(self._pending)
         )
+        generations = [
+            {
+                "generation": gen.gen_id,
+                "grammar": gen.ref,
+                "current": gen is self._current,
+                "open_flows": self._tenant_open(gen.ref),
+            }
+            for gen in self._generations.values()
+        ]
         if self.service is not None:
-            return self.service.stats()
+            snapshot = self.service.stats()
+            snapshot["generations"] = generations
+            return snapshot
         # In-process mode: report every engine's capability flags
         # (pool mode reports them through the service's stats), plus
         # the wide-loop skip-efficiency counters when live.
@@ -372,6 +569,7 @@ class ScanServer:
                 ).observe(skipped / scanned)
         snapshot = self.metrics.snapshot()
         snapshot["engine"] = engine
+        snapshot["generations"] = generations
         return snapshot
 
     def _vector_tagger(self):
@@ -430,7 +628,9 @@ class ScanServer:
             return False
         conn.peer_max_frame = peer_max
         await conn.send(
-            protocol.encode_hello(PROTOCOL_VERSION, self.max_frame)
+            protocol.encode_hello(
+                PROTOCOL_VERSION, self.max_frame, self.grammar_refs()
+            )
         )
         return True
 
@@ -490,15 +690,27 @@ class ScanServer:
                 f"flow {flow_id} already open",
             )
             return
+        gen = self._current
+        quota = self.quotas.get(gen.ref)
+        if quota is not None and self._tenant_open(gen.ref) >= quota:
+            self.metrics.counter(
+                f"tenant.{gen.ref}.flows_refused"
+            ).inc()
+            await conn.send_error(
+                flow_id, ErrorCode.OVERLOADED,
+                f"grammar {gen.ref} at its quota of {quota} open flows",
+            )
+            return
         session = (
-            self._backend.new_session()
-            if self._backend is not None
+            gen.backend.new_session()
+            if gen.backend is not None
             else None
         )
         conn.flows[flow_id] = _Flow(
-            flow_id, conn.flow_key(flow_id), session
+            flow_id, conn.flow_key(flow_id), session, gen
         )
         self.metrics.counter("server.flows.opened").inc()
+        self.metrics.counter(f"tenant.{gen.ref}.flows_opened").inc()
 
     async def _data(self, conn: _Connection, frame: Frame) -> None:
         flow_id, chunk = protocol.decode_data(frame)
@@ -512,8 +724,11 @@ class ScanServer:
         # While draining, flows opened before the drain began may
         # still stream to completion; only OPEN_FLOW is refused.
         self.metrics.counter("server.flows.bytes").inc(len(chunk))
-        if self.service is not None:
-            await self._paced(self.service.submit, flow.key, chunk)
+        self.metrics.counter(f"tenant.{flow.gen.ref}.bytes").inc(
+            len(chunk)
+        )
+        if flow.gen.service is not None:
+            await self._paced(flow.gen.service.submit, flow.key, chunk)
             return
         started = time.perf_counter()
         try:
@@ -540,10 +755,10 @@ class ScanServer:
                 f"FINISH_FLOW for unopened flow {flow_id}",
             )
             return
-        if self.service is not None:
+        if flow.gen.service is not None:
             flow.finishing = True
             self._pending[flow.key] = (conn, flow_id)
-            await self._paced(self.service.finish_flow, flow.key)
+            await self._paced(flow.gen.service.finish_flow, flow.key)
             return
         try:
             tail = flow.session.finish()
@@ -554,10 +769,14 @@ class ScanServer:
             return
         self._observe_flow_done(flow)
         del conn.flows[flow_id]
+        self._retire_idle()
         await conn.send(protocol.encode_result(flow_id, True, tail))
 
     def _observe_flow_done(self, flow: _Flow) -> None:
         self.metrics.counter("server.flows.finished").inc()
+        self.metrics.counter(
+            f"tenant.{flow.gen.ref}.flows_finished"
+        ).inc()
         self.metrics.histogram("latency.flow_s").observe(
             time.monotonic() - flow.opened_at
         )
@@ -583,6 +802,7 @@ class ScanServer:
         ]:
             del self._pending[key]
         conn.flows.clear()
+        self._retire_idle()
         await conn.close()
 
     # ------------------------------------------------------------------
@@ -602,35 +822,62 @@ class ScanServer:
                 await asyncio.sleep(0.002)
 
     async def _poll_service(self) -> None:
-        """Deliver final RESULT frames as the pool acknowledges
-        FINISH_FLOWs (the pool merges per-flow results in order)."""
-        assert self.service is not None
+        """Deliver final RESULT frames as the pools acknowledge
+        FINISH_FLOWs (each pool merges per-flow results in order).
+        Every live generation's pool is polled: after a hot swap,
+        draining generations still owe finals to their flows."""
         while True:
-            done = self.service.poll()
-            for key in done:
-                items = self.service.pop_flow(key)
-                target = self._pending.pop(key, None)
-                if target is None:  # connection went away
+            delivered = False
+            for gen in list(self._generations.values()):
+                if gen.service is None:
                     continue
-                conn, flow_id = target
-                flow = conn.flows.pop(flow_id, None)
-                if flow is not None:
-                    self._observe_flow_done(flow)
-                await conn.send(
-                    protocol.encode_result(flow_id, True, items)
-                )
+                for key in gen.service.poll():
+                    items = gen.service.pop_flow(key)
+                    target = self._pending.pop(key, None)
+                    if target is None:  # connection went away
+                        continue
+                    conn, flow_id = target
+                    flow = conn.flows.pop(flow_id, None)
+                    if flow is not None:
+                        self._observe_flow_done(flow)
+                    delivered = True
+                    await conn.send(
+                        protocol.encode_result(flow_id, True, items)
+                    )
+            if delivered:
+                self._retire_idle()
             await asyncio.sleep(0.001 if self._pending else 0.02)
 
     # ------------------------------------------------------------------
     # admin endpoint: minimal HTTP/1.0, plaintext
     # ------------------------------------------------------------------
+    def _admin_swap(self, method: str, query: str) -> tuple[str, str]:
+        """``POST /swap?grammar=name@version`` — hot-swap the served
+        grammar. Wrong method is 405, missing param 400, a registry or
+        load failure 409 (the server keeps serving what it was)."""
+        if method != "POST":
+            return "405 Method Not Allowed", "swap requires POST\n"
+        refs = urllib.parse.parse_qs(query).get("grammar")
+        if not refs or not refs[0]:
+            return (
+                "400 Bad Request",
+                "missing query parameter: grammar=name@version\n",
+            )
+        try:
+            info = self.swap_grammar(refs[0])
+        except Exception as exc:
+            return "409 Conflict", f"swap failed: {exc}\n"
+        return "200 OK", json.dumps(info, sort_keys=True) + "\n"
+
     async def _handle_admin(self, reader, writer) -> None:
         try:
             request = await asyncio.wait_for(
                 reader.readline(), timeout=self.idle_timeout
             )
             parts = request.decode("latin-1").split()
-            path = parts[1] if len(parts) >= 2 else "/"
+            method = parts[0].upper() if parts else "GET"
+            target = parts[1] if len(parts) >= 2 else "/"
+            path, _, query = target.partition("?")
             while True:  # drain headers
                 line = await asyncio.wait_for(
                     reader.readline(), timeout=self.idle_timeout
@@ -646,6 +893,8 @@ class ScanServer:
                 status, body = "200 OK", json.dumps(
                     self.stats(), indent=2, sort_keys=True
                 ) + "\n"
+            elif path == "/swap":
+                status, body = self._admin_swap(method, query)
             else:
                 status, body = "404 Not Found", f"no route {path}\n"
             payload = body.encode("utf-8")

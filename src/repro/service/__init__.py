@@ -12,9 +12,13 @@ OS processes:
   backpressure, crash respawn with journal replay, graceful drain;
 * :mod:`repro.service.metrics` — counters / gauges / latency
   histograms behind :meth:`ScanService.stats`;
+* :mod:`repro.service.registry` — :class:`Registry`: named, versioned
+  grammars compiled ahead-of-time into a content-addressed artifact
+  store, so workers load tables instead of recompiling;
 * :mod:`repro.service.errors` — :class:`QueueFull` and friends.
 """
 
+from repro.core.artifact import CompiledArtifact
 from repro.service.errors import (
     QueueFull,
     ServiceClosed,
@@ -22,12 +26,16 @@ from repro.service.errors import (
     WorkerCrashed,
 )
 from repro.service.metrics import MetricsRegistry
+from repro.service.registry import Registry, RegistryError
 from repro.service.service import RouterSpec, ScanService, TaggerSpec
 from repro.service.shard import ShardRouter, shard_of
 
 __all__ = [
+    "CompiledArtifact",
     "MetricsRegistry",
     "QueueFull",
+    "Registry",
+    "RegistryError",
     "RouterSpec",
     "ScanService",
     "ServiceClosed",

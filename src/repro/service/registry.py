@@ -1,0 +1,377 @@
+"""Named, versioned grammar registry over a content-addressed store.
+
+The paper compiles grammars offline and ships the tables to the
+device; this module is that deployment boundary in software.  A
+:class:`Registry` maps human references — ``"xmlrpc"`` or pinned
+``"xmlrpc@2"`` — onto compiled scan artifacts
+(:mod:`repro.core.artifact`) persisted under a store directory:
+
+* ``objects/<sha256>.art`` — immutable artifact blobs, addressed by
+  :func:`~repro.core.artifact.object_key` (grammar source + wiring +
+  engine ABI + interpreter tag), published atomically (temp file +
+  ``os.replace``, the same discipline as ``_native_build``'s kernel
+  cache) so racing workers never load a half-written blob;
+* ``names/<name>.json`` — a manifest per grammar name: monotonically
+  numbered versions, each carrying the canonical grammar source, the
+  wiring fields, the ABI-independent content id, and the per-
+  interpreter object keys.
+
+Publishing the same source + wiring twice (two parses of one DTD, two
+workers racing) converges on one version and one object — the on-disk
+fix for the in-process ``WeakKeyDictionary`` caches missing on
+structurally-equal grammar objects.  Loading under a *different*
+interpreter/ABI than the publisher finds the manifest but not a
+compatible object, recompiles from the manifest's source, and heals
+the store by publishing a blob for the current tag.
+
+The store root defaults to ``$REPRO_REGISTRY``, else
+``$XDG_CACHE_HOME/repro-registry``, else ``~/.cache/repro-registry``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro.core.artifact import (
+    ArtifactError,
+    CompiledArtifact,
+    build_artifact,
+    content_id,
+    interpreter_tag,
+    load_artifact,
+    object_key,
+    options_from_wiring_fields,
+    read_header,
+    wiring_fields,
+)
+from repro.core.generator import TaggerOptions
+from repro.errors import ReproError
+from repro.grammar.cfg import Grammar
+from repro.grammar.writer import write_yacc_grammar
+from repro.grammar.yacc_parser import parse_yacc_grammar
+
+__all__ = ["Registry", "RegistryError", "default_root", "parse_ref"]
+
+
+class RegistryError(ReproError):
+    """Unknown reference, malformed name, or unusable store."""
+
+
+def default_root() -> str:
+    """The store directory used when none is given explicitly."""
+    override = os.environ.get("REPRO_REGISTRY")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-registry")
+
+
+def parse_ref(ref: str) -> tuple[str, int | None]:
+    """Split ``"name@version"``; a bare name means the latest version."""
+    name, sep, version = ref.partition("@")
+    _check_name(name)
+    if not sep:
+        return name, None
+    if not version.isdigit():
+        raise RegistryError(
+            f"bad registry ref {ref!r}: version must be an integer"
+        )
+    return name, int(version)
+
+
+def _check_name(name: str) -> None:
+    if not name or not all(
+        c.isalnum() or c in "-_." for c in name
+    ) or name.startswith("."):
+        raise RegistryError(
+            f"bad grammar name {name!r}: use letters, digits, '-', '_', '.'"
+        )
+
+
+class Registry:
+    """Publish and load named, versioned compiled-grammar artifacts."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = os.fspath(root) if root is not None else default_root()
+        #: In-process artifact cache by content id: every ref that
+        #: resolves to the same logical grammar shares one loaded
+        #: artifact (and therefore one grammar object and one set of
+        #: warm engine caches).
+        self._artifacts: dict[str, CompiledArtifact] = {}
+
+    # ------------------------------------------------------------------
+    # store layout
+    # ------------------------------------------------------------------
+    def _objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    def _names_dir(self) -> str:
+        return os.path.join(self.root, "names")
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self._objects_dir(), f"{key}.art")
+
+    def _manifest_path(self, name: str) -> str:
+        return os.path.join(self._names_dir(), f"{name}.json")
+
+    def _read_manifest(self, name: str) -> dict | None:
+        try:
+            with open(self._manifest_path(name), encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise RegistryError(
+                f"unreadable manifest for {name!r}: {exc}"
+            ) from None
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".publish-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _write_manifest(self, name: str, manifest: dict) -> None:
+        self._write_atomic(
+            self._manifest_path(name),
+            json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+        )
+
+    # ------------------------------------------------------------------
+    # publish
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        grammar: Grammar,
+        options: TaggerOptions | None = None,
+    ) -> str:
+        """Compile ``grammar`` ahead of time and store it under ``name``.
+
+        Returns the pinned reference (``"name@N"``).  Content-addressed
+        dedup: if some version of ``name`` already holds the same
+        source + wiring, that version's ref is returned (the object is
+        still published for this interpreter tag if missing).
+        """
+        _check_name(name)
+        options = options or TaggerOptions()
+        source = write_yacc_grammar(grammar)
+        cid = content_id(source, options.wiring)
+        tag = interpreter_tag()
+        manifest = self._read_manifest(name) or {
+            "name": name,
+            "latest": 0,
+            "versions": {},
+        }
+        for vstr, entry in manifest["versions"].items():
+            if entry["content"] == cid:
+                if tag not in entry["objects"]:
+                    entry["objects"][tag] = self._publish_object(
+                        grammar, options, source
+                    )
+                    self._write_manifest(name, manifest)
+                return f"{name}@{vstr}"
+        version = max(
+            (int(v) for v in manifest["versions"]), default=0
+        ) + 1
+        key = self._publish_object(grammar, options, source)
+        manifest["versions"][str(version)] = {
+            "content": cid,
+            "source": source,
+            "wiring": wiring_fields(options.wiring),
+            "objects": {tag: key},
+            "published": time.time(),
+        }
+        manifest["latest"] = max(int(manifest.get("latest", 0)), version)
+        self._write_manifest(name, manifest)
+        return f"{name}@{version}"
+
+    def _publish_object(
+        self, grammar: Grammar, options: TaggerOptions, source: str
+    ) -> str:
+        key = object_key(source, options.wiring)
+        path = self._object_path(key)
+        if not os.path.exists(path):
+            self._write_atomic(path, build_artifact(grammar, options))
+        return key
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+    def load(self, ref: str) -> CompiledArtifact:
+        """Resolve ``ref`` and return its :class:`CompiledArtifact`.
+
+        The fast path reads one blob and installs warm tables; if the
+        store lacks a blob for this interpreter/ABI (published under
+        another Python, blob deleted, corrupt), the grammar is
+        recompiled from the manifest's canonical source and the store
+        is healed with a fresh blob.
+        """
+        name, version = parse_ref(ref)
+        manifest = self._read_manifest(name)
+        if manifest is None:
+            raise RegistryError(
+                f"unknown grammar {name!r} in registry {self.root}"
+            )
+        if version is None:
+            version = int(manifest.get("latest", 0))
+        entry = manifest["versions"].get(str(version))
+        if entry is None:
+            raise RegistryError(
+                f"grammar {name!r} has no version {version} "
+                f"(latest is {manifest.get('latest', 0)})"
+            )
+        pinned = f"{name}@{version}"
+        cached = self._artifacts.get(entry["content"])
+        if cached is not None:
+            cached.ref = pinned
+            return cached
+        artifact = self._load_entry(name, version, entry, manifest)
+        artifact.ref = pinned
+        self._artifacts[entry["content"]] = artifact
+        return artifact
+
+    def _load_entry(
+        self, name: str, version: int, entry: dict, manifest: dict
+    ) -> CompiledArtifact:
+        tag = interpreter_tag()
+        key = entry["objects"].get(tag)
+        if key:
+            try:
+                with open(self._object_path(key), "rb") as fh:
+                    return load_artifact(fh.read())
+            except (OSError, ArtifactError):
+                pass
+        # Heal: recompile from the canonical source, publish for this
+        # interpreter tag, and load the tables we just built.
+        grammar = parse_yacc_grammar(entry["source"], name=name)
+        options = options_from_wiring_fields(entry["wiring"])
+        blob = build_artifact(grammar, options)
+        key = object_key(entry["source"], options.wiring)
+        try:
+            self._write_atomic(self._object_path(key), blob)
+            entry["objects"][tag] = key
+            self._write_manifest(name, manifest)
+        except OSError:
+            pass  # read-only store: serve the in-memory compilation
+        return load_artifact(blob)
+
+    # ------------------------------------------------------------------
+    # introspection / maintenance
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered grammar names (sorted)."""
+        try:
+            files = os.listdir(self._names_dir())
+        except OSError:
+            return []
+        return sorted(
+            f[: -len(".json")] for f in files if f.endswith(".json")
+        )
+
+    def refs(self) -> list[str]:
+        """Every ``name@latest`` ref (for handshake advertisement)."""
+        out = []
+        for name in self.names():
+            manifest = self._read_manifest(name)
+            if manifest and manifest.get("latest"):
+                out.append(f"{name}@{manifest['latest']}")
+        return out
+
+    def list(self) -> list[dict]:
+        """Per-name summaries for ``repro registry list``."""
+        out = []
+        for name in self.names():
+            manifest = self._read_manifest(name)
+            if manifest is None:
+                continue
+            versions = {}
+            for vstr, entry in sorted(
+                manifest["versions"].items(), key=lambda kv: int(kv[0])
+            ):
+                versions[vstr] = {
+                    "content": entry["content"][:16],
+                    "published": entry.get("published"),
+                    "objects": len(entry.get("objects", {})),
+                }
+            out.append(
+                {
+                    "name": name,
+                    "latest": manifest.get("latest", 0),
+                    "versions": versions,
+                }
+            )
+        return out
+
+    def inspect(self, ref: str) -> dict:
+        """Everything known about one version, without loading tables."""
+        name, version = parse_ref(ref)
+        manifest = self._read_manifest(name)
+        if manifest is None:
+            raise RegistryError(f"unknown grammar {name!r}")
+        if version is None:
+            version = int(manifest.get("latest", 0))
+        entry = manifest["versions"].get(str(version))
+        if entry is None:
+            raise RegistryError(f"grammar {name!r} has no version {version}")
+        info = {
+            "ref": f"{name}@{version}",
+            "content": entry["content"],
+            "wiring": entry["wiring"],
+            "published": entry.get("published"),
+            "source_bytes": len(entry["source"]),
+            "objects": {},
+        }
+        for tag, key in entry.get("objects", {}).items():
+            obj: dict = {"key": key}
+            try:
+                with open(self._object_path(key), "rb") as fh:
+                    blob = fh.read()
+                obj["bytes"] = len(blob)
+                header = read_header(blob)
+                for field in ("dense", "states", "classes"):
+                    if field in header:
+                        obj[field] = header[field]
+            except (OSError, ArtifactError) as exc:
+                obj["error"] = str(exc)
+            info["objects"][tag] = obj
+        return info
+
+    def gc(self) -> int:
+        """Delete objects no manifest references; return the count."""
+        referenced = set()
+        for name in self.names():
+            manifest = self._read_manifest(name)
+            if manifest is None:
+                continue
+            for entry in manifest["versions"].values():
+                referenced.update(entry.get("objects", {}).values())
+        removed = 0
+        try:
+            files = os.listdir(self._objects_dir())
+        except OSError:
+            return 0
+        for fname in files:
+            if not fname.endswith(".art"):
+                continue
+            if fname[: -len(".art")] in referenced:
+                continue
+            try:
+                os.unlink(os.path.join(self._objects_dir(), fname))
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -128,8 +128,19 @@ class _TaggerBackend:
         return self.scanner.feed_many(sessions, chunks)
 
 
+def _resolve_service_engine(engine: str) -> str:
+    """Canonical engine name for a streaming service (or ServiceError)."""
+    from repro.core.capabilities import resolve_engine
+
+    try:
+        return resolve_engine(engine, streaming=True)
+    except ValueError as exc:
+        raise ServiceError(str(exc)) from None
+
+
 def _engine_tagger(grammar, options, engine: str):
     """Build the worker-side tagger for an engine name."""
+    engine = _resolve_service_engine(engine)
     if engine == "native":
         from repro.core.nativescan import NativeTagger
 
@@ -138,45 +149,58 @@ def _engine_tagger(grammar, options, engine: str):
         from repro.core.vectorscan import VectorTagger
 
         return VectorTagger(grammar, options)
-    if engine == "compiled":
-        from repro.core.compiled import CompiledTagger
+    from repro.core.compiled import CompiledTagger
 
-        return CompiledTagger(grammar, options)
-    raise ServiceError(
-        f"service specs support engine 'compiled', 'vector' or "
-        f"'native', not {engine!r} (streaming sessions need a "
-        f"compiled scan)"
-    )
+    return CompiledTagger(grammar, options)
+
+
+def _registry_artifact(ref: str, root: str | None):
+    """Load a registry artifact for a spec's ``registry_ref``."""
+    from repro.service.registry import Registry, RegistryError
+
+    try:
+        return Registry(root).load(ref)
+    except RegistryError as exc:
+        raise ServiceError(str(exc)) from None
 
 
 @dataclass(frozen=True)
 class RouterSpec:
     """Workers run :class:`~repro.apps.xmlrpc.router.RouterSession`
-    per flow; results are ``RoutedMessage`` lists."""
+    per flow; results are ``RoutedMessage`` lists.
+
+    ``registry_ref`` (``"name@version"``) resolves the grammar from
+    the artifact registry at build time — workers ship the short ref
+    across the spawn boundary and load precompiled tables from the
+    content-addressed store instead of unpickling and recompiling a
+    grammar object.
+    """
 
     grammar: Grammar | None = None
     table: Any = None
     method_element: str = "methodName"
     engine: str = "compiled"
+    registry_ref: str | None = None
+    registry_root: str | None = None
 
     def build(self) -> _RouterBackend:
         from repro.apps.xmlrpc.router import ContentBasedRouter
 
-        tagger = None
+        engine = _resolve_service_engine(self.engine)
         grammar = self.grammar
-        if self.engine != "compiled":
-            if self.engine not in ("vector", "native"):
-                raise ServiceError(
-                    f"service specs support engine 'compiled', "
-                    f"'vector' or 'native', not {self.engine!r}"
-                )
+        if self.registry_ref is not None:
+            grammar = _registry_artifact(
+                self.registry_ref, self.registry_root
+            ).grammar
+        tagger = None
+        if engine != "compiled":
             if grammar is None:
                 from repro.grammar.examples import xmlrpc
 
                 grammar = xmlrpc()
             from repro.core.tagger import BehavioralTagger
 
-            tagger = BehavioralTagger(grammar, engine=self.engine)
+            tagger = BehavioralTagger(grammar, engine=engine)
         return _RouterBackend(
             ContentBasedRouter(
                 grammar=grammar,
@@ -190,16 +214,35 @@ class RouterSpec:
 @dataclass(frozen=True)
 class TaggerSpec:
     """Workers run :class:`~repro.core.compiled.CompiledStream` per
-    flow; results are ``DetectEvent`` lists."""
+    flow; results are ``DetectEvent`` lists.
 
-    grammar: Grammar
+    Either ``grammar`` (a picklable grammar object) or
+    ``registry_ref`` (``"name@version"`` into the artifact registry)
+    must be set; with a ref, workers load precompiled tables from the
+    content-addressed store and ``options`` defaults to the published
+    wiring.
+    """
+
+    grammar: Grammar | None = None
     options: TaggerOptions | None = None
     engine: str = "compiled"
+    registry_ref: str | None = None
+    registry_root: str | None = None
 
     def build(self) -> _TaggerBackend:
-        return _TaggerBackend(
-            _engine_tagger(self.grammar, self.options, self.engine)
-        )
+        grammar, options = self.grammar, self.options
+        if self.registry_ref is not None:
+            artifact = _registry_artifact(
+                self.registry_ref, self.registry_root
+            )
+            grammar = artifact.grammar
+            if options is None:
+                options = artifact.options
+        if grammar is None:
+            raise ServiceError(
+                "TaggerSpec needs a grammar or a registry_ref"
+            )
+        return _TaggerBackend(_engine_tagger(grammar, options, self.engine))
 
 
 # ----------------------------------------------------------------------
@@ -251,7 +294,9 @@ class ScanService:
                     f"engine override"
                 ) from None
         self.spec = spec
-        self.engine = getattr(spec, "engine", "compiled")
+        self.engine = _resolve_service_engine(
+            getattr(spec, "engine", "compiled")
+        )
         self.backpressure = backpressure
         self.queue_depth = queue_depth
         self.respawn_limit = respawn_limit

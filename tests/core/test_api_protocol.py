@@ -149,28 +149,6 @@ def test_wrapper_is_a_stream_session():
     assert results[0].messages[0].port == 1
 
 
-# ----------------------------------------------------------------------
-# deprecated aliases
-# ----------------------------------------------------------------------
-def test_push_frame_alias_warns():
-    wrapper = TaggingWrapper()
-    with pytest.warns(DeprecationWarning, match="push_frame"):
-        wrapper.push_frame(b"garbage")
-    assert wrapper.malformed == 1
-
-
-def test_push_packet_alias_warns():
-    trace = TraceGenerator(mss=32).trace([MethodCall("buy").encode()])
-    wrapper = TaggingWrapper()
-    with pytest.warns(DeprecationWarning, match="push_packet"):
-        for packet in trace:
-            wrapper.push_packet(packet)
-    assert wrapper.results()[0].messages[0].port == 1
-
-
-def test_error_positions_alias_warns(grammar):
-    recovery = TaggerOptions(wiring=WiringOptions(error_recovery=True))
-    gate = GateLevelTagger(TaggerGenerator(recovery).generate(grammar))
-    with pytest.warns(DeprecationWarning, match="error_positions"):
-        positions = gate.error_positions(b"<methodCall>>")
-    assert positions == gate.events_and_errors(b"<methodCall>>")[1]
+# Deprecated-alias warning coverage lives in one place:
+# tests/core/test_deprecations.py (the matrix over every session and
+# engine). Nothing else in the repo calls the aliases.

@@ -8,10 +8,12 @@ service snapshots — so the shape is pinned here once.
 import pytest
 
 from repro.core.capabilities import (
+    ENGINE_CHOICES,
     ENGINES,
     capability_summary,
     describe_capabilities,
     engine_capabilities,
+    resolve_engine,
 )
 
 
@@ -53,3 +55,44 @@ def test_disable_env_is_reported(monkeypatch):
     assert caps["native"]["disabled_by_env"] is True
     assert caps["native"]["native"] is False
     assert "disabled" in capability_summary()
+
+
+# ----------------------------------------------------------------------
+# resolve_engine: the one front door for every --engine surface
+# ----------------------------------------------------------------------
+def test_resolve_engine_passes_canonical_names_through():
+    for name in ENGINES:
+        assert resolve_engine(name) == name
+
+
+def test_resolve_engine_choices_cover_aliases_and_auto():
+    assert "auto" in ENGINE_CHOICES
+    assert resolve_engine("interp") == "interpreted"
+    for choice in ENGINE_CHOICES:
+        assert resolve_engine(choice) in ENGINES
+
+
+def test_resolve_engine_auto_picks_a_dense_available_engine():
+    resolved = resolve_engine("auto")
+    assert resolved in ("native", "vector", "compiled")
+    # auto is streaming-safe by construction.
+    assert resolve_engine("auto", streaming=True) == resolved
+
+
+def test_resolve_engine_auto_respects_disable_env(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_NATIVE", "1")
+    assert resolve_engine("auto") in ("vector", "compiled")
+    monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+    assert resolve_engine("auto") == "compiled"
+
+
+def test_resolve_engine_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown engine"):
+        resolve_engine("turbo")
+
+
+def test_resolve_engine_streaming_rejects_interpreted():
+    with pytest.raises(ValueError, match="incremental"):
+        resolve_engine("interpreted", streaming=True)
+    with pytest.raises(ValueError, match="incremental"):
+        resolve_engine("interp", streaming=True)

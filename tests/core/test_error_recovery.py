@@ -60,13 +60,6 @@ class TestRecoverySemantics:
         with pytest.raises(ValueError):
             gate.events_and_errors(b"go")
 
-    def test_error_positions_deprecated_alias(self, pair):
-        _behavioral, gate = pair
-        with pytest.warns(DeprecationWarning):
-            positions = gate.error_positions(b"go !! stop")
-        assert positions == gate.events_and_errors(b"go !! stop")[1]
-
-
 class TestHardwareEquivalence:
     @pytest.mark.parametrize(
         "data",
