@@ -5,7 +5,12 @@
   context-aware and naive baselines;
 * :mod:`repro.apps.content_filter` — a token-context content filter;
 * :mod:`repro.apps.nids` — a context-aware signature tagger in the
-  style of the network-intrusion-detection applications of §5.1.
+  style of the network-intrusion-detection applications of §5.1;
+* :mod:`repro.apps.structgen` — the constrained-decoding subsystem:
+  per-automaton-state valid-token bitmasks over an LLM-style
+  vocabulary, precomputed from the compiled tables and served as
+  decode sessions (imported lazily — ``from repro.apps import
+  structgen``).
 """
 
 from repro.apps.xmlrpc import (

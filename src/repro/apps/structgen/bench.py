@@ -1,0 +1,112 @@
+"""Masks/sec benchmark: precomputed path vs naive per-token simulation.
+
+Both paths answer the same query — the full packed validity row for
+the decode's current state — over the same seeded random walk through
+valid tokens.  The precomputed path is a row copy plus the
+context-dependent remainder; the naive baseline re-walks every
+vocabulary token's bytes at every step (what a masking layer without
+ahead-of-time precompute has to do).  The ≥10× ratio between them is
+the CI acceptance gate and lands in ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from .masks import MaskSession, MaskTable, build_mask_table
+from .vocab import Vocabulary, synthetic_vocab
+
+__all__ = ["run_mask_bench", "random_walk_states"]
+
+
+def random_walk_states(
+    table: MaskTable, steps: int, seed: int = 2006
+) -> list[int]:
+    """A seeded decode trajectory: from state 0, repeatedly pick a
+    uniformly random valid token and advance (reset on dead ends), and
+    return the state visited at each step."""
+    rng = random.Random(seed)
+    session = MaskSession(table)
+    states = []
+    for _ in range(steps):
+        states.append(session.state)
+        row = session.mask()
+        valid = [
+            i for i in range(len(table.vocab)) if row[i >> 3] >> (i & 7) & 1
+        ]
+        if not valid:
+            session.reset()
+            continue
+        session.advance(rng.choice(valid))
+    return states
+
+
+def _rate(query, states, reps: int = 3) -> float:
+    """Best-of-``reps`` masks/sec for ``query(state)`` over a fixed
+    trajectory (one untimed warmup pass first)."""
+    for state in states:
+        query(state)
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        for state in states:
+            query(state)
+        best = min(best, time.perf_counter() - start)
+    return len(states) / best
+
+
+def run_mask_bench(
+    grammar,
+    options=None,
+    vocab: Vocabulary | None = None,
+    *,
+    steps: int = 400,
+    naive_steps: int = 40,
+    seed: int = 2006,
+    reps: int = 3,
+    ci_max_len=None,
+    ci_budget=None,
+) -> dict:
+    """Measure the precomputed and naive masks/sec on one grammar.
+
+    The naive baseline runs over a prefix of the same trajectory
+    (``naive_steps``) because it is orders of magnitude slower; both
+    rates are per-mask, so the ratio is fair.
+    """
+    vocab = vocab or synthetic_vocab()
+    kwargs = {}
+    if ci_max_len is not None:
+        kwargs["ci_max_len"] = ci_max_len
+    if ci_budget is not None:
+        kwargs["ci_budget"] = ci_budget
+    table = build_mask_table(grammar, vocab, options, **kwargs)
+
+    states = random_walk_states(table, steps, seed=seed)
+    session = MaskSession(table)
+
+    def precomputed(state: int):
+        session.state = state
+        return session.mask()
+
+    masks_per_s = _rate(precomputed, states, reps=reps)
+    naive_per_s = _rate(table.naive_row, states[:naive_steps], reps=1)
+
+    counters = dict(session.counters)
+    served = counters["masks_served"] or 1
+    return {
+        "grammar": table.grammar_name,
+        "vocab_size": len(vocab),
+        "vocab_hash": vocab.vocab_hash[:16],
+        "states": table.n_states,
+        "ci": table.ci_count,
+        "cd": len(table.cd_ids),
+        "ci_fraction": table.ci_count / len(vocab),
+        "build_ms": table.build_ms,
+        "steps": len(states),
+        "masks_per_s": masks_per_s,
+        "naive_masks_per_s": naive_per_s,
+        "speedup": masks_per_s / naive_per_s if naive_per_s else 0.0,
+        "ci_tokens_per_mask": counters["ci_tokens"] / served,
+        "cd_checks_per_mask": counters["cd_checks"] / served,
+    }

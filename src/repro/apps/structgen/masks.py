@@ -1,0 +1,465 @@
+"""Per-state token masks: tables, sessions, and the on-disk artifact.
+
+This is the constrained-decoding workload (`ROADMAP`): given a
+compiled grammar and a byte-level vocabulary, answer "which tokens may
+the model emit from the current parse state" once per decode step.
+The lowering lives in :mod:`repro.core.maskgen`; this module adds the
+three things a serving stack needs:
+
+* **The CI/CD split (XGrammar-style).** Most tokens are
+  *context-independent*: their validity bit per state is baked into a
+  packed row ahead of time, over the byte-equivalence-class closure,
+  with shared-prefix trie walking so the precompute is
+  ``states × trie-nodes``, not ``states × tokens × bytes``.  Tokens
+  past a length cap or a precompute budget stay *context-dependent*
+  and are re-checked (memoized) against the live state at query time.
+  ``mask()`` is therefore one row copy plus a handful of CD checks —
+  which is where the ≥10× over naive per-token simulation comes from.
+
+* **MaskSession.** The per-decode API: ``mask()`` returns the packed
+  validity row for the current state (bit *i*, LSB-first per byte, is
+  token *i*), ``advance(token_id)`` steps the automaton by the
+  token's bytes.  Sessions mirror their counters into a
+  :class:`~repro.service.metrics.MetricsRegistry` when given one.
+
+* **The mask artifact.** ``RMSK`` blobs, ABI-tagged like ``RART`` and
+  keyed ``content_id × vocab_hash`` (:func:`mask_key`) — the same
+  artifact, byte for byte, for every interpreter, because the payload
+  is raw packed rows rather than marshal.  A table fingerprint
+  (:meth:`~repro.core.maskgen.MaskLowering.fingerprint`) guards
+  against state-id drift: rows are only served when the loader's
+  lowered tables hash identically to the builder's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+from repro.core.compiled import CompiledTagger
+from repro.core.generator import TaggerOptions
+from repro.core.maskgen import MaskInfeasible, MaskLowering
+from repro.errors import ReproError
+from repro.grammar.writer import write_yacc_grammar
+
+from .vocab import Vocabulary
+
+__all__ = [
+    "MASK_ABI",
+    "MaskError",
+    "MaskSession",
+    "MaskTable",
+    "build_mask_table",
+    "load_mask_blob",
+    "mask_key",
+    "read_mask_header",
+]
+
+#: Bumped whenever the RMSK layout changes; part of :func:`mask_key`,
+#: so old blobs are never looked up again (same discipline as
+#: ``ARTIFACT_ABI``).
+MASK_ABI = 1
+
+_MAGIC = b"RMSK"
+
+#: Default per-token byte-class-length cap for the precomputed set:
+#: longer tokens are context-dependent regardless of budget.
+DEFAULT_CI_MAX_LEN = 48
+
+#: Default precompute budget in trie-DFS steps (states × trie nodes):
+#: class strings are admitted shortest-first until the trie would push
+#: past it; the remainder stays context-dependent.
+DEFAULT_CI_BUDGET = 8_000_000
+
+
+class MaskError(ReproError):
+    """Bad token id, invalid advance, or a corrupt/mismatched blob."""
+
+
+def mask_key(content: str, vocab_hash: str) -> str:
+    """The store key for one mask artifact: grammar content id ×
+    vocabulary hash × mask ABI.  No interpreter tag — RMSK payloads
+    are raw bytes, valid under every interpreter."""
+    digest = hashlib.sha256()
+    digest.update(content.encode("ascii"))
+    digest.update(b":")
+    digest.update(vocab_hash.encode("ascii"))
+    digest.update(b":rmsk%d" % MASK_ABI)
+    return digest.hexdigest()
+
+
+class MaskTable:
+    """Packed per-state validity rows + the CD remainder for one
+    (grammar content, vocabulary) pair.  Stateless and shared: any
+    number of :class:`MaskSession`\\ s (and server flows) query one
+    table concurrently."""
+
+    __slots__ = (
+        "lowering",
+        "vocab",
+        "codes",
+        "rows",
+        "row_bytes",
+        "cd_ids",
+        "ci_count",
+        "content",
+        "grammar_name",
+        "wiring",
+        "build_ms",
+        "_adv_memo",
+    )
+
+    def __init__(
+        self,
+        lowering: MaskLowering,
+        vocab: Vocabulary,
+        rows: bytes,
+        cd_ids: tuple[int, ...],
+        content: str,
+        grammar_name: str = "grammar",
+        wiring: list | None = None,
+        build_ms: float = 0.0,
+    ) -> None:
+        self.lowering = lowering
+        self.vocab = vocab
+        self.codes = tuple(lowering.codes(t) for t in vocab.tokens)
+        self.rows = bytes(rows)
+        self.row_bytes = (len(vocab) + 7) // 8
+        self.cd_ids = tuple(cd_ids)
+        self.ci_count = len(vocab) - len(self.cd_ids)
+        self.content = content
+        self.grammar_name = grammar_name
+        self.wiring = wiring or []
+        self.build_ms = build_ms
+        self._adv_memo: dict = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return self.lowering.n_states
+
+    @property
+    def vocab_hash(self) -> str:
+        return self.vocab.vocab_hash
+
+    @property
+    def key(self) -> str:
+        return mask_key(self.content, self.vocab_hash)
+
+    def describe(self) -> dict:
+        """JSON-safe summary (``/stats``, ``registry inspect``)."""
+        return {
+            "key": self.key[:16],
+            "grammar": self.grammar_name,
+            "vocab_hash": self.vocab_hash[:16],
+            "vocab_size": len(self.vocab),
+            "states": self.n_states,
+            "ci": self.ci_count,
+            "cd": len(self.cd_ids),
+            "row_bytes": self.row_bytes,
+        }
+
+    # ------------------------------------------------------------------
+    def mask_row(self, state: int) -> bytearray:
+        """The packed validity row for ``state``: the precomputed CI
+        bits copied, the CD tokens re-checked (memoized) live."""
+        base = state * self.row_bytes
+        row = bytearray(self.rows[base : base + self.row_bytes])
+        if self.cd_ids:
+            lowering = self.lowering
+            codes = self.codes
+            valid = lowering.valid_memo
+            for tok in self.cd_ids:
+                if valid(state, codes[tok]):
+                    row[tok >> 3] |= 1 << (tok & 7)
+        return row
+
+    def naive_row(self, state: int) -> bytearray:
+        """The simulate-every-token baseline: no precomputed rows, no
+        trie, no memo — each token's bytes walked individually.  The
+        benchmark's denominator."""
+        lowering = self.lowering
+        class_table = lowering.class_table
+        step = lowering.step
+        err = lowering.err_state
+        doomed = lowering.doomed
+        row = bytearray(self.row_bytes)
+        for i, token in enumerate(self.vocab.tokens):
+            s = state
+            for c in token.translate(class_table):
+                if err[s]:
+                    s = -1
+                    break
+                s = step[s][c]
+            if s >= 0 and not doomed[s]:
+                row[i >> 3] |= 1 << (i & 7)
+        return row
+
+    def advance_state(self, state: int, token_id: int) -> int:
+        """The state after emitting ``token_id`` from ``state``.
+        Raises :class:`MaskError` for out-of-range ids or tokens whose
+        mask bit is 0 (a constrained decoder never emits those)."""
+        if not 0 <= token_id < len(self.vocab):
+            raise MaskError(
+                f"token id {token_id} out of range "
+                f"(vocabulary has {len(self.vocab)} tokens)"
+            )
+        memo = self._adv_memo
+        key = (state, token_id)
+        nxt = memo.get(key)
+        if nxt is None:
+            lowering = self.lowering
+            nxt = lowering.walk(state, self.codes[token_id])
+            if nxt < 0 or lowering.doomed[nxt]:
+                nxt = -1
+            if len(memo) < 1 << 18:
+                memo[key] = nxt
+        if nxt < 0:
+            raise MaskError(
+                f"token {token_id} is not valid in state {state}"
+            )
+        return nxt
+
+    def eos_valid(self, state: int) -> bool:
+        """Whether end-of-data is accepted in ``state`` (some pending
+        token detects at EOF — the flush path's condition)."""
+        return self.lowering.eos[state]
+
+    # ------------------------------------------------------------------
+    # serialization: RMSK | u32 header len | JSON header | raw sections
+    # ------------------------------------------------------------------
+    def to_blob(self) -> bytes:
+        header = {
+            "format": _MAGIC.decode("ascii"),
+            "abi": MASK_ABI,
+            "content": self.content,
+            "fingerprint": self.lowering.fingerprint(),
+            "grammar": self.grammar_name,
+            "wiring": self.wiring,
+            "vocab_hash": self.vocab_hash,
+            "vocab_size": len(self.vocab),
+            "states": self.n_states,
+            "row_bytes": self.row_bytes,
+            "ci": self.ci_count,
+            "cd": len(self.cd_ids),
+            "built": time.time(),
+        }
+        head = json.dumps(header, sort_keys=True).encode("utf-8")
+        parts = [_MAGIC, len(head).to_bytes(4, "big"), head, self.rows]
+        parts.extend(t.to_bytes(4, "big") for t in self.cd_ids)
+        for token in self.vocab.tokens:
+            parts.append(len(token).to_bytes(4, "big"))
+            parts.append(token)
+        return b"".join(parts)
+
+
+def read_mask_header(blob: bytes) -> dict:
+    """Parse and validate an RMSK header without touching the rows."""
+    if blob[:4] != _MAGIC:
+        raise MaskError("not a mask artifact (bad magic)")
+    head_len = int.from_bytes(blob[4:8], "big")
+    if len(blob) < 8 + head_len:
+        raise MaskError("truncated mask artifact header")
+    try:
+        header = json.loads(blob[8 : 8 + head_len])
+    except ValueError as exc:
+        raise MaskError(f"corrupt mask artifact header: {exc}") from None
+    return header
+
+
+# ----------------------------------------------------------------------
+# build / load
+# ----------------------------------------------------------------------
+def build_mask_table(
+    grammar,
+    vocab: Vocabulary,
+    options: TaggerOptions | None = None,
+    *,
+    ci_max_len: int = DEFAULT_CI_MAX_LEN,
+    ci_budget: int = DEFAULT_CI_BUDGET,
+) -> MaskTable:
+    """Lower ``grammar`` and precompute the CI rows for ``vocab``.
+
+    Tokens group by byte-class string (distinct tokens with one class
+    string are one walk — the token-space-compression observation);
+    groups are admitted into the precomputed trie shortest-first until
+    ``ci_max_len`` / ``ci_budget`` push the remainder into the
+    context-dependent set.
+    """
+    start = time.perf_counter()
+    options = options or TaggerOptions()
+    tagger = CompiledTagger(grammar, options)
+    lowering = MaskLowering(tagger)
+
+    groups: dict[bytes, list[int]] = {}
+    for i, token in enumerate(vocab.tokens):
+        groups.setdefault(lowering.codes(token), []).append(i)
+
+    n = lowering.n_states
+    root: list = [{}, []]
+    nodes = 1
+    cd_ids: list[int] = []
+    for code_str, ids in sorted(
+        groups.items(), key=lambda kv: (len(kv[0]), kv[0])
+    ):
+        if len(code_str) > ci_max_len:
+            cd_ids.extend(ids)
+            continue
+        # Count the nodes this string would add before inserting, so a
+        # budget refusal leaves the trie untouched.
+        node = root
+        new = 0
+        for depth, c in enumerate(code_str):
+            child = node[0].get(c)
+            if child is None:
+                new = len(code_str) - depth
+                break
+            node = child
+        if (nodes + new) * n > ci_budget and nodes > 1:
+            cd_ids.extend(ids)
+            continue
+        nodes += new
+        node = root
+        for c in code_str:
+            child = node[0].get(c)
+            if child is None:
+                child = [{}, []]
+                node[0][c] = child
+            node = child
+        node[1].extend(ids)
+
+    rows = lowering.rows_from_trie(root, len(vocab))
+    from repro.core.artifact import content_id, wiring_fields
+
+    source = write_yacc_grammar(grammar)
+    return MaskTable(
+        lowering,
+        vocab,
+        bytes(rows),
+        tuple(sorted(cd_ids)),
+        content_id(source, options.wiring),
+        grammar_name=grammar.name,
+        wiring=wiring_fields(options.wiring),
+        build_ms=(time.perf_counter() - start) * 1e3,
+    )
+
+
+def load_mask_blob(
+    blob: bytes, grammar, options: TaggerOptions | None = None
+) -> MaskTable:
+    """Restore a mask table from an RMSK blob.
+
+    ``grammar``/``options`` must be the artifact the masks were built
+    against (normally the registry hands both over).  The lowering is
+    recomputed — cheap next to the trie precompute — and its
+    fingerprint must match the builder's, which pins the state-id
+    interning order; a mismatch raises :class:`MaskError` so callers
+    rebuild instead of serving misaligned rows.
+    """
+    start = time.perf_counter()
+    header = read_mask_header(blob)
+    if header.get("abi") != MASK_ABI:
+        raise MaskError(
+            f"mask artifact ABI {header.get('abi')!r}, "
+            f"this build is {MASK_ABI}"
+        )
+    options = options or TaggerOptions()
+    try:
+        lowering = MaskLowering(CompiledTagger(grammar, options))
+    except MaskInfeasible as exc:
+        raise MaskError(str(exc)) from None
+    if lowering.fingerprint() != header.get("fingerprint"):
+        raise MaskError(
+            "mask artifact fingerprint mismatch (grammar tables "
+            "drifted); rebuild the masks"
+        )
+    n_states = header["states"]
+    row_bytes = header["row_bytes"]
+    vocab_size = header["vocab_size"]
+    cd_count = header["cd"]
+    offset = 8 + int.from_bytes(blob[4:8], "big")
+    rows_end = offset + n_states * row_bytes
+    cd_end = rows_end + 4 * cd_count
+    if len(blob) < cd_end:
+        raise MaskError("truncated mask artifact payload")
+    rows = blob[offset:rows_end]
+    cd_ids = tuple(
+        int.from_bytes(blob[i : i + 4], "big")
+        for i in range(rows_end, cd_end, 4)
+    )
+    tokens = []
+    pos = cd_end
+    for _ in range(vocab_size):
+        if len(blob) < pos + 4:
+            raise MaskError("truncated mask artifact vocabulary")
+        tlen = int.from_bytes(blob[pos : pos + 4], "big")
+        pos += 4
+        tokens.append(blob[pos : pos + tlen])
+        pos += tlen
+    vocab = Vocabulary(tokens)
+    if vocab.vocab_hash != header.get("vocab_hash"):
+        raise MaskError("mask artifact vocabulary hash mismatch")
+    return MaskTable(
+        lowering,
+        vocab,
+        rows,
+        cd_ids,
+        header["content"],
+        grammar_name=header.get("grammar", "grammar"),
+        wiring=header.get("wiring", []),
+        build_ms=(time.perf_counter() - start) * 1e3,
+    )
+
+
+# ----------------------------------------------------------------------
+class MaskSession:
+    """One decode's cursor over a shared :class:`MaskTable`.
+
+    ``mask()`` → packed row for the current state; ``advance(id)`` →
+    step by that token's bytes.  ``metrics`` (when given) receives the
+    structgen counters — masks served, precomputed CI bits served,
+    context-dependent checks — alongside the session-local
+    :attr:`counters` dict.
+    """
+
+    __slots__ = ("table", "state", "counters", "_metrics")
+
+    def __init__(self, table: MaskTable, metrics=None) -> None:
+        self.table = table
+        self.state = 0
+        self.counters = {
+            "masks_served": 0,
+            "ci_tokens": 0,
+            "cd_checks": 0,
+            "advances": 0,
+        }
+        self._metrics = metrics
+
+    def mask(self) -> bytes:
+        table = self.table
+        row = bytes(table.mask_row(self.state))
+        counters = self.counters
+        counters["masks_served"] += 1
+        counters["ci_tokens"] += table.ci_count
+        counters["cd_checks"] += len(table.cd_ids)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("structgen.masks_served").inc()
+            metrics.counter("structgen.ci_tokens").inc(table.ci_count)
+            metrics.counter("structgen.cd_checks").inc(len(table.cd_ids))
+        return row
+
+    def advance(self, token_id: int) -> int:
+        self.state = self.table.advance_state(self.state, token_id)
+        self.counters["advances"] += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("structgen.advances").inc()
+        return self.state
+
+    def eos_valid(self) -> bool:
+        return self.table.eos_valid(self.state)
+
+    def reset(self) -> None:
+        self.state = 0

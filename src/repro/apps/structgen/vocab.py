@@ -1,0 +1,148 @@
+"""Byte-level token vocabularies for constrained decoding.
+
+An LLM vocabulary is, for masking purposes, just an ordered list of
+byte strings: token id ``i`` is row bit ``i`` in every mask.  The
+identity that keys a mask artifact is :attr:`Vocabulary.vocab_hash` —
+sha256 over the count and the length-prefixed token bytes, so two
+vocabularies with the same tokens in the same order share masks and
+any reorder, insert or edit invalidates them.
+
+:func:`synthetic_vocab` builds the deterministic 1–4k-token test/bench
+vocabulary: single-byte fallback tokens (every byte value, so partial
+UTF-8 sequences exist), markup/keyword fragments that straddle the
+grammars' byte-equivalence-class boundaries, whitespace-prefixed
+words, digit runs, and multi-byte UTF-8 tokens (accented Latin, CJK,
+emoji) — the shapes real BPE vocabularies contain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+
+__all__ = ["Vocabulary", "synthetic_vocab"]
+
+#: Fragments that straddle the example grammars' structure: XML-RPC
+#: markup split at unnatural points, keywords, and parser noise.
+_FRAGMENTS = (
+    "<methodCall>", "</methodCall>", "<methodName>", "odName>", "<met",
+    "hodResponse>", "<params>", "<param>", "</param", "<value>", "<i4>",
+    "</i4>", "<int>", "<string>", "</string>", "<boolean>", "<double>",
+    "<array>", "<data>", "<struct>", "<member>", "<name>", "<fault>",
+    "if", "then", "else", "true", "false", "go", "stop", "and", "or",
+    "(", ")", "((", "))", "()", ")(", "((((", "))))",
+    "<", ">", "</", "/>", "<>", "=\"", "\">",
+)
+
+#: Multi-byte UTF-8 tokens: 2-byte (Latin-1 supplement), 3-byte (CJK,
+#: arrows), 4-byte (emoji) — several per class so token walks cross
+#: byte-class boundaries mid-sequence.
+_UTF8 = (
+    "é", "été", "café", "naïve", "über", "ño",
+    "日本語", "漢字", "中文", "한국어",
+    "→", "⇒", "✓", "∑", "≈",
+    "🚀", "🎉", "🧪", "😀",
+    " é", " 日本", "a→b",
+)
+
+_WORDS = (
+    "the", "value", "name", "data", "call", "response", "param",
+    "buy", "sell", "price", "amount", "result", "error", "status",
+    "method", "struct", "array", "member", "fault", "code",
+)
+
+
+class Vocabulary:
+    """An ordered, immutable byte-level token list."""
+
+    __slots__ = ("tokens", "_hash")
+
+    def __init__(self, tokens) -> None:
+        toks = tuple(
+            t if isinstance(t, bytes) else str(t).encode("utf-8")
+            for t in tokens
+        )
+        if not toks:
+            raise ValueError("vocabulary is empty")
+        for t in toks:
+            if not t:
+                raise ValueError("vocabulary contains an empty token")
+        self.tokens = toks
+        self._hash: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __getitem__(self, i: int) -> bytes:
+        return self.tokens[i]
+
+    def __iter__(self):
+        return iter(self.tokens)
+
+    @property
+    def vocab_hash(self) -> str:
+        """sha256 over count + length-prefixed token bytes (hex)."""
+        if self._hash is None:
+            h = hashlib.sha256()
+            h.update(b"vocab1:%d:" % len(self.tokens))
+            for t in self.tokens:
+                h.update(len(t).to_bytes(4, "big"))
+                h.update(t)
+            self._hash = h.hexdigest()
+        return self._hash
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(cls, path: str) -> "Vocabulary":
+        """Load from JSON: a list of strings, or ``{"tokens": [...]}``.
+        Strings are UTF-8 encoded; ``\\uDC80``-style surrogate escapes
+        round-trip raw bytes (``errors="surrogateescape"``)."""
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if isinstance(doc, dict):
+            doc = doc.get("tokens", [])
+        return cls(
+            s.encode("utf-8", errors="surrogateescape") for s in doc
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                [t.decode("utf-8", errors="surrogateescape")
+                 for t in self.tokens],
+                fh, ensure_ascii=True,
+            )
+
+
+def synthetic_vocab(size: int = 2048, seed: int = 2006) -> Vocabulary:
+    """A deterministic LLM-shaped byte-level vocabulary of ``size``
+    unique tokens (order and content fixed by ``seed``)."""
+    if size < 300:
+        raise ValueError("synthetic vocabulary needs size >= 300")
+    rng = random.Random(seed)
+    seen: set[bytes] = set()
+    tokens: list[bytes] = []
+
+    def add(token: bytes) -> None:
+        if token and token not in seen and len(tokens) < size:
+            seen.add(token)
+            tokens.append(token)
+
+    for b in range(256):  # byte fallback: partial UTF-8 included
+        add(bytes([b]))
+    for frag in _FRAGMENTS:
+        add(frag.encode("utf-8"))
+    for word in _WORDS:
+        add(word.encode("utf-8"))
+        add((" " + word).encode("utf-8"))
+        add(word.capitalize().encode("utf-8"))
+    for tok in _UTF8:
+        add(tok.encode("utf-8"))
+    for n in list(range(100)) + [1234, 65536, 999999]:
+        add(str(n).encode("ascii"))
+    alphabet = "abcdefghijklmnopqrstuvwxyz<>/=\"' \t\n0123456789"
+    while len(tokens) < size:
+        length = rng.choice((2, 3, 3, 4, 4, 5, 6, 8))
+        add("".join(rng.choice(alphabet) for _ in range(length)).encode())
+    return Vocabulary(tokens)

@@ -16,6 +16,10 @@ Commands mirror the paper's workflow:
   (plus a cold-start benchmark: registry load vs recompile);
 * ``client-bench`` — closed-loop load generator against a running
   server, with byte-for-byte verification;
+* ``structgen`` — the constrained-decoding subsystem: precompute
+  per-state valid-token masks for a grammar × vocabulary, serve mask
+  flows over the wire protocol, and benchmark masks/sec (precomputed
+  vs context-dependent split, or remote round trips);
 * ``table1`` / ``figure15`` / ``ablation`` — print the experiment
   reproductions.
 """
@@ -427,6 +431,208 @@ def _cmd_client_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _structgen_vocab(args: argparse.Namespace):
+    from repro.apps.structgen import Vocabulary, synthetic_vocab
+
+    if getattr(args, "vocab", None):
+        return Vocabulary.from_file(args.vocab)
+    return synthetic_vocab(size=args.vocab_size, seed=args.vocab_seed)
+
+
+def _cmd_structgen(args: argparse.Namespace) -> int:
+    if args.structgen_cmd == "precompute":
+        return _structgen_precompute(args)
+    if args.structgen_cmd == "serve":
+        return _structgen_serve(args)
+    if args.structgen_cmd == "bench":
+        return _structgen_bench(args)
+    raise AssertionError(
+        f"unknown structgen command {args.structgen_cmd}"
+    )
+
+
+def _structgen_precompute(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.registry import RegistryError, Registry, parse_ref
+
+    registry = Registry(args.store)
+    vocab = _structgen_vocab(args)
+    try:
+        summary = registry.publish_masks(args.ref, vocab)
+    except RegistryError:
+        # Unknown ref but a builtin grammar name: publish it first so
+        # `precompute xmlrpc` works against an empty store.
+        name, _version = parse_ref(args.ref)
+        builder = _BUILTIN_GRAMMARS.get(name)
+        if builder is None:
+            raise
+        registry.publish(name, builder())
+        summary = registry.publish_masks(args.ref, vocab)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        built = "rebuilt" if summary.get("rebuilt") else "cached"
+        print(f"masks    : {summary['ref']} × vocab "
+              f"{summary['vocab_hash'][:16]} ({built})")
+        print(f"tokens   : {summary['vocab_size']} "
+              f"({summary['ci']} precomputed, "
+              f"{summary['cd']} context-dependent)")
+        print(f"states   : {summary['states']}, "
+              f"{summary['bytes']} bytes packed")
+        if summary.get("build_ms") is not None:
+            print(f"build    : {summary['build_ms']:.1f} ms")
+        print(f"key      : {summary['key']}")
+    return 0
+
+
+def _structgen_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import ScanServer
+    from repro.service import RouterSpec
+    from repro.service.registry import Registry
+
+    vocab = _structgen_vocab(args)
+    if args.store is not None:
+        # Registry mode: precompute (deduped) then let the server load
+        # mask tables lazily from the store — hot-swap aware.
+        registry = Registry(args.store)
+        summary = registry.publish_masks(args.ref, vocab)
+        spec = RouterSpec(grammar=None, engine=args.engine)
+        server_kwargs = {"registry": args.store, "grammar": args.ref}
+        banner = (f"registry masks {summary['ref']} × "
+                  f"{summary['vocab_hash'][:16]}")
+    else:
+        from repro.apps.structgen import build_mask_table
+
+        grammar = _load_grammar(args.ref)
+        table = build_mask_table(grammar, vocab)
+        spec = RouterSpec(grammar=grammar, engine=args.engine)
+        server_kwargs = {"mask_tables": [table]}
+        banner = (f"in-memory masks {args.ref} × "
+                  f"{table.vocab_hash[:16]}")
+
+    async def main() -> int:
+        server = ScanServer(
+            spec,
+            host=args.host,
+            port=args.port,
+            idle_timeout=args.idle_timeout,
+            max_frame=args.max_frame,
+            admin_port=args.admin_port,
+            **server_kwargs,
+        )
+        await server.start()
+        host, port = server.address
+        print(f"repro structgen server on {host}:{port} ({banner})",
+              flush=True)
+        if args.admin_port is not None:
+            ahost, aport = server.admin_address
+            print(f"admin endpoint on http://{ahost}:{aport}/metrics",
+                  flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum,
+                lambda: asyncio.ensure_future(server.stop(drain=True)),
+            )
+        await server.serve_forever()
+        print("server drained and stopped", flush=True)
+        return 0
+
+    return asyncio.run(main())
+
+
+def _structgen_bench(args: argparse.Namespace) -> int:
+    import json
+
+    vocab = _structgen_vocab(args)
+    if args.remote:
+        return _structgen_bench_remote(args, vocab)
+    from repro.apps.structgen import run_mask_bench
+
+    grammar = _load_grammar(args.grammar)
+    report = run_mask_bench(
+        grammar,
+        vocab=vocab,
+        steps=args.steps,
+        naive_steps=args.naive_steps,
+        reps=args.repeat,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"grammar  : {report['grammar']} "
+              f"({report['states']} states)")
+        print(f"vocab    : {report['vocab_size']} tokens "
+              f"({report['ci']} precomputed, "
+              f"{report['cd']} context-dependent; "
+              f"build {report['build_ms']:.1f} ms)")
+        print(f"masks    : {report['masks_per_s']:12.0f} masks/s "
+              f"(precomputed path)")
+        print(f"naive    : {report['naive_masks_per_s']:12.0f} masks/s "
+              f"(per-token rescan)")
+        print(f"speedup  : x{report['speedup']:.1f}")
+        print(f"per mask : {report['ci_tokens_per_mask']:.1f} "
+              f"precomputed-hit tokens, "
+              f"{report['cd_checks_per_mask']:.2f} "
+              f"context-dependent checks")
+    if not args.no_record:
+        _record_bench_entry("structgen masks/sec",
+                            report["masks_per_s"])
+        _record_bench_entry("structgen naive masks/sec",
+                            report["naive_masks_per_s"])
+        _record_bench_entry("structgen speedup", report["speedup"])
+    return 0
+
+
+def _structgen_bench_remote(args: argparse.Namespace, vocab) -> int:
+    """Round-trip bench: mask flows against a live server, every reply
+    checked byte-for-byte against an in-process session on the same
+    (deterministically rebuilt) table."""
+    import asyncio
+    import json
+
+    from repro.apps.structgen import build_mask_table
+    from repro.server import run_mask_load
+
+    grammar = _load_grammar(args.grammar)
+    table = build_mask_table(grammar, vocab)
+    report = asyncio.run(
+        run_mask_load(
+            args.host,
+            args.port,
+            table,
+            sessions=args.sessions,
+            steps=args.steps,
+            concurrency=args.concurrency,
+        )
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"sessions : {report['sessions']} × {report['steps']} "
+              f"steps ({report['advances']} advances)")
+        print(f"rate     : {report['masks_per_s']:10.0f} masks/s "
+              "over the wire")
+        latency = report["latency"]
+        if latency.get("count"):
+            print(f"mask RTT : p50 {latency['p50_s'] * 1e3:.2f} ms, "
+                  f"p99 {latency['p99_s'] * 1e3:.2f} ms")
+        print(f"verified : {report['verified']} "
+              "(byte-for-byte vs in-process session)")
+        if report["failures"]:
+            print(f"failures : {report['failures'][:3]}")
+        if report["mismatches"]:
+            print(f"mismatch : {report['mismatches'][:3]}")
+    if not args.no_record:
+        _record_bench_entry("structgen remote masks/sec",
+                            report["masks_per_s"])
+    return 0 if report["verified"] else 1
+
+
 def _cmd_capabilities(args: argparse.Namespace) -> int:
     import json
 
@@ -651,6 +857,81 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not update BENCH_throughput.json")
     bench.add_argument("--json", action="store_true")
     bench.set_defaults(func=_cmd_client_bench)
+
+    structgen = sub.add_parser(
+        "structgen",
+        help="constrained decoding: grammar → per-state token masks",
+    )
+    sgsub = structgen.add_subparsers(dest="structgen_cmd", required=True)
+
+    def _sg_vocab_args(p):
+        p.add_argument("--vocab", metavar="FILE", default=None,
+                       help="vocabulary JSON (default: synthetic)")
+        p.add_argument("--vocab-size", type=int, default=2048,
+                       help="synthetic vocabulary size")
+        p.add_argument("--vocab-seed", type=int, default=2006,
+                       help="synthetic vocabulary seed")
+
+    sg_pre = sgsub.add_parser(
+        "precompute",
+        help="build and publish the mask artifact for a registry ref",
+    )
+    sg_pre.add_argument("ref", help="registry ref (name[@version]); "
+                        "builtin grammar names auto-publish")
+    sg_pre.add_argument("--store", default=None,
+                        help="registry store directory (default: "
+                        "$REPRO_REGISTRY or ~/.cache/repro-registry)")
+    _sg_vocab_args(sg_pre)
+    sg_pre.add_argument("--json", action="store_true")
+
+    sg_serve = sgsub.add_parser(
+        "serve",
+        help="serve mask flows (OPEN_MASK/ADVANCE) over the wire "
+        "protocol",
+    )
+    sg_serve.add_argument("ref", nargs="?", default="xmlrpc",
+                          help="registry ref (with --store) or grammar "
+                          "file/builtin name")
+    sg_serve.add_argument("--store", default=None,
+                          help="serve registry-published masks (enables "
+                          "hot swap) instead of an in-memory table")
+    _sg_vocab_args(sg_serve)
+    sg_serve.add_argument("--host", default="127.0.0.1")
+    sg_serve.add_argument("--port", type=int, default=9431)
+    sg_serve.add_argument("--admin-port", type=int, default=None)
+    sg_serve.add_argument("--idle-timeout", type=float, default=30.0)
+    sg_serve.add_argument("--max-frame", type=int, default=1 << 20)
+    sg_serve.add_argument("--engine",
+                          choices=("auto", "compiled", "vector", "native"),
+                          default="compiled")
+
+    sg_bench = sgsub.add_parser(
+        "bench",
+        help="masks/sec benchmark (precomputed vs naive split, or "
+        "--remote round trips)",
+    )
+    sg_bench.add_argument("--grammar", default="xmlrpc",
+                          help="grammar file or builtin name")
+    _sg_vocab_args(sg_bench)
+    sg_bench.add_argument("--steps", type=int, default=400,
+                          help="decode steps per measurement")
+    sg_bench.add_argument("--naive-steps", type=int, default=40,
+                          help="decode steps for the naive baseline")
+    sg_bench.add_argument("--repeat", type=int, default=3,
+                          help="measurement repetitions (best-of)")
+    sg_bench.add_argument("--remote", action="store_true",
+                          help="drive mask flows against a running "
+                          "server and verify byte-for-byte")
+    sg_bench.add_argument("--host", default="127.0.0.1")
+    sg_bench.add_argument("--port", type=int, default=9431)
+    sg_bench.add_argument("--sessions", type=int, default=4,
+                          help="with --remote: decode sessions to run")
+    sg_bench.add_argument("--concurrency", type=int, default=2,
+                          help="with --remote: client connections")
+    sg_bench.add_argument("--json", action="store_true")
+    sg_bench.add_argument("--no-record", action="store_true",
+                          help="do not update BENCH_throughput.json")
+    structgen.set_defaults(func=_cmd_structgen)
 
     caps = sub.add_parser(
         "capabilities",

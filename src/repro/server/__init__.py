@@ -15,13 +15,20 @@ reproduction:
   frame-size limits, read-pausing backpressure, graceful drain, and a
   plaintext admin/metrics endpoint;
 * :mod:`repro.server.client` — :class:`ScanClient`: the asyncio
-  client library (connect/retry/timeout, flow multiplexing);
-* :mod:`repro.server.loadgen` — the closed-loop load generator behind
-  ``repro client-bench``.
+  client library (connect/retry/timeout, flow multiplexing, mask
+  flows for constrained decoding);
+* :mod:`repro.server.loadgen` — the closed-loop load generators
+  behind ``repro client-bench`` and ``repro structgen bench
+  --remote``.
 """
 
-from repro.server.client import ClientFlow, ConnectFailed, ScanClient
-from repro.server.loadgen import generate_flows, run_load
+from repro.server.client import (
+    ClientFlow,
+    ConnectFailed,
+    MaskFlow,
+    ScanClient,
+)
+from repro.server.loadgen import generate_flows, run_load, run_mask_load
 from repro.server.protocol import (
     CONNECTION_FLOW,
     DEFAULT_MAX_FRAME,
@@ -44,6 +51,7 @@ __all__ = [
     "Frame",
     "FrameDecoder",
     "FrameType",
+    "MaskFlow",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ScanClient",
@@ -51,4 +59,5 @@ __all__ = [
     "ServerFault",
     "generate_flows",
     "run_load",
+    "run_mask_load",
 ]

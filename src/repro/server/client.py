@@ -43,7 +43,7 @@ from repro.server.protocol import (
     ServerFault,
 )
 
-__all__ = ["ClientFlow", "ConnectFailed", "ScanClient"]
+__all__ = ["ClientFlow", "ConnectFailed", "MaskFlow", "ScanClient"]
 
 #: DATA overhead inside a frame body: type byte + u32 flow id.
 _DATA_OVERHEAD = 5
@@ -109,6 +109,68 @@ class ClientFlow:
     def _fail(self, exc: Exception) -> None:
         if not self._done.done():
             self._done.set_exception(exc)
+
+
+class MaskFlow(ClientFlow):
+    """One open *mask* (constrained-decoding) flow.
+
+    Where a scan flow streams DATA and collects RESULTs, a mask flow
+    is strictly request/response: every OPEN_MASK or ADVANCE sent is
+    answered by exactly one MASK frame carrying the new automaton
+    state and the packed valid-token bitmask.  :attr:`state` and
+    :attr:`mask` track the most recent reply.
+    """
+
+    def __init__(self, client: "ScanClient", flow_id: int) -> None:
+        super().__init__(client, flow_id)
+        #: Automaton state from the most recent MASK reply.
+        self.state: int = 0
+        #: Packed bitmask bytes from the most recent MASK reply
+        #: (LSB-first: bit ``i`` of the row = token ``i`` valid).
+        self.mask: bytes = b""
+        self._pending_masks: list[asyncio.Future] = []
+
+    async def advance(
+        self, token_id: int, timeout: float | None = None
+    ) -> tuple[int, bytes]:
+        """Feed one token id; return ``(new_state, packed_mask)``."""
+        fut = asyncio.get_running_loop().create_future()
+        self._pending_masks.append(fut)
+        await self.client._send(
+            protocol.encode_advance(self.flow_id, token_id)
+        )
+        if timeout is None:
+            timeout = self.client.request_timeout
+        try:
+            state, row = await asyncio.wait_for(
+                asyncio.shield(fut), timeout=timeout
+            )
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"flow {self.flow_id}: no MASK reply within "
+                f"{timeout:g}s"
+            ) from None
+        return state, row
+
+    async def close(self, timeout: float | None = None) -> None:
+        """End the mask flow (server drops the session)."""
+        await self.finish(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _deliver_mask(self, state: int, row: bytes) -> None:
+        self.state = state
+        self.mask = row
+        if self._pending_masks:
+            fut = self._pending_masks.pop(0)
+            if not fut.done():
+                fut.set_result((state, row))
+
+    def _fail(self, exc: Exception) -> None:
+        super()._fail(exc)
+        for fut in self._pending_masks:
+            if not fut.done():
+                fut.set_exception(exc)
+        self._pending_masks.clear()
 
 
 class ScanClient:
@@ -246,6 +308,39 @@ class ScanClient:
         await self._send(protocol.encode_open_flow(flow.flow_id))
         return flow
 
+    async def open_mask_flow(
+        self,
+        vocab_hash: "bytes | str",
+        timeout: float | None = None,
+    ) -> MaskFlow:
+        """Open a constrained-decoding flow for ``vocab_hash``.
+
+        Waits for the server's initial MASK (state 0's bitmask), so a
+        returned flow already has :attr:`MaskFlow.mask` populated.
+        Raises :class:`~repro.server.protocol.ServerFault` with
+        ``UNKNOWN_VOCAB`` when the server has no mask table for the
+        vocabulary.
+        """
+        self._flow_seq += 1
+        flow = MaskFlow(self, self._flow_seq)
+        self._flows[flow.flow_id] = flow
+        fut = asyncio.get_running_loop().create_future()
+        flow._pending_masks.append(fut)
+        await self._send(
+            protocol.encode_open_mask(flow.flow_id, vocab_hash)
+        )
+        if timeout is None:
+            timeout = self.request_timeout
+        try:
+            await asyncio.wait_for(asyncio.shield(fut), timeout=timeout)
+        except asyncio.TimeoutError:
+            self._flows.pop(flow.flow_id, None)
+            raise TimeoutError(
+                f"flow {flow.flow_id}: no initial MASK within "
+                f"{timeout:g}s"
+            ) from None
+        return flow
+
     async def scan_stream(
         self, data: bytes, chunk_size: int = 4096
     ) -> list:
@@ -282,6 +377,11 @@ class ScanClient:
                         flow._deliver(final, items)
                         if final:
                             del self._flows[flow_id]
+                elif frame.type == FrameType.MASK:
+                    flow_id, state, row = protocol.decode_mask(frame)
+                    flow = self._flows.get(flow_id)
+                    if isinstance(flow, MaskFlow):
+                        flow._deliver_mask(state, row)
                 elif frame.type == FrameType.ERROR:
                     flow_id, code, message = protocol.decode_error(frame)
                     fault = ServerFault(flow_id, code, message)

@@ -15,12 +15,13 @@ single-process :meth:`ContentBasedRouter.route` ground truth, making
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 
 from repro.server.client import ScanClient
 from repro.service.metrics import Histogram
 
-__all__ = ["generate_flows", "run_load"]
+__all__ = ["generate_flows", "run_load", "run_mask_load"]
 
 
 def generate_flows(
@@ -122,3 +123,127 @@ async def run_load(
         "mismatched_flows": mismatches,
     }
     return report
+
+
+def _set_bits(row: bytes) -> list[int]:
+    """Token ids whose bits are set in a packed LSB-first mask row."""
+    out: list[int] = []
+    for byte_index, value in enumerate(row):
+        while value:
+            low = value & -value
+            out.append(byte_index * 8 + low.bit_length() - 1)
+            value ^= low
+    return out
+
+
+async def run_mask_load(
+    host: str,
+    port: int,
+    table,
+    *,
+    sessions: int = 4,
+    steps: int = 64,
+    concurrency: int = 2,
+    seed: int = 2006,
+    request_timeout: float = 30.0,
+) -> dict:
+    """Drive mask flows against a live server and cross-check every
+    reply byte-for-byte against an in-process
+    :class:`~repro.apps.structgen.MaskSession` on the same ``table``.
+
+    Each session opens one mask flow, then walks ``steps`` seeded
+    valid tokens: at every step the remote ``(state, row)`` from the
+    MASK frame must equal the local session's state and packed row
+    (including the initial state-0 mask).  Any divergence is recorded
+    in ``mismatches``; ``verified`` is True only when every advance on
+    every session matched.
+    """
+    from repro.apps.structgen import MaskSession
+
+    latency = Histogram("mask_roundtrip_s")
+    mismatches: list[str] = []
+    failures: list[str] = []
+    advances = 0
+
+    work: asyncio.Queue = asyncio.Queue()
+    for index in range(max(1, sessions)):
+        work.put_nowait(index)
+
+    async def drive(client: ScanClient, index: int) -> None:
+        nonlocal advances
+        rng = random.Random(seed + index)
+        local = MaskSession(table)
+        flow = await client.open_mask_flow(table.vocab_hash)
+        try:
+            if flow.state != local.state or flow.mask != local.mask():
+                mismatches.append(f"session-{index}: initial mask")
+                return
+            for step in range(steps):
+                valid = _set_bits(local.mask())
+                if not valid:
+                    local.reset()
+                    # No reset frame: reopen by closing this flow and
+                    # starting a fresh one mid-session.
+                    await flow.close()
+                    flow = await client.open_mask_flow(
+                        table.vocab_hash
+                    )
+                    if flow.mask != local.mask():
+                        mismatches.append(
+                            f"session-{index}: mask after reset"
+                        )
+                        return
+                    continue
+                token_id = rng.choice(valid)
+                started = time.perf_counter()
+                state, row = await flow.advance(token_id)
+                latency.observe(time.perf_counter() - started)
+                local_state = local.advance(token_id)
+                advances += 1
+                if state != local_state or row != local.mask():
+                    mismatches.append(
+                        f"session-{index}: step {step} "
+                        f"token {token_id}"
+                    )
+                    return
+        finally:
+            try:
+                await flow.close()
+            except Exception:
+                pass
+
+    async def worker() -> None:
+        client = ScanClient(
+            host, port, request_timeout=request_timeout
+        )
+        await client.connect()
+        try:
+            while True:
+                try:
+                    index = work.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                try:
+                    await drive(client, index)
+                except Exception as exc:
+                    failures.append(f"session-{index}: {exc}")
+        finally:
+            await client.close()
+
+    wall_started = time.perf_counter()
+    await asyncio.gather(
+        *(worker() for _ in range(max(1, concurrency)))
+    )
+    wall = time.perf_counter() - wall_started
+
+    return {
+        "sessions": max(1, sessions),
+        "steps": steps,
+        "advances": advances,
+        "seconds": wall,
+        "masks_per_s": advances / wall if wall > 0 else 0.0,
+        "latency": latency.summary(),
+        "failures": failures,
+        "mismatches": mismatches,
+        "verified": not mismatches and not failures,
+    }

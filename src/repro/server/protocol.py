@@ -23,6 +23,18 @@ Frame types::
     RESULT       !IB   flow_id, final + payload (pickled result list)
     ERROR        !IH   flow_id, code + utf-8 message
     GOODBYE      (empty)
+    OPEN_MASK    !I    flow_id + 32-byte vocab sha256 (raw digest)
+    ADVANCE      !II   flow_id, token_id
+    MASK         !II   flow_id, state + packed validity row
+
+The last three carry constrained-decoding flows (additive in protocol
+version 1 — a server that predates them answers ``BAD_FRAME``): the
+client opens a mask flow against a vocabulary it has precomputed masks
+for (``repro structgen precompute``), the server replies with a MASK
+frame for the start state, and each ADVANCE (one emitted token id) is
+answered by the MASK for the resulting state. Mask rows are raw
+packed bits (token id ``i`` is bit ``i``, LSB-first per byte) — no
+pickle in either direction on mask flows.
 
 Connections are multiplexed: ``flow_id`` is a connection-scoped u32
 chosen by the client; ``CONNECTION_FLOW`` (``0xFFFFFFFF``) in an ERROR
@@ -59,20 +71,26 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ServerFault",
+    "decode_advance",
     "decode_data",
     "decode_error",
     "decode_finish_flow",
     "decode_hello",
     "decode_hello_grammars",
+    "decode_mask",
     "decode_open_flow",
+    "decode_open_mask",
     "decode_result",
+    "encode_advance",
     "encode_data",
     "encode_error",
     "encode_finish_flow",
     "encode_frame",
     "encode_goodbye",
     "encode_hello",
+    "encode_mask",
     "encode_open_flow",
+    "encode_open_mask",
     "encode_result",
 ]
 
@@ -90,6 +108,10 @@ _HELLO = struct.Struct("!HI")
 _FLOW = struct.Struct("!I")
 _RESULT_HEAD = struct.Struct("!IB")
 _ERROR_HEAD = struct.Struct("!IH")
+_MASK_HEAD = struct.Struct("!II")
+
+#: Raw sha256 digest length carried by OPEN_MASK.
+_VOCAB_HASH_LEN = 32
 
 
 class FrameType:
@@ -102,6 +124,9 @@ class FrameType:
     RESULT = 0x05
     ERROR = 0x06
     GOODBYE = 0x07
+    OPEN_MASK = 0x08
+    ADVANCE = 0x09
+    MASK = 0x0A
 
     NAMES = {
         HELLO: "HELLO",
@@ -111,6 +136,9 @@ class FrameType:
         RESULT: "RESULT",
         ERROR: "ERROR",
         GOODBYE: "GOODBYE",
+        OPEN_MASK: "OPEN_MASK",
+        ADVANCE: "ADVANCE",
+        MASK: "MASK",
     }
 
 
@@ -126,6 +154,8 @@ class ErrorCode:
     DRAINING = 7
     OVERLOADED = 8
     INTERNAL = 9
+    UNKNOWN_VOCAB = 10
+    BAD_TOKEN = 11
 
     NAMES = {
         BAD_FRAME: "BAD_FRAME",
@@ -137,6 +167,8 @@ class ErrorCode:
         DRAINING: "DRAINING",
         OVERLOADED: "OVERLOADED",
         INTERNAL: "INTERNAL",
+        UNKNOWN_VOCAB: "UNKNOWN_VOCAB",
+        BAD_TOKEN: "BAD_TOKEN",
     }
 
 
@@ -225,6 +257,36 @@ def encode_goodbye() -> bytes:
     return encode_frame(FrameType.GOODBYE)
 
 
+def encode_open_mask(flow_id: int, vocab_hash: str | bytes) -> bytes:
+    """Open a constrained-decoding flow against a vocabulary,
+    identified by its sha256 (hex string or 32 raw bytes)."""
+    digest = (
+        bytes.fromhex(vocab_hash)
+        if isinstance(vocab_hash, str)
+        else bytes(vocab_hash)
+    )
+    if len(digest) != _VOCAB_HASH_LEN:
+        raise ProtocolError(
+            f"vocab hash must be {_VOCAB_HASH_LEN} bytes, "
+            f"got {len(digest)}"
+        )
+    return encode_frame(FrameType.OPEN_MASK, _FLOW.pack(flow_id) + digest)
+
+
+def encode_advance(flow_id: int, token_id: int) -> bytes:
+    return encode_frame(
+        FrameType.ADVANCE, _MASK_HEAD.pack(flow_id, token_id)
+    )
+
+
+def encode_mask(flow_id: int, state: int, row: bytes) -> bytes:
+    """A packed validity row for ``state`` (bit *i*, LSB-first per
+    byte, is token *i*). Raw bits — no pickle on mask flows."""
+    return encode_frame(
+        FrameType.MASK, _MASK_HEAD.pack(flow_id, state) + row
+    )
+
+
 # ----------------------------------------------------------------------
 # payload decoding (each raises ProtocolError on a short/garbled body)
 # ----------------------------------------------------------------------
@@ -273,6 +335,29 @@ def decode_result(frame: Frame) -> tuple[int, bool, list]:
     except Exception as exc:
         raise ProtocolError(f"undecodable RESULT payload: {exc}") from exc
     return flow_id, bool(final), items
+
+
+def decode_open_mask(frame: Frame) -> tuple[int, str]:
+    """-> (flow_id, vocab_hash hex)."""
+    (flow_id,) = _unpack(_FLOW, frame)
+    digest = frame.payload[_FLOW.size :]
+    if len(digest) != _VOCAB_HASH_LEN:
+        raise ProtocolError(
+            f"OPEN_MASK carries {len(digest)} hash bytes, "
+            f"expected {_VOCAB_HASH_LEN}"
+        )
+    return flow_id, digest.hex()
+
+
+def decode_advance(frame: Frame) -> tuple[int, int]:
+    """-> (flow_id, token_id)."""
+    return _unpack(_MASK_HEAD, frame)  # type: ignore[return-value]
+
+
+def decode_mask(frame: Frame) -> tuple[int, int, bytes]:
+    """-> (flow_id, state, packed row)."""
+    flow_id, state = _unpack(_MASK_HEAD, frame)
+    return flow_id, state, frame.payload[_MASK_HEAD.size :]
 
 
 def decode_error(frame: Frame) -> tuple[int, int, str]:

@@ -46,6 +46,15 @@ Robustness model
   ``tenant.<ref>.*`` counters, and optional per-ref quotas bound the
   open flows a grammar version may hold (``ERROR(OVERLOADED)``).
 
+* **Mask flows** — constrained-decoding sessions
+  (:mod:`repro.apps.structgen`) ride the same framed connections:
+  OPEN_MASK binds a flow to a precomputed mask table (explicit
+  ``mask_tables=`` or lazily loaded from the registry for the served
+  grammar, cold-start timed), each ADVANCE is answered with the MASK
+  row for the resulting state. Mask sessions always run in-process on
+  the event loop — a mask query is a row copy plus a few
+  context-dependent checks, far below the pool's dispatch cost.
+
 Observability: counters/gauges/histograms land in one
 :class:`~repro.service.metrics.MetricsRegistry` (shared with the
 service pool when there is one), exposed as JSON via :meth:`stats`
@@ -76,6 +85,13 @@ from repro.service.errors import QueueFull
 from repro.service.metrics import MetricsRegistry
 
 __all__ = ["ScanServer"]
+
+#: Mask-table cold-start histogram bounds (milliseconds): registry
+#: loads are tens of ms, in-process rebuilds hundreds to thousands.
+MASK_COLDSTART_BOUNDS_MS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
 
 
 async def _read_frame(
@@ -108,7 +124,9 @@ class _Flow:
     the service flow key (pool mode), the grammar generation the flow
     is pinned to, plus timing for latency stats."""
 
-    __slots__ = ("flow_id", "key", "session", "gen", "opened_at", "finishing")
+    __slots__ = (
+        "flow_id", "key", "session", "gen", "opened_at", "finishing", "mask"
+    )
 
     def __init__(self, flow_id: int, key: str, session, gen) -> None:
         self.flow_id = flow_id
@@ -117,6 +135,8 @@ class _Flow:
         self.gen = gen
         self.opened_at = time.monotonic()
         self.finishing = False
+        #: The MaskSession when this is a constrained-decoding flow.
+        self.mask = None
 
 
 class _Generation:
@@ -210,6 +230,13 @@ class ScanServer:
         Optional ``{ref: max_open_flows}`` per-tenant limits; a flow
         opened past its grammar's quota is refused with
         ``ERROR(OVERLOADED)``.
+    mask_tables:
+        Optional iterable of :class:`~repro.apps.structgen.MaskTable`
+        served to OPEN_MASK flows, keyed by vocabulary hash. With a
+        registry attached, tables not listed here are lazily loaded
+        from the store for the served grammar (cold-start timed into
+        ``structgen.coldstart_ms``); an unknown hash is refused with
+        ``ERROR(UNKNOWN_VOCAB)``.
     """
 
     def __init__(
@@ -228,6 +255,7 @@ class ScanServer:
         registry: Any = None,
         grammar: str | None = None,
         quotas: dict[str, int] | None = None,
+        mask_tables: Any = None,
     ) -> None:
         if spec is None:
             from repro.service import RouterSpec
@@ -262,6 +290,20 @@ class ScanServer:
         self.write_high_water = write_high_water
         self.workers = workers
         self.quotas = dict(quotas) if quotas else {}
+        #: vocab_hash -> MaskTable handed in explicitly (served as-is,
+        #: independent of the current grammar generation).
+        self._mask_tables: dict[str, Any] = {}
+        if isinstance(mask_tables, dict):
+            mask_tables = mask_tables.values()
+        for table in mask_tables or ():
+            self._mask_tables[table.vocab_hash] = table
+        #: (grammar ref, vocab_hash) -> MaskTable lazily loaded from
+        #: the registry (cold start paid once per pair).
+        self._mask_loaded: dict[tuple[str, str], Any] = {}
+        #: (ref, vocab_hash) pairs that already failed a registry
+        #: lookup — refused without re-probing the store every
+        #: OPEN_MASK (cleared on hot swap).
+        self._mask_misses: set[tuple[str, str]] = set()
         self._gen_seq = 0
         self._generations: dict[int, _Generation] = {}
         self._started_pools = False
@@ -361,6 +403,7 @@ class ScanServer:
         else:
             self._current = self._new_generation(spec, pinned)
         self.metrics.counter("server.swaps").inc()
+        self._mask_misses.clear()  # masks may exist for the new ref
         self._retire_idle()
         return {
             "grammar": pinned,
@@ -460,10 +503,13 @@ class ScanServer:
         return False
 
     def _work_in_flight(self) -> bool:
-        """Open flows (still streaming) or pool flows awaiting their
-        final RESULT."""
+        """Open scan flows (still streaming) or pool flows awaiting
+        their final RESULT. Mask flows are request-response and have
+        no tail to flush, so they never hold the drain open."""
         return bool(self._pending) or any(
-            conn.flows for conn in self._connections.values()
+            flow.mask is None
+            for conn in self._connections.values()
+            for flow in conn.flows.values()
         )
 
     async def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
@@ -539,9 +585,22 @@ class ScanServer:
             }
             for gen in self._generations.values()
         ]
+        tables = list(self._mask_tables.values()) + list(
+            self._mask_loaded.values()
+        )
+        structgen = {
+            "tables": [t.describe() for t in tables],
+            "sessions_open": sum(
+                1
+                for conn in self._connections.values()
+                for flow in conn.flows.values()
+                if flow.mask is not None
+            ),
+        }
         if self.service is not None:
             snapshot = self.service.stats()
             snapshot["generations"] = generations
+            snapshot["structgen"] = structgen
             return snapshot
         # In-process mode: report every engine's capability flags
         # (pool mode reports them through the service's stats), plus
@@ -570,6 +629,7 @@ class ScanServer:
         snapshot = self.metrics.snapshot()
         snapshot["engine"] = engine
         snapshot["generations"] = generations
+        snapshot["structgen"] = structgen
         return snapshot
 
     def _vector_tagger(self):
@@ -671,6 +731,10 @@ class ScanServer:
                 await self._data(conn, frame)
             elif frame.type == FrameType.FINISH_FLOW:
                 await self._finish_flow(conn, frame)
+            elif frame.type == FrameType.OPEN_MASK:
+                await self._open_mask(conn, frame)
+            elif frame.type == FrameType.ADVANCE:
+                await self._advance(conn, frame)
             else:
                 raise ProtocolError(
                     f"unexpected {frame.name} frame from client"
@@ -721,6 +785,13 @@ class ScanServer:
                 f"DATA for unopened flow {flow_id}",
             )
             return
+        if flow.mask is not None:
+            del conn.flows[flow_id]
+            await conn.send_error(
+                flow_id, ErrorCode.BAD_FRAME,
+                f"DATA on mask flow {flow_id} (use ADVANCE)",
+            )
+            return
         # While draining, flows opened before the drain began may
         # still stream to completion; only OPEN_FLOW is refused.
         self.metrics.counter("server.flows.bytes").inc(len(chunk))
@@ -755,6 +826,17 @@ class ScanServer:
                 f"FINISH_FLOW for unopened flow {flow_id}",
             )
             return
+        if flow.mask is not None:
+            # Mask flows have no tail: acknowledge with an empty final
+            # RESULT (same close discipline as scan flows).
+            del conn.flows[flow_id]
+            self.metrics.counter("structgen.sessions_closed").inc()
+            self.metrics.histogram("latency.flow_s").observe(
+                time.monotonic() - flow.opened_at
+            )
+            self._retire_idle()
+            await conn.send(protocol.encode_result(flow_id, True, []))
+            return
         if flow.gen.service is not None:
             flow.finishing = True
             self._pending[flow.key] = (conn, flow_id)
@@ -780,6 +862,98 @@ class ScanServer:
         self.metrics.histogram("latency.flow_s").observe(
             time.monotonic() - flow.opened_at
         )
+
+    # ------------------------------------------------------------------
+    # constrained-decoding (mask) flows
+    # ------------------------------------------------------------------
+    def _find_mask_table(self, vocab_hash: str):
+        """The mask table for a vocabulary hash: explicit tables
+        first, then a lazy registry load against the served grammar
+        (cold start observed in ``structgen.coldstart_ms``)."""
+        table = self._mask_tables.get(vocab_hash)
+        if table is not None:
+            return table
+        ref = self._current.ref
+        if self._registry is None or ref == "default":
+            return None
+        cache_key = (ref, vocab_hash)
+        table = self._mask_loaded.get(cache_key)
+        if table is not None:
+            return table
+        if cache_key in self._mask_misses:
+            return None
+        started = time.perf_counter()
+        try:
+            table = self._registry.load_masks(ref, vocab_hash)
+        except Exception:
+            self._mask_misses.add(cache_key)
+            return None
+        self.metrics.histogram(
+            "structgen.coldstart_ms", bounds=MASK_COLDSTART_BOUNDS_MS
+        ).observe((time.perf_counter() - started) * 1e3)
+        self._mask_loaded[cache_key] = table
+        return table
+
+    async def _open_mask(self, conn: _Connection, frame: Frame) -> None:
+        flow_id, vocab_hash = protocol.decode_open_mask(frame)
+        if self._draining:
+            await conn.send_error(
+                flow_id, ErrorCode.DRAINING, "server draining"
+            )
+            return
+        if flow_id in conn.flows or flow_id == CONNECTION_FLOW:
+            await conn.send_error(
+                flow_id, ErrorCode.DUPLICATE_FLOW,
+                f"flow {flow_id} already open",
+            )
+            return
+        table = self._find_mask_table(vocab_hash)
+        if table is None:
+            await conn.send_error(
+                flow_id, ErrorCode.UNKNOWN_VOCAB,
+                f"no mask tables for vocabulary {vocab_hash[:16]} "
+                f"(grammar {self._current.ref}); run "
+                "`repro structgen precompute`",
+            )
+            return
+        from repro.apps.structgen.masks import MaskSession
+
+        flow = _Flow(flow_id, conn.flow_key(flow_id), None, self._current)
+        flow.mask = MaskSession(table, metrics=self.metrics)
+        conn.flows[flow_id] = flow
+        self.metrics.counter("structgen.sessions_opened").inc()
+        await conn.send(
+            protocol.encode_mask(flow_id, flow.mask.state, flow.mask.mask())
+        )
+
+    async def _advance(self, conn: _Connection, frame: Frame) -> None:
+        flow_id, token_id = protocol.decode_advance(frame)
+        flow = conn.flows.get(flow_id)
+        if flow is None or flow.mask is None:
+            await conn.send_error(
+                flow_id, ErrorCode.UNKNOWN_FLOW,
+                f"ADVANCE for unopened mask flow {flow_id}",
+            )
+            return
+        from repro.apps.structgen.masks import MaskError
+
+        started = time.perf_counter()
+        try:
+            state = flow.mask.advance(token_id)
+            row = flow.mask.mask()
+        except MaskError as exc:
+            del conn.flows[flow_id]
+            await conn.send_error(flow_id, ErrorCode.BAD_TOKEN, str(exc))
+            return
+        except Exception as exc:
+            self.metrics.counter("server.errors.scan").inc()
+            del conn.flows[flow_id]
+            await conn.send_error(flow_id, ErrorCode.INTERNAL, str(exc))
+            return
+        self.metrics.histogram("latency.mask_s").observe(
+            time.perf_counter() - started
+        )
+        await conn.send(protocol.encode_mask(flow_id, state, row))
 
     async def _client_goodbye(self, conn: _Connection) -> None:
         """Client is done sending: flush its pending pool flows, then

@@ -14,7 +14,12 @@ device; this module is that deployment boundary in software.  A
 * ``names/<name>.json`` — a manifest per grammar name: monotonically
   numbered versions, each carrying the canonical grammar source, the
   wiring fields, the ABI-independent content id, and the per-
-  interpreter object keys.
+  interpreter object keys;
+* ``objects/<sha256>.msk`` — mask artifacts for constrained decoding
+  (:mod:`repro.apps.structgen`), keyed ``content_id × vocab_hash ×
+  mask ABI`` and recorded per version under ``"masks"`` in the
+  manifest, so workers load the packed per-state token rows instead
+  of re-walking the vocabulary.
 
 Publishing the same source + wiring twice (two parses of one DTD, two
 workers racing) converges on one version and one object — the on-disk
@@ -102,6 +107,8 @@ class Registry:
         #: artifact (and therefore one grammar object and one set of
         #: warm engine caches).
         self._artifacts: dict[str, CompiledArtifact] = {}
+        #: In-process mask-table cache by mask key (content × vocab).
+        self._masks: dict = {}
 
     # ------------------------------------------------------------------
     # store layout
@@ -114,6 +121,9 @@ class Registry:
 
     def _object_path(self, key: str) -> str:
         return os.path.join(self._objects_dir(), f"{key}.art")
+
+    def _mask_path(self, key: str) -> str:
+        return os.path.join(self._objects_dir(), f"{key}.msk")
 
     def _manifest_path(self, name: str) -> str:
         return os.path.join(self._names_dir(), f"{name}.json")
@@ -270,6 +280,161 @@ class Registry:
         return load_artifact(blob)
 
     # ------------------------------------------------------------------
+    # mask artifacts (constrained decoding)
+    # ------------------------------------------------------------------
+    def _resolve_version(self, ref: str) -> tuple[str, int, dict, dict]:
+        """(name, version, entry, manifest) for a ref, or raise."""
+        name, version = parse_ref(ref)
+        manifest = self._read_manifest(name)
+        if manifest is None:
+            raise RegistryError(
+                f"unknown grammar {name!r} in registry {self.root}"
+            )
+        if version is None:
+            version = int(manifest.get("latest", 0))
+        entry = manifest["versions"].get(str(version))
+        if entry is None:
+            raise RegistryError(
+                f"grammar {name!r} has no version {version} "
+                f"(latest is {manifest.get('latest', 0)})"
+            )
+        return name, version, entry, manifest
+
+    def publish_masks(self, ref: str, vocab, **build_kwargs) -> dict:
+        """Precompute and store the token-mask artifact for ``ref`` ×
+        ``vocab`` (:class:`~repro.apps.structgen.Vocabulary`).
+
+        Content-addressed dedup: if the version already records a mask
+        for this vocabulary hash and the blob is present, nothing is
+        rebuilt.  Returns a summary dict (key, split sizes, bytes).
+        """
+        from repro.apps.structgen.masks import build_mask_table, mask_key
+
+        name, version, entry, manifest = self._resolve_version(ref)
+        vocab_hash = vocab.vocab_hash
+        key = mask_key(entry["content"], vocab_hash)
+        masks = entry.setdefault("masks", {})
+        recorded = masks.get(vocab_hash)
+        path = self._mask_path(key)
+        if recorded and recorded.get("key") == key and os.path.exists(path):
+            return dict(recorded, ref=f"{name}@{version}", rebuilt=False)
+        artifact = self.load(f"{name}@{version}")
+        table = build_mask_table(
+            artifact.grammar, vocab, artifact.options, **build_kwargs
+        )
+        blob = table.to_blob()
+        self._write_atomic(path, blob)
+        masks[vocab_hash] = {
+            "key": key,
+            "vocab_hash": vocab_hash,
+            "vocab_size": len(vocab),
+            "states": table.n_states,
+            "ci": table.ci_count,
+            "cd": len(table.cd_ids),
+            "bytes": len(blob),
+            "published": time.time(),
+        }
+        self._write_manifest(name, manifest)
+        self._masks[key] = table
+        return dict(
+            masks[vocab_hash],
+            ref=f"{name}@{version}",
+            rebuilt=True,
+            build_ms=table.build_ms,
+        )
+
+    def load_masks(self, ref: str, vocab_hash: str | None = None):
+        """The :class:`~repro.apps.structgen.MaskTable` for ``ref`` ×
+        ``vocab_hash`` (the version's only mask when omitted).
+
+        The scan artifact is loaded first so the mask rows land on the
+        exact interned state ids they were built against (the blob's
+        table fingerprint enforces it); a missing/foreign blob heals by
+        rebuilding from the vocabulary stored inside it when possible.
+        """
+        from repro.apps.structgen.masks import (
+            MaskError,
+            build_mask_table,
+            load_mask_blob,
+            mask_key,
+            read_mask_header,
+        )
+        from repro.apps.structgen.vocab import Vocabulary
+
+        name, version, entry, manifest = self._resolve_version(ref)
+        masks = entry.get("masks", {})
+        if vocab_hash is None:
+            if len(masks) != 1:
+                raise RegistryError(
+                    f"grammar {name}@{version} has {len(masks)} mask "
+                    "artifacts; pass vocab_hash to pick one"
+                )
+            vocab_hash = next(iter(masks))
+        recorded = masks.get(vocab_hash)
+        if recorded is None:
+            raise RegistryError(
+                f"grammar {name}@{version} has no masks for vocabulary "
+                f"{vocab_hash[:16]}; run `repro structgen precompute`"
+            )
+        key = mask_key(entry["content"], vocab_hash)
+        cached = self._masks.get(key)
+        if cached is not None:
+            return cached
+        artifact = self.load(f"{name}@{version}")
+        blob = None
+        try:
+            with open(self._mask_path(key), "rb") as fh:
+                blob = fh.read()
+            table = load_mask_blob(blob, artifact.grammar, artifact.options)
+        except (OSError, MaskError):
+            # Heal: the vocabulary rides inside the blob, so a
+            # fingerprint/ABI mismatch rebuilds in place; a missing or
+            # unreadable blob cannot (no vocabulary to rebuild from).
+            tokens = None
+            if blob is not None:
+                try:
+                    header = read_mask_header(blob)
+                    tokens = self._blob_vocab(blob, header)
+                except MaskError:
+                    tokens = None
+            if tokens is None:
+                raise RegistryError(
+                    f"mask artifact for {name}@{version} × "
+                    f"{vocab_hash[:16]} is missing or unreadable; "
+                    "re-run `repro structgen precompute`"
+                ) from None
+            table = build_mask_table(
+                artifact.grammar, Vocabulary(tokens), artifact.options
+            )
+            try:
+                self._write_atomic(self._mask_path(key), table.to_blob())
+            except OSError:
+                pass  # read-only store: serve the in-memory build
+        self._masks[key] = table
+        return table
+
+    @staticmethod
+    def _blob_vocab(blob: bytes, header: dict) -> list[bytes] | None:
+        """Extract the trailing vocabulary section from an RMSK blob
+        (used to heal a fingerprint-mismatched artifact in place)."""
+        try:
+            offset = 8 + int.from_bytes(blob[4:8], "big")
+            pos = (
+                offset
+                + header["states"] * header["row_bytes"]
+                + 4 * header["cd"]
+            )
+            tokens = []
+            for _ in range(header["vocab_size"]):
+                tlen = int.from_bytes(blob[pos : pos + 4], "big")
+                pos += 4
+                tokens.append(blob[pos : pos + tlen])
+                pos += tlen
+            return tokens if len(tokens) == header["vocab_size"] else None
+        except (KeyError, IndexError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
     # introspection / maintenance
     # ------------------------------------------------------------------
     def names(self) -> list[str]:
@@ -306,6 +471,7 @@ class Registry:
                     "content": entry["content"][:16],
                     "published": entry.get("published"),
                     "objects": len(entry.get("objects", {})),
+                    "masks": len(entry.get("masks", {})),
                 }
             out.append(
                 {
@@ -348,10 +514,39 @@ class Registry:
             except (OSError, ArtifactError) as exc:
                 obj["error"] = str(exc)
             info["objects"][tag] = obj
+        masks = entry.get("masks", {})
+        if masks:
+            info["masks"] = {}
+            for vocab_hash, recorded in masks.items():
+                mask: dict = {
+                    "key": recorded.get("key"),
+                    "vocab_size": recorded.get("vocab_size"),
+                    "states": recorded.get("states"),
+                    "ci": recorded.get("ci"),
+                    "cd": recorded.get("cd"),
+                    "published": recorded.get("published"),
+                }
+                vocab_size = recorded.get("vocab_size") or 0
+                if vocab_size:
+                    mask["ci_fraction"] = (recorded.get("ci") or 0) / vocab_size
+                try:
+                    with open(
+                        self._mask_path(recorded["key"]), "rb"
+                    ) as fh:
+                        blob = fh.read()
+                    mask["bytes"] = len(blob)
+                    from repro.apps.structgen.masks import read_mask_header
+
+                    header = read_mask_header(blob)
+                    mask["abi"] = header.get("abi")
+                except (OSError, KeyError, ReproError) as exc:
+                    mask["error"] = str(exc)
+                info["masks"][vocab_hash[:16]] = mask
         return info
 
     def gc(self) -> int:
-        """Delete objects no manifest references; return the count."""
+        """Delete objects no manifest references (scan artifacts and
+        mask artifacts alike); return the count."""
         referenced = set()
         for name in self.names():
             manifest = self._read_manifest(name)
@@ -359,15 +554,19 @@ class Registry:
                 continue
             for entry in manifest["versions"].values():
                 referenced.update(entry.get("objects", {}).values())
+                for recorded in entry.get("masks", {}).values():
+                    if recorded.get("key"):
+                        referenced.add(recorded["key"])
         removed = 0
         try:
             files = os.listdir(self._objects_dir())
         except OSError:
             return 0
         for fname in files:
-            if not fname.endswith(".art"):
+            stem, dot, ext = fname.rpartition(".")
+            if ext not in ("art", "msk") or not dot:
                 continue
-            if fname[: -len(".art")] in referenced:
+            if stem in referenced:
                 continue
             try:
                 os.unlink(os.path.join(self._objects_dir(), fname))

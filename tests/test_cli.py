@@ -80,6 +80,34 @@ class TestRoute:
         assert code == 1
 
 
+class TestStructgen:
+    def test_precompute_autopublishes_builtin(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = [
+            "structgen", "precompute", "if-then-else",
+            "--store", store, "--vocab-size", "384",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "if-then-else@1" in out and "rebuilt" in out
+        # Second run is a content-addressed cache hit.
+        assert main(argv) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_bench_reports_split(self, capsys):
+        assert main(
+            [
+                "structgen", "bench", "--grammar", "if-then-else",
+                "--vocab-size", "384", "--steps", "40",
+                "--naive-steps", "5", "--repeat", "1", "--no-record",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "masks/s (precomputed path)" in out
+        assert "masks/s (per-token rescan)" in out
+        assert "speedup" in out
+
+
 class TestExperiments:
     def test_ablation_command(self, capsys):
         assert main(["ablation"]) == 0
