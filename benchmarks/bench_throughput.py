@@ -22,7 +22,10 @@ can be built), ``test_batch_scan`` gates cross-flow
 batch stepping against per-flow vector scanning at 32 concurrent
 flows (recording the 8/16-flow crossover ungated),
 ``test_structgen_masks`` gates precomputed constrained-decoding
-token masks at >= 10x the naive per-token rescan, and
+token masks at >= 10x the naive per-token rescan,
+``test_structgen_beam`` gates the batched beam-of-32 engine at
+>= 5x thirty-two independent sessions (and the delta encoding at
+<= 0.5x full-row wire bytes), and
 ``test_service_scaling`` records the sharded multi-process service's
 1-worker vs 4-worker rates (gating >= 2x only on hosts with enough
 CPUs to make that honest).
@@ -283,6 +286,48 @@ def test_structgen_masks(bench_record, grammar):
         "structgen ci fraction", report["ci_fraction"], unit=None
     )
     assert report["speedup"] >= 10.0
+
+
+def test_structgen_beam(bench_record, grammar):
+    """ISSUE acceptance gate: the batched beam engine serves a
+    beam-of-32's masks >= 5x faster than 32 independent
+    :class:`MaskSession` replays of the identical schedule
+    (byte-identical results are the differential suite's job; this
+    test gates the rate and records the wire-delta saving).
+    """
+    from repro.apps.structgen import run_beam_bench, synthetic_vocab
+
+    vocab = synthetic_vocab(size=1024)
+    report = run_beam_bench(
+        grammar, vocab=vocab, width=32, steps=120
+    )
+    bench_record(
+        "structgen beam masks/sec",
+        report["beam_masks_per_s"],
+        unit=None,
+    )
+    bench_record(
+        "structgen beam sessions masks/sec",
+        report["sessions_masks_per_s"],
+        unit=None,
+    )
+    bench_record(
+        "structgen beam speedup", report["speedup"], unit=None
+    )
+    bench_record(
+        "structgen beam wire delta ratio",
+        report["wire_delta_ratio"],
+        unit=None,
+    )
+    bench_record(
+        "structgen beam host cpus",
+        float(os.cpu_count() or 1),
+        unit=None,
+    )
+    assert report["speedup"] >= 5.0
+    # The incremental deltas must actually pay on the wire: shipping
+    # patched rows beats shipping full rows by a wide margin.
+    assert report["wire_delta_ratio"] <= 0.5
 
 
 def test_service_scaling(bench_record, grammar, stream):

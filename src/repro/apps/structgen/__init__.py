@@ -9,9 +9,11 @@ or over the framed protocol (``ScanServer``/``ScanClient``).  See the
 README "Constrained decoding" walkthrough and DESIGN.md §12.
 """
 
-from .bench import run_mask_bench
+from .beam import BeamMaskSession, beam_capability
+from .bench import run_beam_bench, run_mask_bench
 from .masks import (
     MASK_ABI,
+    MASK_FORMAT_REV,
     MaskError,
     MaskSession,
     MaskTable,
@@ -22,14 +24,18 @@ from .masks import (
 from .vocab import Vocabulary, synthetic_vocab
 
 __all__ = [
+    "BeamMaskSession",
     "MASK_ABI",
+    "MASK_FORMAT_REV",
     "MaskError",
     "MaskSession",
     "MaskTable",
     "Vocabulary",
+    "beam_capability",
     "build_mask_table",
     "load_mask_blob",
     "mask_key",
+    "run_beam_bench",
     "run_mask_bench",
     "synthetic_vocab",
 ]

@@ -1,0 +1,786 @@
+"""Batched beam decode: N mask cursors advanced as one call.
+
+A realistic constrained-decoding loop carries a *beam* of candidate
+continuations, and with :class:`~repro.apps.structgen.MaskSession`
+each of the B lanes pays its own ``mask()``/``advance()`` round trip
+per generated token.  :class:`BeamMaskSession` holds the N decode
+states as a flat array and turns the per-step work into single
+vectorized calls:
+
+* ``masks()`` — every lane's packed validity row in one gather over
+  the table's row matrix;
+* ``advance(token_ids)`` — every lane stepped through the
+  class-indexed step table at once, committed atomically (an invalid
+  token in any lane leaves *all* lanes unmoved and raises);
+* ``fork(i)`` — duplicate lane ``i`` (beam expansion);
+* ``rollback(k)`` — undo the last ``k`` mutating calls across the
+  whole beam (speculative decoding: propose k tokens, verify, rewind
+  the rejected tail).
+
+Three compute paths produce bit-identical results (the differential
+suite in ``tests/apps/test_beam.py`` enforces it): a ctypes kernel
+JIT-built from ``_beamscan.c`` via the ``_nativescan`` build
+machinery, a NumPy gather over the packed row matrix and step table,
+and a tight pure-Python loop (``REPRO_DISABLE_NUMPY=1`` /
+``REPRO_DISABLE_NATIVE=1`` safe).  The pure-Python path additionally
+serves warm states through the table's precomputed sparse XOR deltas
+(:meth:`~repro.apps.structgen.masks.MaskTable.build_deltas`): full
+rows only for cold states, 3-byte patches otherwise.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import struct
+from array import array
+
+from .masks import MaskError, MaskTable
+
+try:  # pragma: no cover - exercised via the REPRO_DISABLE_NUMPY job
+    if os.environ.get("REPRO_DISABLE_NUMPY"):
+        raise ImportError("NumPy disabled by REPRO_DISABLE_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "BeamMaskSession",
+    "apply_xor_patch",
+    "beam_capability",
+    "xor_patch",
+]
+
+_SOURCE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "_beamscan.c"
+)
+
+#: Bumped when the ``_beamscan.c`` calling contract changes.
+_KERNEL_ABI = "1"
+
+#: How many delta patches the pure-Python path will chase up the
+#: delta tree before declaring the state cold.
+_DELTA_CHAIN_CAP = 32
+
+#: Cap on the per-session cache of resolved CI rows (pure-Python
+#: path); cleared wholesale when full.
+_CI_CACHE_CAP = 4096
+
+_kernel = None
+_kernel_attempted = False
+
+
+class _CPlan(ctypes.Structure):
+    """Mirror of ``beam_plan`` in ``_beamscan.c`` — every per-table
+    pointer marshalled once, so the per-step call passes five
+    arguments instead of thirteen."""
+
+    _fields_ = [
+        ("step", ctypes.c_char_p),
+        ("err", ctypes.c_char_p),
+        ("doomed", ctypes.c_char_p),
+        ("codes", ctypes.c_char_p),
+        ("offs", ctypes.c_char_p),
+        ("lens", ctypes.c_char_p),
+        ("rows", ctypes.c_char_p),
+        ("row_bytes", ctypes.c_int64),
+        ("n_classes", ctypes.c_int32),
+        ("n_vocab", ctypes.c_int32),
+    ]
+
+
+def _load_kernel():
+    """The ctypes-loaded beam kernel, or None (no compiler, disabled,
+    unwritable cache).  Cached per process like the scan kernel."""
+    global _kernel, _kernel_attempted
+    from repro.core import _native_build
+
+    if _native_build._disabled():
+        return None
+    if _kernel is not None:
+        return _kernel
+    if _kernel_attempted:
+        return None
+    _kernel_attempted = True
+    path = _native_build.jit_shared_library(_SOURCE, _KERNEL_ABI)
+    if path is None:
+        return None
+    import ctypes
+
+    try:
+        lib = ctypes.CDLL(path)
+    except OSError:
+        return None
+    c = ctypes
+    lib.beam_advance.restype = c.c_long
+    lib.beam_advance.argtypes = [
+        c.c_char_p,  # step table (native int32 bytes)
+        c.c_int32,  # n_classes
+        c.c_char_p,  # err (u8 per state)
+        c.c_char_p,  # doomed (u8 per state)
+        c.c_char_p,  # codes blob
+        c.c_char_p,  # offs (native int32 bytes)
+        c.c_char_p,  # lens (native int32 bytes)
+        c.c_char_p,  # toks (native int32 bytes)
+        c.POINTER(c.c_int32),  # states (in/out scratch)
+        c.c_int32,  # n_lanes
+    ]
+    lib.beam_gather.restype = None
+    lib.beam_gather.argtypes = [
+        c.c_char_p,  # rows
+        c.c_int64,  # row_bytes
+        c.POINTER(c.c_int32),  # states
+        c.c_int32,  # n_lanes
+        c.POINTER(c.c_ubyte),  # out
+    ]
+    lib.beam_step.restype = c.c_long
+    lib.beam_step.argtypes = [
+        c.POINTER(_CPlan),  # plan
+        c.c_char_p,  # toks (native int32 bytes)
+        c.POINTER(c.c_int32),  # prev states
+        c.POINTER(c.c_int32),  # next states
+        c.c_int32,  # n_lanes
+        c.POINTER(c.c_ubyte),  # out rows
+    ]
+    _kernel = lib
+    return lib
+
+
+def xor_patch(prev: bytes, new: bytes) -> bytes:
+    """Sparse XOR diff between two equal-length rows, as the delta
+    tables' 3-byte entries (u16 BE byte index, u8 XOR value).  The
+    MASKS wire frames ship this instead of the full row whenever it is
+    strictly smaller."""
+    return b"".join(
+        i.to_bytes(2, "big") + bytes((a ^ b,))
+        for i, (a, b) in enumerate(zip(prev, new))
+        if a != b
+    )
+
+
+def apply_xor_patch(prev: bytes, patch: bytes) -> bytes:
+    """Rebuild the new row from ``prev`` and an :func:`xor_patch`."""
+    row = bytearray(prev)
+    for i in range(0, len(patch), 3):
+        row[patch[i] << 8 | patch[i + 1]] ^= patch[i + 2]
+    return bytes(row)
+
+
+def beam_capability() -> dict:
+    """Which beam compute paths are live (``/stats``, CLI)."""
+    return {
+        "native": _load_kernel() is not None,
+        "numpy": _np is not None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Per-table prepared tables, shared across sessions via
+# MaskTable._beam_cache (built once, read-only afterwards).
+# ----------------------------------------------------------------------
+#: The dense (state × token → next state) advance matrix is only
+#: materialized below this many cells (int32 each); past it the NumPy
+#: path walks class strings per call instead.
+_ADV_MATRIX_CAP = 1 << 24
+
+
+class _VectorTables:
+    __slots__ = (
+        "rows", "step", "err", "doomed", "codes", "lens",
+        "adv", "adv_known",
+    )
+
+    def __init__(self, table: MaskTable) -> None:
+        lowering = table.lowering
+        n = lowering.n_states
+        self.rows = _np.frombuffer(table.rows, dtype=_np.uint8).reshape(
+            n, table.row_bytes
+        )
+        self.step = _np.array(lowering.step, dtype=_np.int32)
+        self.err = _np.array(lowering.err_state, dtype=bool)
+        self.doomed = _np.array(lowering.doomed, dtype=bool)
+        lens = _np.array([len(c) for c in table.codes], dtype=_np.int32)
+        width = max(1, int(lens.max()))
+        codes = _np.zeros((len(table.codes), width), dtype=_np.uint8)
+        for i, c in enumerate(table.codes):
+            if c:
+                codes[i, : len(c)] = _np.frombuffer(c, dtype=_np.uint8)
+        self.codes = codes
+        self.lens = lens
+        # Lazily-filled dense advance matrix: row s holds the
+        # post-token state for every token from s (-1 = invalid),
+        # computed by one vectorized vocabulary-wide walk on the first
+        # visit to s.  Decode loops revisit a small state set, so the
+        # steady-state advance is a single fancy-indexed gather.
+        if n * len(table.codes) <= _ADV_MATRIX_CAP:
+            self.adv = _np.full(
+                (n, len(table.codes)), -1, dtype=_np.int32
+            )
+            self.adv_known = _np.zeros(n, dtype=bool)
+        else:
+            self.adv = None
+            self.adv_known = None
+
+    def fill_adv_row(self, s: int) -> None:
+        V = self.codes.shape[0]
+        cur = _np.full(V, s, dtype=_np.int64)
+        alive = _np.ones(V, dtype=bool)
+        lens = self.lens
+        step = self.step
+        err = self.err
+        codes = self.codes
+        for pos in range(codes.shape[1]):
+            act = alive & (pos < lens)
+            if not act.any():
+                break
+            bad = act & err[cur]
+            if bad.any():
+                alive &= ~bad
+                act &= ~bad
+            idx = _np.nonzero(act)[0]
+            if idx.size:
+                cur[idx] = step[cur[idx], codes[idx, pos]]
+        alive &= ~self.doomed[cur]
+        self.adv[s] = _np.where(alive, cur, -1).astype(_np.int32)
+        self.adv_known[s] = True
+
+
+class _NativeTables:
+    __slots__ = (
+        "lib", "step", "n_classes", "err", "doomed",
+        "codes", "offs", "lens", "rows", "row_bytes",
+        "plan", "planref",
+    )
+
+    def __init__(self, table: MaskTable, lib) -> None:
+        lowering = table.lowering
+        self.lib = lib
+        self.n_classes = lowering.n_classes
+        self.step = array(
+            "i", (x for row in lowering.step for x in row)
+        ).tobytes()
+        self.err = bytes(map(int, lowering.err_state))
+        self.doomed = bytes(map(int, lowering.doomed))
+        offs = array("i")
+        lens = array("i")
+        pos = 0
+        for c in table.codes:
+            offs.append(pos)
+            lens.append(len(c))
+            pos += len(c)
+        self.codes = b"".join(table.codes)
+        self.offs = offs.tobytes()
+        self.lens = lens.tobytes()
+        self.rows = table.rows
+        self.row_bytes = table.row_bytes
+        plan = _CPlan()
+        plan.step = self.step
+        plan.err = self.err
+        plan.doomed = self.doomed
+        plan.codes = self.codes
+        plan.offs = self.offs
+        plan.lens = self.lens
+        plan.rows = self.rows
+        plan.row_bytes = self.row_bytes
+        plan.n_classes = self.n_classes
+        plan.n_vocab = len(table.codes)
+        self.plan = plan
+        self.planref = ctypes.byref(plan)
+
+
+def _prepared(table: MaskTable, kind: str):
+    cache = table._beam_cache
+    if cache is None:
+        cache = table._beam_cache = {}
+    if kind not in cache:
+        if kind == "numpy":
+            cache[kind] = _VectorTables(table)
+        else:
+            cache[kind] = _NativeTables(table, _load_kernel())
+    return cache[kind]
+
+
+# ----------------------------------------------------------------------
+class BeamMaskSession:
+    """N decode cursors over one shared :class:`MaskTable`, every
+    operation a single batched call.
+
+    ``path`` selects the compute path: ``"auto"`` walks the engine
+    ladder (native → numpy → python); forcing ``"native"``/``"numpy"``
+    raises :class:`MaskError` when that path is unavailable.  All
+    paths are bit-identical to N independent
+    :class:`~repro.apps.structgen.MaskSession`\\ s.
+    """
+
+    __slots__ = (
+        "table",
+        "path",
+        "counters",
+        "history_cap",
+        "_states",
+        "_history",
+        "_vt",
+        "_nt",
+        "_nbuf",
+        "_nsync",
+        "_ci_cache",
+        "_metrics",
+    )
+
+    def __init__(
+        self,
+        table: MaskTable,
+        width: int = 1,
+        *,
+        metrics=None,
+        path: str = "auto",
+        history_cap: int = 1024,
+    ) -> None:
+        if width < 1:
+            raise MaskError("beam width must be >= 1")
+        if path == "auto":
+            if _load_kernel() is not None:
+                path = "native"
+            elif _np is not None:
+                path = "numpy"
+            else:
+                path = "python"
+        elif path == "numpy":
+            if _np is None:
+                raise MaskError("NumPy path unavailable")
+        elif path == "native":
+            if _load_kernel() is None:
+                raise MaskError("native beam kernel unavailable")
+        elif path != "python":
+            raise MaskError(f"unknown beam path {path!r}")
+        self.table = table
+        self.path = path
+        self.history_cap = history_cap
+        self._states: list[int] = [0] * width
+        self._history: list[tuple[int, ...]] = []
+        self._vt = _prepared(table, "numpy") if path == "numpy" else None
+        self._nt = _prepared(table, "native") if path == "native" else None
+        self._nbuf = None
+        self._nsync = False
+        self._ci_cache: dict[int, bytes] = {0: bytes(table.ci_row(0))}
+        self._metrics = metrics
+        self.counters = {
+            "masks_served": 0,
+            "ci_tokens": 0,
+            "cd_checks": 0,
+            "advances": 0,
+            "forks": 0,
+            "rollbacks": 0,
+            "delta_hits": 0,
+            "delta_cold": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return len(self._states)
+
+    @property
+    def states(self) -> tuple[int, ...]:
+        return tuple(self._states)
+
+    def eos_valid(self) -> list[bool]:
+        eos = self.table.lowering.eos
+        return [eos[s] for s in self._states]
+
+    # ------------------------------------------------------------------
+    # masks
+    # ------------------------------------------------------------------
+    def masks(self) -> list[bytes]:
+        """Every lane's packed validity row, one batched call."""
+        rows = self._gather_rows()
+        self._count_masks()
+        return rows
+
+    def masks_packed(self) -> bytes:
+        """All lanes' rows as one lane-major buffer (the wire shape)."""
+        rows = self._gather_packed()
+        self._count_masks()
+        return rows
+
+    def _count_masks(self) -> None:
+        table = self.table
+        w = len(self._states)
+        counters = self.counters
+        counters["masks_served"] += w
+        counters["ci_tokens"] += table.ci_count * w
+        counters["cd_checks"] += len(table.cd_ids) * w
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("structgen.masks_served").inc(w)
+            metrics.counter("structgen.ci_tokens").inc(
+                table.ci_count * w
+            )
+            metrics.counter("structgen.cd_checks").inc(
+                len(table.cd_ids) * w
+            )
+
+    def _gather_rows(self) -> list[bytes]:
+        path = self.path
+        if path == "numpy":
+            mat = self._gather_numpy()
+            return [mat[i].tobytes() for i in range(len(self._states))]
+        if path == "native":
+            packed = self._gather_native()
+            rb = self.table.row_bytes
+            return [
+                bytes(packed[i * rb : (i + 1) * rb])
+                for i in range(len(self._states))
+            ]
+        return self._gather_python()
+
+    def _gather_packed(self) -> bytes:
+        path = self.path
+        if path == "numpy":
+            return self._gather_numpy().tobytes()
+        if path == "native":
+            return bytes(self._gather_native())
+        return b"".join(self._gather_python())
+
+    def _gather_numpy(self):
+        vt = self._vt
+        states = self._states
+        idx = _np.fromiter(states, dtype=_np.intp, count=len(states))
+        mat = vt.rows[idx]
+        table = self.table
+        if table.cd_ids:
+            lanes_by_state: dict[int, list[int]] = {}
+            for lane, s in enumerate(states):
+                lanes_by_state.setdefault(s, []).append(lane)
+            for s, lanes in lanes_by_state.items():
+                extra = bytearray(table.row_bytes)
+                table.cd_bits(s, extra)
+                patch = _np.frombuffer(bytes(extra), dtype=_np.uint8)
+                mat[lanes] |= patch
+        return mat
+
+    def _gather_native(self) -> bytearray:
+        import ctypes
+
+        nt = self._nt
+        states = self._states
+        w = len(states)
+        rb = nt.row_bytes
+        out = bytearray(w * rb)
+        arr = (ctypes.c_int32 * w)(*states)
+        nt.lib.beam_gather(
+            nt.rows,
+            rb,
+            arr,
+            w,
+            (ctypes.c_ubyte * len(out)).from_buffer(out),
+        )
+        table = self.table
+        if table.cd_ids:
+            for lane, s in enumerate(states):
+                row = bytearray(out[lane * rb : (lane + 1) * rb])
+                table.cd_bits(s, row)
+                out[lane * rb : (lane + 1) * rb] = row
+        return out
+
+    def _gather_python(self) -> list[bytes]:
+        table = self.table
+        out = []
+        if table.cd_ids:
+            for s in self._states:
+                row = bytearray(self._ci_python(s))
+                table.cd_bits(s, row)
+                out.append(bytes(row))
+        else:
+            for s in self._states:
+                out.append(self._ci_python(s))
+        return out
+
+    def _ci_python(self, s: int) -> bytes:
+        """The CI row for ``s`` via the session row cache: a sparse
+        delta chain from a cached ancestor when the table carries
+        deltas (warm), a full row copy otherwise (cold)."""
+        cache = self._ci_cache
+        row = cache.get(s)
+        if row is not None:
+            return row
+        table = self.table
+        db = table.delta_base
+        base_row = None
+        chain: list[int] = []
+        if db is not None:
+            cur = s
+            while len(chain) < _DELTA_CHAIN_CAP:
+                base = db[cur]
+                if base < 0:
+                    break
+                chain.append(cur)
+                hit = cache.get(base)
+                if hit is not None:
+                    base_row = hit
+                    break
+                cur = base
+            else:
+                base_row = None
+        if base_row is not None:
+            patched = bytearray(base_row)
+            patches = table.delta_patches
+            for st in reversed(chain):
+                patch = patches[st]
+                for i in range(0, len(patch), 3):
+                    patched[patch[i] << 8 | patch[i + 1]] ^= patch[i + 2]
+            row = bytes(patched)
+            self.counters["delta_hits"] += 1
+            if self._metrics is not None:
+                self._metrics.counter("structgen.delta_hits").inc()
+        else:
+            row = bytes(table.ci_row(s))
+            self.counters["delta_cold"] += 1
+            if self._metrics is not None:
+                self._metrics.counter("structgen.delta_cold").inc()
+        if len(cache) >= _CI_CACHE_CAP:
+            cache.clear()
+            cache[0] = bytes(table.ci_row(0))
+        cache[s] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # advance / fork / rollback
+    # ------------------------------------------------------------------
+    def advance(self, token_ids) -> tuple[int, ...]:
+        """Step every lane by its token, atomically: an invalid token
+        in any lane raises :class:`MaskError` naming the lane, and no
+        lane moves."""
+        states = self._states
+        toks = list(token_ids)
+        if len(toks) != len(states):
+            raise MaskError(
+                f"advance() got {len(toks)} token ids for "
+                f"{len(states)} lanes"
+            )
+        vocab_size = len(self.table.vocab)
+        for lane, tok in enumerate(toks):
+            if not 0 <= tok < vocab_size:
+                raise MaskError(
+                    f"lane {lane}: token id {tok} out of range "
+                    f"(vocabulary has {vocab_size} tokens)"
+                )
+        path = self.path
+        if path == "numpy":
+            new = self._advance_numpy(toks)
+        elif path == "native":
+            new = self._advance_native(toks)
+        else:
+            new = self._advance_python(toks)
+        self._push_history()
+        self._states = new
+        self._nsync = False
+        self.counters["advances"] += len(new)
+        if self._metrics is not None:
+            self._metrics.counter("structgen.advances").inc(len(new))
+        return tuple(new)
+
+    def advance_masks(self, token_ids) -> tuple[tuple[int, ...], bytes]:
+        """The fused decode step: advance every lane and return
+        ``(new_states, packed_rows)`` in one engine transition — what
+        a BATCH_ADVANCE wire frame costs server-side.  Same atomic
+        failure contract as :meth:`advance`."""
+        toks = (
+            token_ids
+            if type(token_ids) in (list, tuple)
+            else list(token_ids)
+        )
+        if len(toks) != len(self._states):
+            raise MaskError(
+                f"advance() got {len(toks)} token ids for "
+                f"{len(self._states)} lanes"
+            )
+        path = self.path
+        packed = None
+        if path == "native":
+            new, packed = self._step_native(toks)
+        elif path == "numpy":
+            new = self._advance_numpy(toks)
+        else:
+            new = self._advance_python(toks)
+        self._push_history()
+        self._states = new
+        self.counters["advances"] += len(new)
+        if self._metrics is not None:
+            self._metrics.counter("structgen.advances").inc(len(new))
+        if packed is None:
+            packed = self._gather_packed()
+        self._count_masks()
+        return tuple(new), packed
+
+    def _step_native(self, toks) -> tuple[tuple[int, ...], bytes]:
+        nt = self._nt
+        w = len(toks)
+        buf = self._nbuf
+        if buf is None or buf[0] != w:
+            out = bytearray(w * nt.row_bytes)
+            buf = self._nbuf = (
+                w,
+                (ctypes.c_int32 * w)(),
+                (ctypes.c_int32 * w)(),
+                out,
+                (ctypes.c_ubyte * len(out)).from_buffer(out),
+                struct.Struct(f"{w}i"),
+            )
+            self._nsync = False
+        _, prev, nxt, outb, outv, lanes = buf
+        if not self._nsync:
+            prev[:] = self._states
+        ret = nt.lib.beam_step(
+            nt.planref, lanes.pack(*toks), prev, nxt, w, outv
+        )
+        if ret >= 0:
+            self._fail(int(ret), toks)
+        # Swap prev/next so the committed states stay resident for
+        # the next step without a resync copy.
+        self._nbuf = (w, nxt, prev, outb, outv, lanes)
+        self._nsync = True
+        new = lanes.unpack(nxt)
+        out = bytes(outb)
+        table = self.table
+        if table.cd_ids:
+            rb = nt.row_bytes
+            patched = bytearray(out)
+            for lane, s in enumerate(new):
+                row = bytearray(patched[lane * rb : (lane + 1) * rb])
+                table.cd_bits(s, row)
+                patched[lane * rb : (lane + 1) * rb] = row
+            out = bytes(patched)
+        return new, out
+
+    def _fail(self, lane: int, toks) -> None:
+        tok = toks[lane]
+        vocab_size = len(self.table.vocab)
+        if not 0 <= tok < vocab_size:
+            raise MaskError(
+                f"lane {lane}: token id {tok} out of range "
+                f"(vocabulary has {vocab_size} tokens)"
+            )
+        raise MaskError(
+            f"lane {lane}: token {tok} is not valid in "
+            f"state {self._states[lane]}"
+        )
+
+    def _advance_python(self, toks) -> list[int]:
+        table = self.table
+        new = []
+        for lane, (s, tok) in enumerate(zip(self._states, toks)):
+            try:
+                new.append(table.advance_state(s, tok))
+            except MaskError:
+                self._fail(lane, toks)
+        return new
+
+    def _advance_numpy(self, toks) -> list[int]:
+        vt = self._vt
+        n = len(toks)
+        tok_arr = _np.fromiter(toks, dtype=_np.int64, count=n)
+        oob = (tok_arr < 0) | (tok_arr >= vt.codes.shape[0])
+        if oob.any():
+            self._fail(int(_np.nonzero(oob)[0][0]), toks)
+        if vt.adv is not None:
+            known = vt.adv_known
+            for s in set(self._states):
+                if not known[s]:
+                    vt.fill_adv_row(s)
+            nxt = vt.adv[
+                _np.fromiter(self._states, dtype=_np.intp, count=n),
+                tok_arr,
+            ]
+            if (nxt < 0).any():
+                self._fail(int(_np.nonzero(nxt < 0)[0][0]), toks)
+            return nxt.tolist()
+        tok = tok_arr
+        cur = _np.fromiter(self._states, dtype=_np.int64, count=n)
+        lens = vt.lens[tok]
+        alive = _np.ones(n, dtype=bool)
+        step = vt.step
+        err = vt.err
+        codes = vt.codes
+        for pos in range(int(lens.max())):
+            act = alive & (pos < lens)
+            if not act.any():
+                break
+            bad = act & err[cur]
+            if bad.any():
+                alive &= ~bad
+                act &= ~bad
+            if act.any():
+                idx = _np.nonzero(act)[0]
+                cur[idx] = step[cur[idx], codes[tok[idx], pos]]
+        alive &= ~vt.doomed[cur]
+        if not alive.all():
+            self._fail(int(_np.nonzero(~alive)[0][0]), toks)
+        return cur.tolist()
+
+    def _advance_native(self, toks) -> list[int]:
+        import ctypes
+
+        nt = self._nt
+        w = len(toks)
+        scratch = (ctypes.c_int32 * w)(*self._states)
+        ret = nt.lib.beam_advance(
+            nt.step,
+            nt.n_classes,
+            nt.err,
+            nt.doomed,
+            nt.codes,
+            nt.offs,
+            nt.lens,
+            array("i", toks).tobytes(),
+            scratch,
+            w,
+        )
+        if ret >= 0:
+            self._fail(int(ret), toks)
+        return list(scratch)
+
+    def fork(self, lane: int) -> int:
+        """Duplicate lane ``lane``; returns the new lane's index."""
+        states = self._states
+        if not 0 <= lane < len(states):
+            raise MaskError(
+                f"fork lane {lane} out of range (beam width "
+                f"{len(states)})"
+            )
+        self._push_history()
+        self._states = [*states, states[lane]]
+        self._nsync = False
+        self.counters["forks"] += 1
+        return len(states)
+
+    def rollback(self, k: int = 1) -> tuple[int, ...]:
+        """Undo the last ``k`` mutating calls (advance or fork) across
+        the whole beam — including width changes from forks."""
+        history = self._history
+        if k < 1 or k > len(history):
+            raise MaskError(
+                f"cannot roll back {k} step(s); history holds "
+                f"{len(history)}"
+            )
+        for _ in range(k):
+            snapshot = history.pop()
+        self._states = list(snapshot)
+        self._nsync = False
+        self.counters["rollbacks"] += 1
+        return tuple(self._states)
+
+    def _push_history(self) -> None:
+        history = self._history
+        history.append(tuple(self._states))
+        if len(history) > self.history_cap:
+            del history[0]
+
+    def reset(self, width: int | None = None) -> None:
+        if width is None:
+            width = len(self._states)
+        if width < 1:
+            raise MaskError("beam width must be >= 1")
+        self._states = [0] * width
+        self._history = []
+        self._nsync = False

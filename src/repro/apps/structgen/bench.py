@@ -14,10 +14,16 @@ from __future__ import annotations
 import random
 import time
 
+from .beam import BeamMaskSession, xor_patch
 from .masks import MaskSession, MaskTable, build_mask_table
 from .vocab import Vocabulary, synthetic_vocab
 
-__all__ = ["run_mask_bench", "random_walk_states"]
+__all__ = [
+    "beam_schedule",
+    "random_walk_states",
+    "run_beam_bench",
+    "run_mask_bench",
+]
 
 
 def random_walk_states(
@@ -109,4 +115,146 @@ def run_mask_bench(
         "speedup": masks_per_s / naive_per_s if naive_per_s else 0.0,
         "ci_tokens_per_mask": counters["ci_tokens"] / served,
         "cd_checks_per_mask": counters["cd_checks"] / served,
+    }
+
+
+# ----------------------------------------------------------------------
+# beam: batched advance+mask vs independent per-lane sessions
+# ----------------------------------------------------------------------
+def beam_schedule(
+    table: MaskTable, width: int, steps: int, seed: int = 2006
+) -> list:
+    """A seeded beam trajectory: per step one valid token id per lane
+    (``("advance", ids)``) or a full-beam reset when any lane dead-
+    ends (``("reset",)``).  Both the beam session and the independent
+    baselines replay the identical operation list."""
+    rng = random.Random(seed)
+    lanes = [MaskSession(table) for _ in range(width)]
+    n = len(table.vocab)
+    ops: list = []
+    for _ in range(steps):
+        ids = []
+        for lane in lanes:
+            row = lane.mask()
+            valid = [
+                i for i in range(n) if row[i >> 3] >> (i & 7) & 1
+            ]
+            if not valid:
+                ids = None
+                break
+            ids.append(rng.choice(valid))
+        if ids is None:
+            ops.append(("reset",))
+            for lane in lanes:
+                lane.reset()
+            continue
+        ops.append(("advance", ids))
+        for lane, tok in zip(lanes, ids):
+            lane.advance(tok)
+    return ops
+
+
+def _beam_rate(run, reps: int = 3) -> float:
+    """Best-of-``reps`` seconds for ``run()`` (one warmup pass)."""
+    run()
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_beam_bench(
+    grammar,
+    options=None,
+    vocab: Vocabulary | None = None,
+    *,
+    width: int = 32,
+    steps: int = 200,
+    seed: int = 2006,
+    reps: int = 3,
+    path: str = "auto",
+) -> dict:
+    """Beam-of-``width`` masks/sec vs ``width`` independent sessions.
+
+    Both sides replay the same seeded schedule and serve the same
+    masks per step (one per lane), so the ratio isolates exactly what
+    the batched engine saves: per-lane Python call overhead.  Also
+    measures the wire saving of delta-encoding consecutive MASKS
+    payloads against shipping full rows.
+    """
+    vocab = vocab or synthetic_vocab()
+    table = build_mask_table(grammar, vocab, options)
+    ops = beam_schedule(table, width, steps, seed=seed)
+    masks_total = width * len(ops)
+
+    beam = BeamMaskSession(table, width, path=path)
+
+    def run_beam():
+        beam.reset(width)
+        for op in ops:
+            if op[0] == "reset":
+                beam.reset(width)
+                beam.masks_packed()
+            else:
+                beam.advance_masks(op[1])
+
+    lanes = [MaskSession(table) for _ in range(width)]
+
+    def run_sessions():
+        for lane in lanes:
+            lane.reset()
+        for op in ops:
+            if op[0] == "reset":
+                for lane in lanes:
+                    lane.reset()
+            else:
+                for lane, tok in zip(lanes, op[1]):
+                    lane.advance(tok)
+            for lane in lanes:
+                lane.mask()
+
+    beam_s = _beam_rate(run_beam, reps=reps)
+    sessions_s = _beam_rate(run_sessions, reps=reps)
+
+    # Wire accounting: per step, per lane, a delta payload (3 bytes
+    # per changed row byte + 3 bytes of frame overhead) vs the full
+    # row — the MASKS frame picks whichever is smaller, full rows
+    # counted once more as the resync/cold baseline.
+    beam.reset(width)
+    rb = table.row_bytes
+    prev = list(beam.masks())
+    delta_bytes = 0
+    full_bytes = 0
+    for op in ops:
+        if op[0] == "reset":
+            beam.reset(width)
+        else:
+            beam.advance(op[1])
+        rows = beam.masks()
+        for lane, row in enumerate(rows):
+            full_bytes += rb
+            patch = xor_patch(prev[lane], row)
+            delta_bytes += min(len(patch) + 3, rb + 1)
+        prev = rows
+
+    return {
+        "grammar": table.grammar_name,
+        "vocab_size": len(vocab),
+        "states": table.n_states,
+        "width": width,
+        "steps": len(ops),
+        "path": beam.path,
+        "beam_masks_per_s": masks_total / beam_s,
+        "sessions_masks_per_s": masks_total / sessions_s,
+        "speedup": sessions_s / beam_s if beam_s else 0.0,
+        "beam_step_us": beam_s / len(ops) * 1e6,
+        "sessions_step_us": sessions_s / len(ops) * 1e6,
+        "wire_delta_bytes": delta_bytes,
+        "wire_full_bytes": full_bytes,
+        "wire_delta_ratio": (
+            delta_bytes / full_bytes if full_bytes else 0.0
+        ),
+        "deltas": table.delta_stats(),
     }

@@ -47,6 +47,7 @@ from .vocab import Vocabulary
 
 __all__ = [
     "MASK_ABI",
+    "MASK_FORMAT_REV",
     "MaskError",
     "MaskSession",
     "MaskTable",
@@ -56,12 +57,27 @@ __all__ = [
     "read_mask_header",
 ]
 
-#: Bumped whenever the RMSK layout changes; part of :func:`mask_key`,
-#: so old blobs are never looked up again (same discipline as
-#: ``ARTIFACT_ABI``).
+#: Bumped whenever the RMSK layout changes *incompatibly*; part of
+#: :func:`mask_key`, so old blobs are never looked up again (same
+#: discipline as ``ARTIFACT_ABI``).
 MASK_ABI = 1
 
+#: Format revision within ABI 1.  Rev 2 appends an optional delta-table
+#: section *after* the vocabulary: rev-1 readers stop at the last token
+#: and never see it, and rev-1 blobs simply load without deltas (the
+#: registry heal path re-publishes them deltified).
+MASK_FORMAT_REV = 2
+
 _MAGIC = b"RMSK"
+
+#: A state's row is stored as a sparse XOR patch against an adjacent
+#: state's row when they differ in at most ``row_bytes // 8`` bytes
+#: (but never fewer than this floor) — past that a full row copy is
+#: cheaper than chasing patch entries.
+DELTA_MIN_PATCH_CAP = 4
+
+#: Default budget for the delta section payload, in bytes.
+DEFAULT_DELTA_BUDGET = 1 << 20
 
 #: Default per-token byte-class-length cap for the precomputed set:
 #: longer tokens are context-dependent regardless of budget.
@@ -108,6 +124,10 @@ class MaskTable:
         "wiring",
         "build_ms",
         "_adv_memo",
+        "delta_base",
+        "delta_patches",
+        "_delta_stats",
+        "_beam_cache",
     )
 
     def __init__(
@@ -133,6 +153,14 @@ class MaskTable:
         self.wiring = wiring or []
         self.build_ms = build_ms
         self._adv_memo: dict = {}
+        # Delta tables (rev 2): per-state base state (-1 = cold, serve
+        # the full row) and 3-byte sparse XOR patch entries against the
+        # base's *CI* row.  ``None`` means "no delta section" — an
+        # old-format blob; :meth:`build_deltas` fills them in.
+        self.delta_base: list[int] | None = None
+        self.delta_patches: list[bytes] | None = None
+        self._delta_stats: dict | None = None
+        self._beam_cache = None  # lazily-built vectorized tables
 
     # ------------------------------------------------------------------
     @property
@@ -149,7 +177,7 @@ class MaskTable:
 
     def describe(self) -> dict:
         """JSON-safe summary (``/stats``, ``registry inspect``)."""
-        return {
+        out = {
             "key": self.key[:16],
             "grammar": self.grammar_name,
             "vocab_hash": self.vocab_hash[:16],
@@ -158,21 +186,135 @@ class MaskTable:
             "ci": self.ci_count,
             "cd": len(self.cd_ids),
             "row_bytes": self.row_bytes,
+            "rev": MASK_FORMAT_REV if self.has_deltas else 1,
+            "deltas": self.delta_stats() if self.has_deltas else None,
         }
+        return out
+
+    # ------------------------------------------------------------------
+    # incremental mask deltas (rev 2)
+    # ------------------------------------------------------------------
+    @property
+    def has_deltas(self) -> bool:
+        return self.delta_base is not None
+
+    def build_deltas(
+        self, *, budget: int = DEFAULT_DELTA_BUDGET
+    ) -> None:
+        """Precompute sparse XOR row diffs between adjacent states.
+
+        "Adjacent" means connected in the class-indexed step graph —
+        exactly the state pairs consecutive decode steps traverse, so a
+        warm consumer usually holds the base row already.  BFS from
+        state 0 assigns each reachable state its discovery parent as
+        delta base; the patch (3-byte entries: u16 byte index, u8 XOR)
+        is kept only while it is sparse (≤ ``row_bytes // 8`` entries)
+        and the section stays under ``budget`` bytes.  Everything else
+        is *cold* and serves the full row.
+        """
+        n = self.n_states
+        rb = self.row_bytes
+        rows = self.rows
+        step = self.lowering.step
+        err = self.lowering.err_state
+        base = [-1] * n
+        patches = [b""] * n
+        cap = max(DELTA_MIN_PATCH_CAP, rb // 8)
+        spent = 0
+        seen = [False] * n
+        seen[0] = True
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for s in frontier:
+                if err[s]:
+                    continue
+                s_row = rows[s * rb : (s + 1) * rb]
+                for t in set(step[s]):
+                    if seen[t]:
+                        continue
+                    seen[t] = True
+                    nxt.append(t)
+                    t_row = rows[t * rb : (t + 1) * rb]
+                    diff = [
+                        (i, a ^ b)
+                        for i, (a, b) in enumerate(zip(s_row, t_row))
+                        if a != b
+                    ]
+                    size = 6 + 3 * len(diff)
+                    if len(diff) > cap or spent + size > budget:
+                        continue
+                    base[t] = s
+                    patches[t] = b"".join(
+                        i.to_bytes(2, "big") + bytes((x,))
+                        for i, x in diff
+                    )
+                    spent += size
+            frontier = nxt
+        self.delta_base = base
+        self.delta_patches = patches
+        self._delta_stats = None
+
+    def delta_stats(self) -> dict:
+        """Delta-table telemetry: how many rows are stored as patches
+        and how sparse the patches are (``/stats``, ``inspect``)."""
+        if self._delta_stats is None:
+            if not self.has_deltas:
+                return {
+                    "rows_deltified": 0,
+                    "mean_popcount": 0.0,
+                    "payload_bytes": 0,
+                }
+            count = 0
+            bits = 0
+            payload = 0
+            for b, patch in zip(self.delta_base, self.delta_patches):
+                if b < 0:
+                    continue
+                count += 1
+                payload += 6 + len(patch)
+                for i in range(2, len(patch), 3):
+                    bits += patch[i].bit_count()
+            self._delta_stats = {
+                "rows_deltified": count,
+                "mean_popcount": bits / count if count else 0.0,
+                "payload_bytes": payload,
+            }
+        return self._delta_stats
+
+    def ci_row(self, state: int) -> bytearray:
+        """The precomputed CI row only — no CD checks.  The base the
+        delta patches apply against."""
+        base = state * self.row_bytes
+        return bytearray(self.rows[base : base + self.row_bytes])
+
+    def patched_ci_row(
+        self, state: int, base_row: bytes
+    ) -> bytearray:
+        """Rebuild ``state``'s CI row from its delta base's row.  The
+        caller guarantees ``base_row`` is ``delta_base[state]``'s CI
+        row; the patch XORs the few differing bytes in place."""
+        row = bytearray(base_row)
+        patch = self.delta_patches[state]
+        for i in range(0, len(patch), 3):
+            row[patch[i] << 8 | patch[i + 1]] ^= patch[i + 2]
+        return row
+
+    def cd_bits(self, state: int, row: bytearray) -> None:
+        """OR the context-dependent tokens' live validity into ``row``."""
+        if self.cd_ids:
+            codes = self.codes
+            valid = self.lowering.valid_memo
+            for tok in self.cd_ids:
+                if valid(state, codes[tok]):
+                    row[tok >> 3] |= 1 << (tok & 7)
 
     # ------------------------------------------------------------------
     def mask_row(self, state: int) -> bytearray:
         """The packed validity row for ``state``: the precomputed CI
         bits copied, the CD tokens re-checked (memoized) live."""
-        base = state * self.row_bytes
-        row = bytearray(self.rows[base : base + self.row_bytes])
-        if self.cd_ids:
-            lowering = self.lowering
-            codes = self.codes
-            valid = lowering.valid_memo
-            for tok in self.cd_ids:
-                if valid(state, codes[tok]):
-                    row[tok >> 3] |= 1 << (tok & 7)
+        row = self.ci_row(state)
+        self.cd_bits(state, row)
         return row
 
     def naive_row(self, state: int) -> bytearray:
@@ -245,12 +387,23 @@ class MaskTable:
             "cd": len(self.cd_ids),
             "built": time.time(),
         }
+        if self.has_deltas:
+            # The delta section trails the vocabulary, so rev-1
+            # readers (which stop after the last token) load this blob
+            # unchanged; the header flag is what rev-2 readers key on.
+            header["rev"] = MASK_FORMAT_REV
+            header["deltas"] = self.delta_stats()
         head = json.dumps(header, sort_keys=True).encode("utf-8")
         parts = [_MAGIC, len(head).to_bytes(4, "big"), head, self.rows]
         parts.extend(t.to_bytes(4, "big") for t in self.cd_ids)
         for token in self.vocab.tokens:
             parts.append(len(token).to_bytes(4, "big"))
             parts.append(token)
+        if self.has_deltas:
+            for base, patch in zip(self.delta_base, self.delta_patches):
+                parts.append((base & 0xFFFFFFFF).to_bytes(4, "big"))
+                parts.append((len(patch) // 3).to_bytes(2, "big"))
+                parts.append(patch)
         return b"".join(parts)
 
 
@@ -278,6 +431,7 @@ def build_mask_table(
     *,
     ci_max_len: int = DEFAULT_CI_MAX_LEN,
     ci_budget: int = DEFAULT_CI_BUDGET,
+    delta_budget: int = DEFAULT_DELTA_BUDGET,
 ) -> MaskTable:
     """Lower ``grammar`` and precompute the CI rows for ``vocab``.
 
@@ -285,7 +439,9 @@ def build_mask_table(
     string are one walk — the token-space-compression observation);
     groups are admitted into the precomputed trie shortest-first until
     ``ci_max_len`` / ``ci_budget`` push the remainder into the
-    context-dependent set.
+    context-dependent set.  Sparse row deltas between adjacent states
+    are precomputed under ``delta_budget`` bytes (0 disables them —
+    the rev-1 blob shape).
     """
     start = time.perf_counter()
     options = options or TaggerOptions()
@@ -333,7 +489,7 @@ def build_mask_table(
     from repro.core.artifact import content_id, wiring_fields
 
     source = write_yacc_grammar(grammar)
-    return MaskTable(
+    table = MaskTable(
         lowering,
         vocab,
         bytes(rows),
@@ -341,8 +497,11 @@ def build_mask_table(
         content_id(source, options.wiring),
         grammar_name=grammar.name,
         wiring=wiring_fields(options.wiring),
-        build_ms=(time.perf_counter() - start) * 1e3,
     )
+    if delta_budget:
+        table.build_deltas(budget=delta_budget)
+    table.build_ms = (time.perf_counter() - start) * 1e3
+    return table
 
 
 def load_mask_blob(
@@ -400,7 +559,7 @@ def load_mask_blob(
     vocab = Vocabulary(tokens)
     if vocab.vocab_hash != header.get("vocab_hash"):
         raise MaskError("mask artifact vocabulary hash mismatch")
-    return MaskTable(
+    table = MaskTable(
         lowering,
         vocab,
         rows,
@@ -408,8 +567,25 @@ def load_mask_blob(
         header["content"],
         grammar_name=header.get("grammar", "grammar"),
         wiring=header.get("wiring", []),
-        build_ms=(time.perf_counter() - start) * 1e3,
     )
+    if "deltas" in header:
+        delta_base = []
+        delta_patches = []
+        for _ in range(n_states):
+            if len(blob) < pos + 6:
+                raise MaskError("truncated mask artifact delta table")
+            base = int.from_bytes(blob[pos : pos + 4], "big")
+            count = int.from_bytes(blob[pos + 4 : pos + 6], "big")
+            pos += 6
+            if len(blob) < pos + 3 * count:
+                raise MaskError("truncated mask artifact delta table")
+            delta_base.append(-1 if base == 0xFFFFFFFF else base)
+            delta_patches.append(blob[pos : pos + 3 * count])
+            pos += 3 * count
+        table.delta_base = delta_base
+        table.delta_patches = delta_patches
+    table.build_ms = (time.perf_counter() - start) * 1e3
+    return table
 
 
 # ----------------------------------------------------------------------

@@ -114,6 +114,95 @@ class Vocabulary:
                 fh, ensure_ascii=True,
             )
 
+    @classmethod
+    def from_tokenizer_json(cls, path: str) -> "Vocabulary":
+        """Import a HuggingFace ``tokenizer.json`` (BPE / byte-level).
+
+        Token id ``i`` becomes row bit ``i``, so masks line up with
+        the model's logits directly.  Byte-level tokenizers (GPT-2
+        lineage) store each raw byte as a printable unicode stand-in;
+        those are resolved back to raw bytes via the inverse of the
+        GPT-2 ``bytes_to_unicode`` map.  Added tokens (specials like
+        ``<|endoftext|>``) are literal strings and are UTF-8 encoded
+        as-is.
+        """
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        model = doc.get("model") or {}
+        vocab_map = model.get("vocab")
+        if not isinstance(vocab_map, dict):
+            raise ValueError(
+                f"{path}: no model.vocab table (model type "
+                f"{model.get('type')!r}); only BPE-style "
+                "tokenizer.json files are supported"
+            )
+        byte_level = _uses_byte_level(
+            doc.get("pre_tokenizer")
+        ) or _uses_byte_level(doc.get("decoder"))
+        unmap = _byte_level_inverse() if byte_level else None
+
+        by_id: dict[int, bytes] = {}
+        for text, tid in vocab_map.items():
+            if unmap is not None:
+                raw = bytes(
+                    b
+                    for ch in text
+                    for b in (
+                        (unmap[ch],)
+                        if ch in unmap
+                        else ch.encode("utf-8")
+                    )
+                )
+            else:
+                raw = text.encode("utf-8", errors="surrogateescape")
+            by_id[tid] = raw
+        for added in doc.get("added_tokens") or []:
+            by_id[added["id"]] = added["content"].encode("utf-8")
+
+        size = max(by_id) + 1
+        missing = [i for i in range(size) if i not in by_id]
+        if missing:
+            raise ValueError(
+                f"{path}: vocabulary has holes (no token for id "
+                f"{missing[0]}, {len(missing)} missing of {size})"
+            )
+        return cls(by_id[i] for i in range(size))
+
+
+def _uses_byte_level(component) -> bool:
+    """Whether a tokenizer.json component tree contains a ByteLevel
+    stage (pre_tokenizer/decoder may be a single object or a
+    ``Sequence`` of them)."""
+    if not isinstance(component, dict):
+        return False
+    if component.get("type") == "ByteLevel":
+        return True
+    for sub in component.get("pretokenizers") or component.get(
+        "decoders"
+    ) or []:
+        if _uses_byte_level(sub):
+            return True
+    return False
+
+
+def _byte_level_inverse() -> dict[str, int]:
+    """char → raw byte, the inverse of GPT-2's ``bytes_to_unicode``:
+    printable bytes map to themselves, the rest to U+0100+offset
+    stand-ins."""
+    bs = (
+        list(range(ord("!"), ord("~") + 1))
+        + list(range(0xA1, 0xAD))
+        + list(range(0xAE, 0x100))
+    )
+    cs = bs[:]
+    n = 0
+    for b in range(256):
+        if b not in bs:
+            bs.append(b)
+            cs.append(256 + n)
+            n += 1
+    return {chr(c): b for b, c in zip(bs, cs)}
+
 
 def synthetic_vocab(size: int = 2048, seed: int = 2006) -> Vocabulary:
     """A deterministic LLM-shaped byte-level vocabulary of ``size``

@@ -434,6 +434,8 @@ def _cmd_client_bench(args: argparse.Namespace) -> int:
 def _structgen_vocab(args: argparse.Namespace):
     from repro.apps.structgen import Vocabulary, synthetic_vocab
 
+    if getattr(args, "tokenizer_json", None):
+        return Vocabulary.from_tokenizer_json(args.tokenizer_json)
     if getattr(args, "vocab", None):
         return Vocabulary.from_file(args.vocab)
     return synthetic_vocab(size=args.vocab_size, seed=args.vocab_seed)
@@ -551,6 +553,8 @@ def _structgen_bench(args: argparse.Namespace) -> int:
     vocab = _structgen_vocab(args)
     if args.remote:
         return _structgen_bench_remote(args, vocab)
+    if args.beam:
+        return _structgen_bench_beam(args, vocab)
     from repro.apps.structgen import run_mask_bench
 
     grammar = _load_grammar(args.grammar)
@@ -585,6 +589,55 @@ def _structgen_bench(args: argparse.Namespace) -> int:
         _record_bench_entry("structgen naive masks/sec",
                             report["naive_masks_per_s"])
         _record_bench_entry("structgen speedup", report["speedup"])
+    return 0
+
+
+def _structgen_bench_beam(args: argparse.Namespace, vocab) -> int:
+    """Beam bench: the batched beam engine vs N independent sessions
+    replaying the identical schedule, plus the delta-encoding wire
+    saving."""
+    import json
+
+    from repro.apps.structgen import run_beam_bench
+
+    grammar = _load_grammar(args.grammar)
+    report = run_beam_bench(
+        grammar,
+        vocab=vocab,
+        width=args.width,
+        steps=args.beam_steps,
+        reps=args.repeat,
+        path=args.beam_path,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"grammar  : {report['grammar']} "
+              f"({report['states']} states)")
+        print(f"beam     : width {report['width']}, "
+              f"{report['steps']} steps, "
+              f"{report['path']} path")
+        print(f"batched  : {report['beam_masks_per_s']:12.0f} masks/s "
+              f"({report['beam_step_us']:.1f} us/step)")
+        print(f"sessions : {report['sessions_masks_per_s']:12.0f} "
+              f"masks/s ({report['sessions_step_us']:.1f} us/step)")
+        print(f"speedup  : x{report['speedup']:.2f}")
+        print(f"wire     : delta {report['wire_delta_bytes']} B vs "
+              f"full {report['wire_full_bytes']} B "
+              f"(ratio {report['wire_delta_ratio']:.3f})")
+        deltas = report.get("deltas")
+        if deltas:
+            print(f"deltas   : {deltas['rows_deltified']} rows, "
+                  f"mean popcount {deltas['mean_popcount']:.1f}")
+    if not args.no_record:
+        _record_bench_entry("structgen beam masks/sec",
+                            report["beam_masks_per_s"])
+        _record_bench_entry("structgen beam sessions masks/sec",
+                            report["sessions_masks_per_s"])
+        _record_bench_entry("structgen beam speedup",
+                            report["speedup"])
+        _record_bench_entry("structgen beam wire delta ratio",
+                            report["wire_delta_ratio"])
     return 0
 
 
@@ -867,6 +920,9 @@ def build_parser() -> argparse.ArgumentParser:
     def _sg_vocab_args(p):
         p.add_argument("--vocab", metavar="FILE", default=None,
                        help="vocabulary JSON (default: synthetic)")
+        p.add_argument("--tokenizer-json", metavar="FILE", default=None,
+                       help="import a HuggingFace tokenizer.json "
+                       "(BPE/byte-level) as the vocabulary")
         p.add_argument("--vocab-size", type=int, default=2048,
                        help="synthetic vocabulary size")
         p.add_argument("--vocab-seed", type=int, default=2006,
@@ -922,6 +978,18 @@ def build_parser() -> argparse.ArgumentParser:
     sg_bench.add_argument("--remote", action="store_true",
                           help="drive mask flows against a running "
                           "server and verify byte-for-byte")
+    sg_bench.add_argument("--beam", action="store_true",
+                          help="beam bench: batched beam-of-N "
+                          "advance+mask vs N independent sessions")
+    sg_bench.add_argument("--width", type=int, default=32,
+                          help="with --beam: beam width")
+    sg_bench.add_argument("--beam-steps", type=int, default=200,
+                          help="with --beam: decode steps per "
+                          "measurement")
+    sg_bench.add_argument("--beam-path",
+                          choices=("auto", "native", "numpy", "python"),
+                          default="auto",
+                          help="with --beam: force a compute path")
     sg_bench.add_argument("--host", default="127.0.0.1")
     sg_bench.add_argument("--port", type=int, default=9431)
     sg_bench.add_argument("--sessions", type=int, default=4,

@@ -196,3 +196,73 @@ def kernel_source() -> str | None:
         return None
     path = getattr(module, "__file__", "") or ""
     return "jit" if _cache_dir() in path else "prebuilt"
+
+
+# ----------------------------------------------------------------------
+# Generic plain-C JIT: same cache/publish discipline as the scan
+# kernel, for auxiliary kernels loaded via ctypes (no Python.h, so the
+# artifact is interpreter-independent and needs no EXT_SUFFIX).
+# ----------------------------------------------------------------------
+def jit_shared_library(source: str, abi_tag: str) -> str | None:
+    """Compile ``source`` (plain C, no CPython API) into the native
+    build cache and return the shared-object path, or None.
+
+    Degrades exactly like the scan kernel: ``REPRO_DISABLE_NATIVE=1``,
+    a missing compiler, or an unwritable cache all yield None and the
+    caller falls back down its engine ladder.  The cache key is the
+    source hash plus ``abi_tag``, and the object is published
+    atomically so racing workers never load a half-written file.
+    """
+    if _disabled():
+        return None
+    argv = _compiler()
+    if argv is None:
+        return None
+    try:
+        with open(source, "rb") as fh:
+            digest = hashlib.sha256(fh.read())
+    except OSError:
+        return None
+    digest.update(abi_tag.encode())
+    key = digest.hexdigest()[:16]
+    cache = _cache_dir()
+    name = os.path.splitext(os.path.basename(source))[0]
+    target = os.path.join(cache, f"{name}-{key}.so")
+    if os.path.exists(target):
+        return target
+    try:
+        os.makedirs(cache, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=cache, prefix=f"{name}-build-", suffix=".so"
+        )
+        os.close(fd)
+    except OSError:
+        return None
+    cmd = argv + [
+        "-O2",
+        "-fPIC",
+        "-shared",
+        "-fno-strict-aliasing",
+        source,
+        "-o",
+        tmp,
+    ]
+    try:
+        proc = subprocess.run(
+            cmd,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            timeout=120,
+            check=False,
+        )
+        if proc.returncode != 0:
+            os.unlink(tmp)
+            return None
+        os.replace(tmp, target)
+        return target
+    except (OSError, subprocess.SubprocessError):
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return None

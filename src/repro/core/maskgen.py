@@ -79,6 +79,9 @@ class MaskLowering:
         "doomed",
         "eos",
         "_walk_memo",
+        "memo_hits",
+        "memo_misses",
+        "memo_capped",
     )
 
     def __init__(self, tagger: CompiledTagger) -> None:
@@ -162,6 +165,12 @@ class MaskLowering:
             frontier = nxt
         self.doomed = [not ok for ok in live]
         self._walk_memo: dict = {}
+        # CD-memo telemetry (surfaced on /metrics and /stats): how
+        # often the context-dependent path hit the memo, missed it, or
+        # was refused admission because the memo is at capacity.
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_capped = 0
 
     # ------------------------------------------------------------------
     def codes(self, token: bytes) -> bytes:
@@ -190,9 +199,14 @@ class MaskLowering:
         key = (tid, codes)
         hit = self._walk_memo.get(key)
         if hit is None:
+            self.memo_misses += 1
             hit = self.valid(tid, codes)
             if len(self._walk_memo) < _WALK_MEMO_CAP:
                 self._walk_memo[key] = hit
+            else:
+                self.memo_capped += 1
+        else:
+            self.memo_hits += 1
         return hit
 
     # ------------------------------------------------------------------

@@ -43,7 +43,13 @@ from repro.server.protocol import (
     ServerFault,
 )
 
-__all__ = ["ClientFlow", "ConnectFailed", "MaskFlow", "ScanClient"]
+__all__ = [
+    "BeamFlow",
+    "ClientFlow",
+    "ConnectFailed",
+    "MaskFlow",
+    "ScanClient",
+]
 
 #: DATA overhead inside a frame body: type byte + u32 flow id.
 _DATA_OVERHEAD = 5
@@ -164,6 +170,129 @@ class MaskFlow(ClientFlow):
             fut = self._pending_masks.pop(0)
             if not fut.done():
                 fut.set_result((state, row))
+
+    def _fail(self, exc: Exception) -> None:
+        super()._fail(exc)
+        for fut in self._pending_masks:
+            if not fut.done():
+                fut.set_exception(exc)
+        self._pending_masks.clear()
+
+
+class BeamFlow(ClientFlow):
+    """One open *beam* flow: a whole decode beam behind one round
+    trip per step.
+
+    Every request (:meth:`advance`, :meth:`fork`, :meth:`rollback`)
+    is answered by exactly one MASKS frame carrying all lanes' states
+    and masks; delta-encoded lanes are patched against the rows from
+    the previous reply, so :attr:`rows` always holds every lane's
+    full packed mask. A ``BAD_TOKEN`` server error fails only the
+    request that caused it — the beam did not move (the engine is
+    atomic) and the flow stays open.
+    """
+
+    def __init__(self, client: "ScanClient", flow_id: int) -> None:
+        super().__init__(client, flow_id)
+        #: Per-lane automaton states from the most recent MASKS reply.
+        self.states: tuple[int, ...] = ()
+        #: Per-lane packed mask rows (full, after delta patching).
+        self.rows: list[bytes] = []
+        #: Wire accounting over this flow's MASKS replies.
+        self.lanes_full = 0
+        self.lanes_delta = 0
+        self.payload_bytes = 0
+        self._pending_masks: list[asyncio.Future] = []
+
+    @property
+    def width(self) -> int:
+        return len(self.states)
+
+    async def _request(
+        self, frame_bytes: bytes, timeout: float | None
+    ) -> tuple[tuple[int, ...], list[bytes]]:
+        fut = asyncio.get_running_loop().create_future()
+        self._pending_masks.append(fut)
+        await self.client._send(frame_bytes)
+        if timeout is None:
+            timeout = self.client.request_timeout
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(fut), timeout=timeout
+            )
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"flow {self.flow_id}: no MASKS reply within "
+                f"{timeout:g}s"
+            ) from None
+
+    async def advance(
+        self, token_ids, timeout: float | None = None
+    ) -> tuple[tuple[int, ...], list[bytes]]:
+        """Feed one token id per lane; return ``(states, rows)``."""
+        return await self._request(
+            protocol.encode_batch_advance(
+                self.flow_id, protocol.BeamOp.ADVANCE, list(token_ids)
+            ),
+            timeout,
+        )
+
+    async def fork(
+        self, lane: int, timeout: float | None = None
+    ) -> tuple[tuple[int, ...], list[bytes]]:
+        """Duplicate ``lane``; the beam grows by one lane."""
+        return await self._request(
+            protocol.encode_batch_advance(
+                self.flow_id, protocol.BeamOp.FORK, lane
+            ),
+            timeout,
+        )
+
+    async def rollback(
+        self, k: int = 1, timeout: float | None = None
+    ) -> tuple[tuple[int, ...], list[bytes]]:
+        """Undo the last ``k`` advances/forks beam-wide."""
+        return await self._request(
+            protocol.encode_batch_advance(
+                self.flow_id, protocol.BeamOp.ROLLBACK, k
+            ),
+            timeout,
+        )
+
+    async def close(self, timeout: float | None = None) -> None:
+        """End the beam flow (server drops the session)."""
+        await self.finish(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _deliver_masks(self, row_bytes: int, lanes: list) -> None:
+        from repro.apps.structgen.beam import apply_xor_patch
+
+        states = []
+        rows = []
+        for lane, (state, kind, body) in enumerate(lanes):
+            if kind == 0:
+                row = body
+                self.lanes_full += 1
+            else:
+                row = apply_xor_patch(self.rows[lane], body)
+                self.lanes_delta += 1
+            self.payload_bytes += len(body)
+            states.append(state)
+            rows.append(row)
+        self.states = tuple(states)
+        self.rows = rows
+        if self._pending_masks:
+            fut = self._pending_masks.pop(0)
+            if not fut.done():
+                fut.set_result((self.states, list(rows)))
+
+    def _fail_request(self, exc: Exception) -> None:
+        """Fail only the oldest pending request (a BAD_TOKEN reply:
+        the beam did not move, the flow stays usable)."""
+        if self._pending_masks:
+            fut = self._pending_masks.pop(0)
+            if not fut.done():
+                fut.set_exception(exc)
 
     def _fail(self, exc: Exception) -> None:
         super()._fail(exc)
@@ -341,6 +470,40 @@ class ScanClient:
             ) from None
         return flow
 
+    async def open_beam_flow(
+        self,
+        vocab_hash: "bytes | str",
+        width: int,
+        timeout: float | None = None,
+    ) -> BeamFlow:
+        """Open a beam flow of ``width`` lanes for ``vocab_hash``.
+
+        Waits for the server's initial MASKS frame, so the returned
+        flow already has every lane's state (0) and packed mask in
+        :attr:`BeamFlow.states` / :attr:`BeamFlow.rows`.
+        """
+        self._flow_seq += 1
+        flow = BeamFlow(self, self._flow_seq)
+        self._flows[flow.flow_id] = flow
+        fut = asyncio.get_running_loop().create_future()
+        flow._pending_masks.append(fut)
+        await self._send(
+            protocol.encode_open_beam(
+                flow.flow_id, width, vocab_hash
+            )
+        )
+        if timeout is None:
+            timeout = self.request_timeout
+        try:
+            await asyncio.wait_for(asyncio.shield(fut), timeout=timeout)
+        except asyncio.TimeoutError:
+            self._flows.pop(flow.flow_id, None)
+            raise TimeoutError(
+                f"flow {flow.flow_id}: no initial MASKS within "
+                f"{timeout:g}s"
+            ) from None
+        return flow
+
     async def scan_stream(
         self, data: bytes, chunk_size: int = 4096
     ) -> list:
@@ -382,13 +545,29 @@ class ScanClient:
                     flow = self._flows.get(flow_id)
                     if isinstance(flow, MaskFlow):
                         flow._deliver_mask(state, row)
+                elif frame.type == FrameType.MASKS:
+                    flow_id, row_bytes, lanes = protocol.decode_masks(
+                        frame
+                    )
+                    flow = self._flows.get(flow_id)
+                    if isinstance(flow, BeamFlow):
+                        flow._deliver_masks(row_bytes, lanes)
                 elif frame.type == FrameType.ERROR:
                     flow_id, code, message = protocol.decode_error(frame)
                     fault = ServerFault(flow_id, code, message)
                     if flow_id == CONNECTION_FLOW:
                         raise fault
-                    flow = self._flows.pop(flow_id, None)
-                    if flow is not None:
+                    flow = self._flows.get(flow_id)
+                    if (
+                        isinstance(flow, BeamFlow)
+                        and code == ErrorCode.BAD_TOKEN
+                    ):
+                        # The beam is atomic: the rejected op moved
+                        # nothing server-side, so only the request
+                        # fails and the flow stays open.
+                        flow._fail_request(fault)
+                    elif flow is not None:
+                        del self._flows[flow_id]
                         flow._fail(fault)
                 elif frame.type == FrameType.GOODBYE:
                     # Flows still pending after a GOODBYE can never

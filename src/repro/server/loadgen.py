@@ -21,7 +21,12 @@ import time
 from repro.server.client import ScanClient
 from repro.service.metrics import Histogram
 
-__all__ = ["generate_flows", "run_load", "run_mask_load"]
+__all__ = [
+    "generate_flows",
+    "run_beam_load",
+    "run_load",
+    "run_mask_load",
+]
 
 
 def generate_flows(
@@ -243,6 +248,197 @@ async def run_mask_load(
         "seconds": wall,
         "masks_per_s": advances / wall if wall > 0 else 0.0,
         "latency": latency.summary(),
+        "failures": failures,
+        "mismatches": mismatches,
+        "verified": not mismatches and not failures,
+    }
+
+
+async def run_beam_load(
+    host: str,
+    port: int,
+    table,
+    *,
+    beams: int = 2,
+    width: int = 4,
+    steps: int = 48,
+    max_width: int = 12,
+    concurrency: int = 2,
+    seed: int = 2006,
+    request_timeout: float = 30.0,
+) -> dict:
+    """Drive beam flows against a live server, with fork/rollback
+    mixed into the schedule, and cross-check every MASKS reply
+    byte-for-byte against ``width`` (growing/shrinking) independent
+    in-process :class:`~repro.apps.structgen.MaskSession` mirrors.
+
+    At every step the remote per-lane ``(state, row)`` pairs — after
+    client-side delta patching — must equal the mirrors' states and
+    packed rows exactly; the delta encoding is thus verified over the
+    wire, not just in-process. The report carries the observed
+    full/delta lane split and the wire payload ratio.
+    """
+    from repro.apps.structgen import MaskSession
+
+    latency = Histogram("beam_roundtrip_s")
+    mismatches: list[str] = []
+    failures: list[str] = []
+    ops_done = 0
+    masks_served = 0
+    lanes_full = 0
+    lanes_delta = 0
+    payload_bytes = 0
+    full_row_bytes = 0
+
+    work: asyncio.Queue = asyncio.Queue()
+    for index in range(max(1, beams)):
+        work.put_nowait(index)
+
+    def check(flow, mirror, index: int, step, what: str) -> bool:
+        want_states = tuple(m.state for m in mirror)
+        if flow.states != want_states:
+            mismatches.append(
+                f"beam-{index}: {what} at step {step}: states "
+                f"{flow.states} != {want_states}"
+            )
+            return False
+        for lane, m in enumerate(mirror):
+            if flow.rows[lane] != m.mask():
+                mismatches.append(
+                    f"beam-{index}: {what} at step {step}: "
+                    f"lane {lane} row mismatch"
+                )
+                return False
+        return True
+
+    async def drive(client: ScanClient, index: int) -> None:
+        nonlocal ops_done, masks_served
+        nonlocal lanes_full, lanes_delta, payload_bytes, full_row_bytes
+        rng = random.Random(seed + index)
+        mirror = [MaskSession(table) for _ in range(width)]
+        history: list[list[int]] = []
+        flow = await client.open_beam_flow(table.vocab_hash, width)
+        try:
+            if not check(flow, mirror, index, "open", "initial MASKS"):
+                return
+            for step in range(steps):
+                roll = rng.random()
+                started = time.perf_counter()
+                if roll < 0.10 and len(mirror) < max_width:
+                    lane = rng.randrange(len(mirror))
+                    history.append([m.state for m in mirror])
+                    twin = MaskSession(table)
+                    twin.state = mirror[lane].state
+                    mirror.append(twin)
+                    await flow.fork(lane)
+                    what = f"fork({lane})"
+                elif roll < 0.20 and history:
+                    k = rng.randrange(
+                        1, min(3, len(history)) + 1
+                    )
+                    for _ in range(k):
+                        snapshot = history.pop()
+                    del mirror[len(snapshot):]
+                    while len(mirror) < len(snapshot):
+                        mirror.append(MaskSession(table))
+                    for m, s in zip(mirror, snapshot):
+                        m.state = s
+                    await flow.rollback(k)
+                    what = f"rollback({k})"
+                else:
+                    ids = []
+                    for m in mirror:
+                        valid = _set_bits(m.mask())
+                        if not valid:
+                            ids = None
+                            break
+                        ids.append(rng.choice(valid))
+                    if ids is None:
+                        # Dead end: no beam-wide reset frame, so
+                        # reopen (same discipline as mask flows).
+                        await flow.close()
+                        lanes_full += flow.lanes_full
+                        lanes_delta += flow.lanes_delta
+                        payload_bytes += flow.payload_bytes
+                        full_row_bytes += (
+                            flow.lanes_full + flow.lanes_delta
+                        ) * table.row_bytes
+                        flow.lanes_full = flow.lanes_delta = 0
+                        flow.payload_bytes = 0
+                        mirror = [
+                            MaskSession(table) for _ in range(width)
+                        ]
+                        history.clear()
+                        flow = await client.open_beam_flow(
+                            table.vocab_hash, width
+                        )
+                        if not check(
+                            flow, mirror, index, step, "reopen"
+                        ):
+                            return
+                        continue
+                    history.append([m.state for m in mirror])
+                    await flow.advance(ids)
+                    for m, t in zip(mirror, ids):
+                        m.advance(t)
+                    what = "advance"
+                latency.observe(time.perf_counter() - started)
+                ops_done += 1
+                masks_served += len(mirror)
+                if not check(flow, mirror, index, step, what):
+                    return
+        finally:
+            try:
+                await flow.close()
+            except Exception:
+                pass
+            lanes_full += flow.lanes_full
+            lanes_delta += flow.lanes_delta
+            payload_bytes += flow.payload_bytes
+            full_row_bytes += (
+                flow.lanes_full + flow.lanes_delta
+            ) * table.row_bytes
+
+    async def worker() -> None:
+        client = ScanClient(
+            host, port, request_timeout=request_timeout
+        )
+        await client.connect()
+        try:
+            while True:
+                try:
+                    index = work.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                try:
+                    await drive(client, index)
+                except Exception as exc:
+                    failures.append(f"beam-{index}: {exc}")
+        finally:
+            await client.close()
+
+    wall_started = time.perf_counter()
+    await asyncio.gather(
+        *(worker() for _ in range(max(1, concurrency)))
+    )
+    wall = time.perf_counter() - wall_started
+
+    return {
+        "beams": max(1, beams),
+        "width": width,
+        "steps": steps,
+        "ops": ops_done,
+        "masks": masks_served,
+        "seconds": wall,
+        "masks_per_s": masks_served / wall if wall > 0 else 0.0,
+        "latency": latency.summary(),
+        "lanes_full": lanes_full,
+        "lanes_delta": lanes_delta,
+        "wire_payload_bytes": payload_bytes,
+        "wire_full_bytes": full_row_bytes,
+        "wire_delta_ratio": (
+            payload_bytes / full_row_bytes if full_row_bytes else 0.0
+        ),
         "failures": failures,
         "mismatches": mismatches,
         "verified": not mismatches and not failures,

@@ -26,15 +26,38 @@ Frame types::
     OPEN_MASK    !I    flow_id + 32-byte vocab sha256 (raw digest)
     ADVANCE      !II   flow_id, token_id
     MASK         !II   flow_id, state + packed validity row
+    OPEN_BEAM    !IH   flow_id, width + 32-byte vocab sha256
+    BATCH_ADVANCE !IB  flow_id, op + op payload (see below)
+    MASKS        !IHH  flow_id, n_lanes, row_bytes + per-lane records
 
-The last three carry constrained-decoding flows (additive in protocol
-version 1 — a server that predates them answers ``BAD_FRAME``): the
-client opens a mask flow against a vocabulary it has precomputed masks
-for (``repro structgen precompute``), the server replies with a MASK
-frame for the start state, and each ADVANCE (one emitted token id) is
-answered by the MASK for the resulting state. Mask rows are raw
-packed bits (token id ``i`` is bit ``i``, LSB-first per byte) — no
-pickle in either direction on mask flows.
+The mask and beam frames carry constrained-decoding flows (additive
+in protocol version 1 — a server that predates them answers
+``BAD_FRAME``): the client opens a mask flow against a vocabulary it
+has precomputed masks for (``repro structgen precompute``), the
+server replies with a MASK frame for the start state, and each
+ADVANCE (one emitted token id) is answered by the MASK for the
+resulting state. Mask rows are raw packed bits (token id ``i`` is bit
+``i``, LSB-first per byte) — no pickle in either direction on mask
+flows.
+
+Beam flows batch a whole decode beam into one round trip per step:
+OPEN_BEAM binds ``width`` lanes (all at the start state) to a mask
+table and is answered by a MASKS frame; each BATCH_ADVANCE mutates
+every lane at once and is answered by one MASKS frame. The op byte
+selects the mutation::
+
+    op 0  ADVANCE   width × u32 token ids (one per lane, in order)
+    op 1  FORK      !I lane — duplicate that lane (width grows by 1)
+    op 2  ROLLBACK  !I k — undo the last k advances/forks beam-wide
+
+A MASKS frame carries one record per lane: ``!IB state, kind`` then a
+kind-dependent body. Kind 0 (full) is the ``row_bytes`` packed row;
+kind 1 (delta) is ``!H count`` then ``count`` 3-byte XOR patch
+entries (``!HB`` byte offset, XOR value) against the *previous MASKS
+row the server sent for that lane index* — new lanes (opens, forks,
+width growth on rollback) are always sent full, and the server falls
+back to full whenever the patch would not be smaller (the resync
+escape, also the recovery path for any client that discards rows).
 
 Connections are multiplexed: ``flow_id`` is a connection-scoped u32
 chosen by the client; ``CONNECTION_FLOW`` (``0xFFFFFFFF``) in an ERROR
@@ -58,13 +81,16 @@ from __future__ import annotations
 import pickle
 import struct
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import ReproError
 
 __all__ = [
+    "BeamOp",
     "CONNECTION_FLOW",
     "DEFAULT_MAX_FRAME",
     "ErrorCode",
+    "MAX_BEAM_WIDTH",
     "Frame",
     "FrameDecoder",
     "FrameType",
@@ -72,16 +98,20 @@ __all__ = [
     "ProtocolError",
     "ServerFault",
     "decode_advance",
+    "decode_batch_advance",
     "decode_data",
     "decode_error",
     "decode_finish_flow",
     "decode_hello",
     "decode_hello_grammars",
     "decode_mask",
+    "decode_masks",
+    "decode_open_beam",
     "decode_open_flow",
     "decode_open_mask",
     "decode_result",
     "encode_advance",
+    "encode_batch_advance",
     "encode_data",
     "encode_error",
     "encode_finish_flow",
@@ -89,6 +119,8 @@ __all__ = [
     "encode_goodbye",
     "encode_hello",
     "encode_mask",
+    "encode_masks",
+    "encode_open_beam",
     "encode_open_flow",
     "encode_open_mask",
     "encode_result",
@@ -109,9 +141,19 @@ _FLOW = struct.Struct("!I")
 _RESULT_HEAD = struct.Struct("!IB")
 _ERROR_HEAD = struct.Struct("!IH")
 _MASK_HEAD = struct.Struct("!II")
+_BEAM_OPEN_HEAD = struct.Struct("!IH")
+_BATCH_HEAD = struct.Struct("!IB")
+_MASKS_HEAD = struct.Struct("!IHH")
+_LANE_HEAD = struct.Struct("!IB")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
 
 #: Raw sha256 digest length carried by OPEN_MASK.
 _VOCAB_HASH_LEN = 32
+
+#: Largest beam width OPEN_BEAM accepts (the field is u16; the cap
+#: keeps a hostile open from allocating thousands of lanes).
+MAX_BEAM_WIDTH = 1024
 
 
 class FrameType:
@@ -127,6 +169,9 @@ class FrameType:
     OPEN_MASK = 0x08
     ADVANCE = 0x09
     MASK = 0x0A
+    OPEN_BEAM = 0x0B
+    BATCH_ADVANCE = 0x0C
+    MASKS = 0x0D
 
     NAMES = {
         HELLO: "HELLO",
@@ -139,7 +184,20 @@ class FrameType:
         OPEN_MASK: "OPEN_MASK",
         ADVANCE: "ADVANCE",
         MASK: "MASK",
+        OPEN_BEAM: "OPEN_BEAM",
+        BATCH_ADVANCE: "BATCH_ADVANCE",
+        MASKS: "MASKS",
     }
+
+
+class BeamOp:
+    """Op codes carried by BATCH_ADVANCE frames."""
+
+    ADVANCE = 0
+    FORK = 1
+    ROLLBACK = 2
+
+    NAMES = {ADVANCE: "ADVANCE", FORK: "FORK", ROLLBACK: "ROLLBACK"}
 
 
 class ErrorCode:
@@ -287,6 +345,74 @@ def encode_mask(flow_id: int, state: int, row: bytes) -> bytes:
     )
 
 
+def encode_open_beam(
+    flow_id: int, width: int, vocab_hash: str | bytes
+) -> bytes:
+    """Open a beam flow of ``width`` lanes against a vocabulary."""
+    if not 1 <= width <= MAX_BEAM_WIDTH:
+        raise ProtocolError(
+            f"beam width {width} outside [1, {MAX_BEAM_WIDTH}]"
+        )
+    digest = (
+        bytes.fromhex(vocab_hash)
+        if isinstance(vocab_hash, str)
+        else bytes(vocab_hash)
+    )
+    if len(digest) != _VOCAB_HASH_LEN:
+        raise ProtocolError(
+            f"vocab hash must be {_VOCAB_HASH_LEN} bytes, "
+            f"got {len(digest)}"
+        )
+    return encode_frame(
+        FrameType.OPEN_BEAM,
+        _BEAM_OPEN_HEAD.pack(flow_id, width) + digest,
+    )
+
+
+def encode_batch_advance(flow_id: int, op: int, arg) -> bytes:
+    """One beam mutation: op ``BeamOp.ADVANCE`` takes the per-lane
+    token id list, ``FORK`` the lane index, ``ROLLBACK`` the step
+    count."""
+    head = _BATCH_HEAD.pack(flow_id, op)
+    if op == BeamOp.ADVANCE:
+        if not arg:
+            raise ProtocolError("ADVANCE carries no token ids")
+        body = struct.pack(f"!{len(arg)}I", *arg)
+    elif op in (BeamOp.FORK, BeamOp.ROLLBACK):
+        body = _U32.pack(arg)
+    else:
+        raise ProtocolError(f"unknown beam op {op}")
+    return encode_frame(FrameType.BATCH_ADVANCE, head + body)
+
+
+def encode_masks(flow_id: int, row_bytes: int, lanes: list) -> bytes:
+    """The whole beam's masks in one frame. ``lanes`` is a list of
+    ``(state, kind, body)``: kind 0 bodies are full ``row_bytes``
+    rows, kind 1 bodies are raw XOR patch entries (length a multiple
+    of 3) against the lane's previously sent row."""
+    parts = [_MASKS_HEAD.pack(flow_id, len(lanes), row_bytes)]
+    for state, kind, body in lanes:
+        parts.append(_LANE_HEAD.pack(state, kind))
+        if kind == 0:
+            if len(body) != row_bytes:
+                raise ProtocolError(
+                    f"full lane body of {len(body)} bytes, "
+                    f"row_bytes {row_bytes}"
+                )
+            parts.append(body)
+        elif kind == 1:
+            if len(body) % 3:
+                raise ProtocolError(
+                    f"delta lane body of {len(body)} bytes is not a "
+                    "whole number of 3-byte entries"
+                )
+            parts.append(_U16.pack(len(body) // 3))
+            parts.append(body)
+        else:
+            raise ProtocolError(f"unknown MASKS lane kind {kind}")
+    return encode_frame(FrameType.MASKS, b"".join(parts))
+
+
 # ----------------------------------------------------------------------
 # payload decoding (each raises ProtocolError on a short/garbled body)
 # ----------------------------------------------------------------------
@@ -358,6 +484,81 @@ def decode_mask(frame: Frame) -> tuple[int, int, bytes]:
     """-> (flow_id, state, packed row)."""
     flow_id, state = _unpack(_MASK_HEAD, frame)
     return flow_id, state, frame.payload[_MASK_HEAD.size :]
+
+
+def decode_open_beam(frame: Frame) -> tuple[int, int, str]:
+    """-> (flow_id, width, vocab_hash hex)."""
+    flow_id, width = _unpack(_BEAM_OPEN_HEAD, frame)
+    if not 1 <= width <= MAX_BEAM_WIDTH:
+        raise ProtocolError(
+            f"OPEN_BEAM width {width} outside [1, {MAX_BEAM_WIDTH}]"
+        )
+    digest = frame.payload[_BEAM_OPEN_HEAD.size :]
+    if len(digest) != _VOCAB_HASH_LEN:
+        raise ProtocolError(
+            f"OPEN_BEAM carries {len(digest)} hash bytes, "
+            f"expected {_VOCAB_HASH_LEN}"
+        )
+    return flow_id, width, digest.hex()
+
+
+def decode_batch_advance(frame: Frame) -> tuple[int, int, Any]:
+    """-> (flow_id, op, arg): the token id tuple for ADVANCE, the
+    lane index for FORK, the step count for ROLLBACK."""
+    flow_id, op = _unpack(_BATCH_HEAD, frame)
+    body = frame.payload[_BATCH_HEAD.size :]
+    if op == BeamOp.ADVANCE:
+        if len(body) % 4 or not body:
+            raise ProtocolError(
+                f"BATCH_ADVANCE op ADVANCE body of {len(body)} bytes "
+                "is not a non-empty multiple of 4"
+            )
+        return flow_id, op, struct.unpack(f"!{len(body) // 4}I", body)
+    if op in (BeamOp.FORK, BeamOp.ROLLBACK):
+        if len(body) != _U32.size:
+            raise ProtocolError(
+                f"BATCH_ADVANCE op {BeamOp.NAMES[op]} body of "
+                f"{len(body)} bytes, expected {_U32.size}"
+            )
+        return flow_id, op, _U32.unpack(body)[0]
+    raise ProtocolError(f"unknown BATCH_ADVANCE op {op}")
+
+
+def decode_masks(frame: Frame) -> tuple[int, int, list]:
+    """-> (flow_id, row_bytes, [(state, kind, body), ...])."""
+    flow_id, n_lanes, row_bytes = _unpack(_MASKS_HEAD, frame)
+    payload = frame.payload
+    pos = _MASKS_HEAD.size
+    lanes = []
+    for _ in range(n_lanes):
+        if len(payload) < pos + _LANE_HEAD.size:
+            raise ProtocolError("MASKS frame truncated in lane header")
+        state, kind = _LANE_HEAD.unpack_from(payload, pos)
+        pos += _LANE_HEAD.size
+        if kind == 0:
+            body = payload[pos : pos + row_bytes]
+            if len(body) != row_bytes:
+                raise ProtocolError("MASKS frame truncated in full row")
+            pos += row_bytes
+        elif kind == 1:
+            if len(payload) < pos + _U16.size:
+                raise ProtocolError(
+                    "MASKS frame truncated in delta count"
+                )
+            (count,) = _U16.unpack_from(payload, pos)
+            pos += _U16.size
+            body = payload[pos : pos + 3 * count]
+            if len(body) != 3 * count:
+                raise ProtocolError("MASKS frame truncated in delta")
+            pos += 3 * count
+        else:
+            raise ProtocolError(f"unknown MASKS lane kind {kind}")
+        lanes.append((state, kind, body))
+    if pos != len(payload):
+        raise ProtocolError(
+            f"MASKS frame has {len(payload) - pos} trailing bytes"
+        )
+    return flow_id, row_bytes, lanes
 
 
 def decode_error(frame: Frame) -> tuple[int, int, str]:

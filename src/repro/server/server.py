@@ -125,7 +125,8 @@ class _Flow:
     is pinned to, plus timing for latency stats."""
 
     __slots__ = (
-        "flow_id", "key", "session", "gen", "opened_at", "finishing", "mask"
+        "flow_id", "key", "session", "gen", "opened_at", "finishing",
+        "mask", "beam", "beam_rows",
     )
 
     def __init__(self, flow_id: int, key: str, session, gen) -> None:
@@ -137,6 +138,11 @@ class _Flow:
         self.finishing = False
         #: The MaskSession when this is a constrained-decoding flow.
         self.mask = None
+        #: The BeamMaskSession when this is a beam flow.
+        self.beam = None
+        #: Per lane, the row most recently sent in a MASKS frame —
+        #: the base the next frame's delta encoding patches against.
+        self.beam_rows: list[bytes] = []
 
 
 class _Generation:
@@ -504,10 +510,11 @@ class ScanServer:
 
     def _work_in_flight(self) -> bool:
         """Open scan flows (still streaming) or pool flows awaiting
-        their final RESULT. Mask flows are request-response and have
-        no tail to flush, so they never hold the drain open."""
+        their final RESULT. Mask and beam flows are request-response
+        and have no tail to flush, so they never hold the drain
+        open."""
         return bool(self._pending) or any(
-            flow.mask is None
+            flow.mask is None and flow.beam is None
             for conn in self._connections.values()
             for flow in conn.flows.values()
         )
@@ -588,13 +595,38 @@ class ScanServer:
         tables = list(self._mask_tables.values()) + list(
             self._mask_loaded.values()
         )
+        memo = {
+            "hits": sum(t.lowering.memo_hits for t in tables),
+            "misses": sum(t.lowering.memo_misses for t in tables),
+            "capped": sum(t.lowering.memo_capped for t in tables),
+        }
+        self.metrics.counter("structgen.memo_hits").value = memo["hits"]
+        self.metrics.counter("structgen.memo_misses").value = memo[
+            "misses"
+        ]
+        self.metrics.counter("structgen.memo_capped").value = memo[
+            "capped"
+        ]
+        deltified = [
+            t.delta_stats() for t in tables if t.has_deltas
+        ]
+        self.metrics.gauge("structgen.delta_rows").set(
+            sum(d["rows_deltified"] for d in deltified)
+        )
         structgen = {
             "tables": [t.describe() for t in tables],
+            "memo": memo,
             "sessions_open": sum(
                 1
                 for conn in self._connections.values()
                 for flow in conn.flows.values()
                 if flow.mask is not None
+            ),
+            "beams_open": sum(
+                1
+                for conn in self._connections.values()
+                for flow in conn.flows.values()
+                if flow.beam is not None
             ),
         }
         if self.service is not None:
@@ -735,6 +767,10 @@ class ScanServer:
                 await self._open_mask(conn, frame)
             elif frame.type == FrameType.ADVANCE:
                 await self._advance(conn, frame)
+            elif frame.type == FrameType.OPEN_BEAM:
+                await self._open_beam(conn, frame)
+            elif frame.type == FrameType.BATCH_ADVANCE:
+                await self._batch_advance(conn, frame)
             else:
                 raise ProtocolError(
                     f"unexpected {frame.name} frame from client"
@@ -785,11 +821,12 @@ class ScanServer:
                 f"DATA for unopened flow {flow_id}",
             )
             return
-        if flow.mask is not None:
+        if flow.mask is not None or flow.beam is not None:
             del conn.flows[flow_id]
             await conn.send_error(
                 flow_id, ErrorCode.BAD_FRAME,
-                f"DATA on mask flow {flow_id} (use ADVANCE)",
+                f"DATA on mask flow {flow_id} "
+                "(use ADVANCE/BATCH_ADVANCE)",
             )
             return
         # While draining, flows opened before the drain began may
@@ -826,11 +863,15 @@ class ScanServer:
                 f"FINISH_FLOW for unopened flow {flow_id}",
             )
             return
-        if flow.mask is not None:
-            # Mask flows have no tail: acknowledge with an empty final
-            # RESULT (same close discipline as scan flows).
+        if flow.mask is not None or flow.beam is not None:
+            # Mask and beam flows have no tail: acknowledge with an
+            # empty final RESULT (same close discipline as scan flows).
             del conn.flows[flow_id]
-            self.metrics.counter("structgen.sessions_closed").inc()
+            self.metrics.counter(
+                "structgen.beams_closed"
+                if flow.beam is not None
+                else "structgen.sessions_closed"
+            ).inc()
             self.metrics.histogram("latency.flow_s").observe(
                 time.monotonic() - flow.opened_at
             )
@@ -954,6 +995,117 @@ class ScanServer:
             time.perf_counter() - started
         )
         await conn.send(protocol.encode_mask(flow_id, state, row))
+
+    # ------------------------------------------------------------------
+    # beam flows (batched constrained decoding)
+    # ------------------------------------------------------------------
+    def _encode_beam_masks(self, flow: _Flow) -> bytes:
+        """One MASKS frame for the beam's current masks, each lane
+        delta-encoded against the row last sent for that lane index
+        (full on new/changed-width lanes or when the patch would not
+        be smaller — the resync escape)."""
+        from repro.apps.structgen.beam import xor_patch
+
+        beam = flow.beam
+        table = beam.table
+        rb = table.row_bytes
+        packed = beam.masks_packed()
+        states = beam.states
+        prev_rows = flow.beam_rows
+        lanes = []
+        next_rows = []
+        delta_lanes = 0
+        for lane, state in enumerate(states):
+            row = packed[lane * rb : (lane + 1) * rb]
+            if lane < len(prev_rows):
+                patch = xor_patch(prev_rows[lane], row)
+                # 3 bytes of lane overhead either way; the delta body
+                # adds a u16 count, so it wins only when strictly
+                # smaller than the full row.
+                if len(patch) + 2 < rb:
+                    lanes.append((state, 1, patch))
+                    next_rows.append(row)
+                    delta_lanes += 1
+                    continue
+            lanes.append((state, 0, row))
+            next_rows.append(row)
+        flow.beam_rows = next_rows
+        self.metrics.counter("structgen.beam_lanes_full").inc(
+            len(lanes) - delta_lanes
+        )
+        self.metrics.counter("structgen.beam_lanes_delta").inc(
+            delta_lanes
+        )
+        return protocol.encode_masks(flow.flow_id, rb, lanes)
+
+    async def _open_beam(self, conn: _Connection, frame: Frame) -> None:
+        flow_id, width, vocab_hash = protocol.decode_open_beam(frame)
+        if self._draining:
+            await conn.send_error(
+                flow_id, ErrorCode.DRAINING, "server draining"
+            )
+            return
+        if flow_id in conn.flows or flow_id == CONNECTION_FLOW:
+            await conn.send_error(
+                flow_id, ErrorCode.DUPLICATE_FLOW,
+                f"flow {flow_id} already open",
+            )
+            return
+        table = self._find_mask_table(vocab_hash)
+        if table is None:
+            await conn.send_error(
+                flow_id, ErrorCode.UNKNOWN_VOCAB,
+                f"no mask tables for vocabulary {vocab_hash[:16]} "
+                f"(grammar {self._current.ref}); run "
+                "`repro structgen precompute`",
+            )
+            return
+        from repro.apps.structgen.beam import BeamMaskSession
+
+        flow = _Flow(flow_id, conn.flow_key(flow_id), None, self._current)
+        flow.beam = BeamMaskSession(table, width, metrics=self.metrics)
+        conn.flows[flow_id] = flow
+        self.metrics.counter("structgen.beams_opened").inc()
+        await conn.send(self._encode_beam_masks(flow))
+
+    async def _batch_advance(
+        self, conn: _Connection, frame: Frame
+    ) -> None:
+        flow_id, op, arg = protocol.decode_batch_advance(frame)
+        flow = conn.flows.get(flow_id)
+        if flow is None or flow.beam is None:
+            await conn.send_error(
+                flow_id, ErrorCode.UNKNOWN_FLOW,
+                f"BATCH_ADVANCE for unopened beam flow {flow_id}",
+            )
+            return
+        from repro.apps.structgen.masks import MaskError
+        from repro.server.protocol import BeamOp
+
+        started = time.perf_counter()
+        try:
+            if op == BeamOp.ADVANCE:
+                flow.beam.advance(arg)
+            elif op == BeamOp.FORK:
+                flow.beam.fork(arg)
+            else:
+                flow.beam.rollback(arg)
+        except MaskError as exc:
+            # The beam is atomic: the failed op moved nothing, so the
+            # flow stays open on its previous states. Report and let
+            # the client pick another token.
+            await conn.send_error(flow_id, ErrorCode.BAD_TOKEN, str(exc))
+            return
+        except Exception as exc:
+            self.metrics.counter("server.errors.scan").inc()
+            del conn.flows[flow_id]
+            await conn.send_error(flow_id, ErrorCode.INTERNAL, str(exc))
+            return
+        reply = self._encode_beam_masks(flow)
+        self.metrics.histogram("latency.mask_s").observe(
+            time.perf_counter() - started
+        )
+        await conn.send(reply)
 
     async def _client_goodbye(self, conn: _Connection) -> None:
         """Client is done sending: flush its pending pool flows, then

@@ -1,0 +1,399 @@
+"""Batched beam mask engine: differential and delta-format tests.
+
+The acceptance invariant: every ``masks``/``advance``/``fork``/
+``rollback`` result out of a :class:`BeamMaskSession` — on every
+available compute path — is bit-identical to N independent
+:class:`MaskSession` mirrors replaying the same operations.  Plus the
+incremental delta tables (reconstruction, blob round trip, old-format
+compatibility), the wire XOR patch codec, the CD-memo counters, and
+the HuggingFace tokenizer.json importer.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.apps.structgen import (
+    MASK_FORMAT_REV,
+    MaskError,
+    MaskSession,
+    Vocabulary,
+    build_mask_table,
+    load_mask_blob,
+    synthetic_vocab,
+)
+from repro.apps.structgen.beam import (
+    BeamMaskSession,
+    apply_xor_patch,
+    beam_capability,
+    xor_patch,
+)
+from repro.grammar.examples import xmlrpc
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_mask_table(xmlrpc(), synthetic_vocab(size=384, seed=7))
+
+
+def available_paths():
+    capability = beam_capability()
+    paths = ["python"]
+    if capability["numpy"]:
+        paths.append("numpy")
+    if capability["native"]:
+        paths.append("native")
+    return paths
+
+
+def _valid_ids(row: bytes, n: int) -> list[int]:
+    return [i for i in range(n) if row[i >> 3] >> (i & 7) & 1]
+
+
+# ----------------------------------------------------------------------
+# differential: beam ≡ N independent sessions, all paths
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("path", available_paths())
+def test_beam_differential_fork_rollback(table, path):
+    """A seeded schedule of advances, forks, and rollbacks: states and
+    every packed mask byte-identical to independent mirrors."""
+    n = len(table.vocab)
+    rng = random.Random(11)
+    beam = BeamMaskSession(table, 4, path=path)
+    mirror = [MaskSession(table) for _ in range(4)]
+    history: list[list[int]] = []
+    for step in range(50):
+        roll = rng.random()
+        if roll < 0.10 and len(mirror) < 12:
+            lane = rng.randrange(len(mirror))
+            history.append([m.state for m in mirror])
+            twin = MaskSession(table)
+            twin.state = mirror[lane].state
+            mirror.append(twin)
+            beam.fork(lane)
+        elif roll < 0.20 and history:
+            k = rng.randrange(1, min(3, len(history)) + 1)
+            for _ in range(k):
+                snapshot = history.pop()
+            del mirror[len(snapshot):]
+            while len(mirror) < len(snapshot):
+                mirror.append(MaskSession(table))
+            for m, s in zip(mirror, snapshot):
+                m.state = s
+            beam.rollback(k)
+        else:
+            ids = []
+            for m in mirror:
+                valid = _valid_ids(m.mask(), n)
+                if not valid:
+                    ids = None
+                    break
+                ids.append(rng.choice(valid))
+            if ids is None:
+                for m in mirror:
+                    m.reset()
+                beam.reset(len(mirror))
+                history.clear()
+            else:
+                history.append([m.state for m in mirror])
+                states, packed = beam.advance_masks(ids)
+                for m, t in zip(mirror, ids):
+                    m.advance(t)
+                assert states == tuple(m.state for m in mirror)
+                assert packed == b"".join(
+                    bytes(m.mask()) for m in mirror
+                ), f"fused packed rows diverged at step {step}"
+        assert beam.states == tuple(m.state for m in mirror)
+        assert beam.masks() == [bytes(m.mask()) for m in mirror]
+        assert beam.masks_packed() == b"".join(
+            bytes(m.mask()) for m in mirror
+        )
+
+
+@pytest.mark.parametrize("path", available_paths())
+def test_beam_atomic_failure(table, path):
+    """An invalid token in any lane raises and moves nothing."""
+    n = len(table.vocab)
+    beam = BeamMaskSession(table, 3, path=path)
+    valid = _valid_ids(beam.masks()[0], n)
+    invalid = next(
+        i for i in range(n) if i not in set(valid)
+    )
+    before = beam.states
+    with pytest.raises(MaskError, match="lane 1"):
+        beam.advance([valid[0], invalid, valid[0]])
+    assert beam.states == before
+    with pytest.raises(MaskError, match="out of range"):
+        beam.advance_masks([valid[0], n + 5, valid[0]])
+    assert beam.states == before
+    # The beam still works after the failed ops.
+    states = beam.advance([valid[0]] * 3)
+    assert states == beam.states
+
+
+@pytest.mark.parametrize("path", available_paths())
+def test_beam_fork_rollback_width(table, path):
+    beam = BeamMaskSession(table, 2, path=path)
+    n = len(table.vocab)
+    ids = [
+        _valid_ids(row, n)[0] for row in beam.masks()
+    ]
+    beam.advance(ids)
+    assert beam.fork(0) == 2
+    assert beam.width == 3
+    assert beam.states[2] == beam.states[0]
+    beam.rollback(1)  # undo the fork: width restored
+    assert beam.width == 2
+    beam.rollback(1)  # undo the advance
+    assert beam.states == (0, 0)
+    with pytest.raises(MaskError, match="roll back"):
+        beam.rollback(1)
+
+
+def test_beam_width_and_path_validation(table):
+    with pytest.raises(MaskError, match="width"):
+        BeamMaskSession(table, 0)
+    with pytest.raises(MaskError, match="unknown beam path"):
+        BeamMaskSession(table, 2, path="fpga")
+    beam = BeamMaskSession(table, 2, path="python")
+    with pytest.raises(MaskError, match="2 lanes"):
+        beam.advance([1])
+
+
+# ----------------------------------------------------------------------
+# incremental delta tables and the XOR patch codec
+# ----------------------------------------------------------------------
+def test_xor_patch_roundtrip():
+    rng = random.Random(3)
+    for _ in range(20):
+        a = bytes(rng.randrange(256) for _ in range(48))
+        flips = rng.randrange(0, 6)
+        b = bytearray(a)
+        for _ in range(flips):
+            b[rng.randrange(48)] ^= rng.randrange(1, 256)
+        patch = xor_patch(a, bytes(b))
+        assert len(patch) % 3 == 0
+        assert apply_xor_patch(a, patch) == bytes(b)
+    assert xor_patch(a, a) == b""
+
+
+def test_delta_tables_reconstruct_exactly(table):
+    """Every deltified row patches back to the exact CI row."""
+    assert table.has_deltas
+    stats = table.delta_stats()
+    assert stats["rows_deltified"] > 0
+    assert stats["mean_popcount"] >= 0.0
+    checked = 0
+    for state in range(table.n_states):
+        base = table.delta_base[state]
+        if base < 0:
+            continue
+        patched = table.patched_ci_row(
+            state, bytes(table.ci_row(base))
+        )
+        assert bytes(patched) == bytes(table.ci_row(state))
+        checked += 1
+    assert checked == stats["rows_deltified"]
+
+
+def test_blob_roundtrip_preserves_deltas(table):
+    blob = table.to_blob()
+    loaded = load_mask_blob(blob, xmlrpc())
+    assert loaded.has_deltas
+    assert loaded.delta_stats() == table.delta_stats()
+    assert loaded.describe()["rev"] == MASK_FORMAT_REV
+    # Mask rows are unaffected by the delta section.
+    for state in (0, 1, table.n_states - 1):
+        assert loaded.mask_row(state) == table.mask_row(state)
+
+
+def test_old_format_blob_loads_without_deltas():
+    """A rev-1 blob (no delta section) loads cleanly — the deltas are
+    simply absent, signalling the registry heal path."""
+    vocab = synthetic_vocab(size=384, seed=7)
+    old = build_mask_table(xmlrpc(), vocab, delta_budget=0)
+    assert not old.has_deltas
+    assert old.describe()["rev"] == 1
+    assert old.describe()["deltas"] is None
+    loaded = load_mask_blob(old.to_blob(), xmlrpc())
+    assert not loaded.has_deltas
+    # Rebuilding deltas on the loaded table upgrades it in place.
+    loaded.build_deltas()
+    assert loaded.has_deltas
+    fresh = build_mask_table(xmlrpc(), vocab)
+    assert loaded.delta_stats() == fresh.delta_stats()
+
+
+@pytest.mark.parametrize("path", available_paths())
+def test_beam_serves_identically_without_deltas(table, path):
+    """The delta tables are an optimization: a table without them
+    serves the same masks (the pure-Python path goes cold every
+    row)."""
+    vocab = synthetic_vocab(size=384, seed=7)
+    bare = build_mask_table(xmlrpc(), vocab, delta_budget=0)
+    beam = BeamMaskSession(bare, 3, path=path)
+    ref = BeamMaskSession(table, 3, path=path)
+    n = len(vocab)
+    rng = random.Random(9)
+    for _ in range(20):
+        assert beam.masks_packed() == ref.masks_packed()
+        ids = []
+        for row in ref.masks():
+            valid = _valid_ids(row, n)
+            if not valid:
+                ids = None
+                break
+            ids.append(rng.choice(valid))
+        if ids is None:
+            beam.reset(3)
+            ref.reset(3)
+            continue
+        assert beam.advance(ids) == ref.advance(ids)
+
+
+def test_python_path_uses_delta_chains(table):
+    """The pure-Python gather actually exercises the delta tables."""
+    beam = BeamMaskSession(table, 4, path="python")
+    n = len(table.vocab)
+    rng = random.Random(13)
+    for _ in range(30):
+        ids = []
+        for row in beam.masks():
+            valid = _valid_ids(row, n)
+            if not valid:
+                ids = None
+                break
+            ids.append(rng.choice(valid))
+        if ids is None:
+            beam.reset(4)
+            continue
+        beam.advance(ids)
+    assert beam.counters["delta_hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# CD-memo counters
+# ----------------------------------------------------------------------
+def test_cd_memo_counters():
+    """Context-dependent checks hit the walk memo: misses on first
+    sight, hits on repeats, all counted on the lowering."""
+    vocab = synthetic_vocab(size=384, seed=7)
+    table = build_mask_table(xmlrpc(), vocab, ci_max_len=2)
+    assert table.cd_ids, "ci_max_len=2 must leave CD tokens"
+    lowering = table.lowering
+    assert lowering.memo_hits == 0
+    table.mask_row(0)
+    misses = lowering.memo_misses
+    assert misses > 0
+    table.mask_row(0)
+    assert lowering.memo_hits >= misses
+    assert lowering.memo_misses == misses
+
+
+# ----------------------------------------------------------------------
+# HuggingFace tokenizer.json import
+# ----------------------------------------------------------------------
+def _bytes_to_unicode():
+    bs = (
+        list(range(ord("!"), ord("~") + 1))
+        + list(range(0xA1, 0xAD))
+        + list(range(0xAE, 0x100))
+    )
+    cs = bs[:]
+    n = 0
+    for b in range(256):
+        if b not in bs:
+            bs.append(b)
+            cs.append(256 + n)
+            n += 1
+    return dict(zip(bs, (chr(c) for c in cs)))
+
+
+def _write_tokenizer_json(path, tokens, *, byte_level=True, extra=None):
+    remap = _bytes_to_unicode()
+    vocab = {}
+    for tid, raw in enumerate(tokens):
+        text = (
+            "".join(remap[b] for b in raw)
+            if byte_level
+            else raw.decode("utf-8")
+        )
+        vocab[text] = tid
+    doc = {
+        "model": {"type": "BPE", "vocab": vocab, "merges": []},
+        "pre_tokenizer": (
+            {"type": "ByteLevel", "add_prefix_space": False}
+            if byte_level
+            else {"type": "Whitespace"}
+        ),
+        "added_tokens": extra or [],
+    }
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return path
+
+
+def test_tokenizer_json_byte_level_roundtrip(tmp_path):
+    """Byte-level stand-ins resolve to the raw bytes, including the
+    256 byte-fallback tokens and invalid-UTF-8 sequences."""
+    tokens = [bytes([b]) for b in range(256)]
+    tokens += [b" the", b"<methodCall>", "日本".encode(), b"\xff\xfe"]
+    special_id = len(tokens)
+    path = _write_tokenizer_json(
+        tmp_path / "tokenizer.json",
+        tokens,
+        extra=[{"id": special_id, "content": "<|endoftext|>"}],
+    )
+    vocab = Vocabulary.from_tokenizer_json(str(path))
+    assert len(vocab) == special_id + 1
+    assert list(vocab)[:special_id] == tokens
+    assert vocab[special_id] == b"<|endoftext|>"
+    # Round trip through save/from_file preserves the identity hash.
+    out = tmp_path / "vocab.json"
+    vocab.save(str(out))
+    again = Vocabulary.from_file(str(out))
+    assert again.vocab_hash == vocab.vocab_hash
+    assert list(again) == list(vocab)
+
+
+def test_tokenizer_json_plain_utf8(tmp_path):
+    tokens = [b"a", b"bc", "é".encode()]
+    path = _write_tokenizer_json(
+        tmp_path / "tokenizer.json", tokens, byte_level=False
+    )
+    vocab = Vocabulary.from_tokenizer_json(str(path))
+    assert list(vocab) == tokens
+
+
+def test_tokenizer_json_rejects_holes_and_foreign(tmp_path):
+    path = tmp_path / "tokenizer.json"
+    path.write_text(
+        json.dumps(
+            {
+                "model": {"type": "BPE", "vocab": {"a": 0, "b": 2}},
+                "pre_tokenizer": {"type": "Whitespace"},
+            }
+        ),
+        encoding="utf-8",
+    )
+    with pytest.raises(ValueError, match="holes"):
+        Vocabulary.from_tokenizer_json(str(path))
+    path.write_text(
+        json.dumps({"model": {"type": "Unigram"}}), encoding="utf-8"
+    )
+    with pytest.raises(ValueError, match="model.vocab"):
+        Vocabulary.from_tokenizer_json(str(path))
+
+
+def test_tokenizer_vocab_masks_end_to_end(tmp_path):
+    """An imported tokenizer vocabulary drives the mask pipeline."""
+    tokens = [bytes([b]) for b in range(256)]
+    tokens += [b"<methodCall>", b"<methodName>", b"abc"]
+    path = _write_tokenizer_json(tmp_path / "tokenizer.json", tokens)
+    vocab = Vocabulary.from_tokenizer_json(str(path))
+    table = build_mask_table(xmlrpc(), vocab)
+    session = MaskSession(table)
+    row = session.mask()
+    valid = _valid_ids(row, len(vocab))
+    assert valid, "start state must admit some token"
+    assert table.mask_row(0) == table.naive_row(0)

@@ -154,3 +154,41 @@ def test_mask_key_tracks_content_and_vocab(registry, vocab):
     assert len({a["key"], b["key"], c["key"]}) == 3
     entry = registry.inspect(xml_ref)
     assert a["key"] == mask_key(entry["content"], vocab.vocab_hash)
+
+
+def test_inspect_reports_delta_coverage(registry, vocab):
+    """``registry inspect`` surfaces the format rev and the delta
+    section's coverage for current-format blobs."""
+    ref = registry.publish("xmlrpc", xmlrpc())
+    registry.publish_masks(ref, vocab)
+    info = registry.inspect(ref)
+    described = info["masks"][vocab.vocab_hash[:16]]
+    assert described["rev"] == 2
+    deltas = described["deltas"]
+    assert deltas["rows_deltified"] > 0
+    assert deltas["payload_bytes"] > 0
+    assert deltas["mean_popcount"] >= 0.0
+
+
+def test_old_format_blob_heals_with_deltas(registry, vocab):
+    """A rev-1 blob (no delta section) loads cleanly and the heal
+    path re-publishes it with deltas appended — rows untouched."""
+    ref = registry.publish("xmlrpc", xmlrpc())
+    # delta_budget=0 writes a blob exactly like a pre-delta publisher.
+    registry.publish_masks(ref, vocab, delta_budget=0)
+    info = registry.inspect(ref)
+    described = info["masks"][vocab.vocab_hash[:16]]
+    assert described["rev"] == 1
+    assert "deltas" not in described
+
+    healed = Registry(registry.root).load_masks(ref)
+    assert healed.has_deltas
+    fresh = build_mask_table(xmlrpc(), vocab)
+    assert healed.rows == fresh.rows
+    assert healed.delta_stats() == fresh.delta_stats()
+
+    # The upgraded blob is on disk: a cold registry sees rev 2.
+    info = Registry(registry.root).inspect(ref)
+    described = info["masks"][vocab.vocab_hash[:16]]
+    assert described["rev"] == 2
+    assert described["deltas"]["rows_deltified"] > 0

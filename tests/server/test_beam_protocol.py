@@ -1,0 +1,444 @@
+"""Beam flows over the framed wire protocol.
+
+The acceptance invariant: every MASKS reply a live ``ScanServer``
+streams back over OPEN_BEAM/BATCH_ADVANCE — advances, forks, and
+rollbacks, with lanes delta-encoded on the wire — reconstructs to
+byte-for-byte what an in-process :class:`BeamMaskSession` (and N
+independent :class:`MaskSession` mirrors) on the same table produces.
+Plus the frame codecs, the atomicity contract (``BAD_TOKEN`` leaves
+the beam flow open), hot swap mid-beam pinning, drain discipline, and
+the admin exposition of the memo/delta/beam telemetry.
+"""
+
+import asyncio
+import json
+import random
+import struct
+import time
+
+import pytest
+
+from repro.apps.structgen import (
+    MaskSession,
+    build_mask_table,
+    synthetic_vocab,
+)
+from repro.apps.structgen.beam import BeamMaskSession
+from repro.grammar.examples import if_then_else, xmlrpc
+from repro.server import ScanClient, protocol
+from repro.server.loadgen import _set_bits, run_beam_load
+from repro.server.protocol import (
+    MAX_BEAM_WIDTH,
+    BeamOp,
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    ServerFault,
+    decode_batch_advance,
+    decode_masks,
+    decode_open_beam,
+    encode_batch_advance,
+    encode_masks,
+    encode_open_beam,
+)
+from repro.service import Registry, TaggerSpec
+from tests.server.conftest import running_server
+from tests.server.test_hot_swap import _admin
+
+VOCAB_HASH = "ab" * 32
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_mask_table(xmlrpc(), synthetic_vocab(size=384, seed=7))
+
+
+def decode_all(blob: bytes):
+    return FrameDecoder(1 << 20).feed(blob)
+
+
+# ----------------------------------------------------------------------
+# frame codecs
+# ----------------------------------------------------------------------
+def test_open_beam_roundtrip():
+    (frame,) = decode_all(encode_open_beam(7, 32, VOCAB_HASH))
+    assert frame.type == FrameType.OPEN_BEAM
+    assert decode_open_beam(frame) == (7, 32, VOCAB_HASH)
+    with pytest.raises(ProtocolError):
+        encode_open_beam(7, 0, VOCAB_HASH)
+    with pytest.raises(ProtocolError):
+        encode_open_beam(7, MAX_BEAM_WIDTH + 1, VOCAB_HASH)
+    with pytest.raises(ProtocolError):
+        encode_open_beam(7, 4, "ab" * 8)  # not a sha256 digest
+    with pytest.raises(ProtocolError):
+        decode_open_beam(Frame(FrameType.OPEN_BEAM, b"\x00\x01"))
+
+
+def test_batch_advance_roundtrip():
+    (frame,) = decode_all(encode_batch_advance(9, BeamOp.ADVANCE, [3, 1, 4]))
+    assert frame.type == FrameType.BATCH_ADVANCE
+    assert decode_batch_advance(frame) == (9, BeamOp.ADVANCE, (3, 1, 4))
+    (frame,) = decode_all(encode_batch_advance(9, BeamOp.FORK, 2))
+    assert decode_batch_advance(frame) == (9, BeamOp.FORK, 2)
+    (frame,) = decode_all(encode_batch_advance(9, BeamOp.ROLLBACK, 5))
+    assert decode_batch_advance(frame) == (9, BeamOp.ROLLBACK, 5)
+    with pytest.raises(ProtocolError):
+        encode_batch_advance(9, BeamOp.ADVANCE, [])
+    with pytest.raises(ProtocolError):
+        encode_batch_advance(9, 99, 1)
+    # ADVANCE body must be a whole number of u32 token ids.
+    bad = Frame(
+        FrameType.BATCH_ADVANCE,
+        struct.pack("!IB", 9, BeamOp.ADVANCE) + b"\x00\x00\x01",
+    )
+    with pytest.raises(ProtocolError):
+        decode_batch_advance(bad)
+    # FORK/ROLLBACK bodies are exactly one u32.
+    bad = Frame(
+        FrameType.BATCH_ADVANCE,
+        struct.pack("!IB", 9, BeamOp.FORK) + b"\x00" * 8,
+    )
+    with pytest.raises(ProtocolError):
+        decode_batch_advance(bad)
+
+
+def test_masks_roundtrip_full_and_delta():
+    row = bytes(range(48))
+    patch = b"\x00\x05\xff" + b"\x00\x2e\x01"  # two 3-byte entries
+    blob = encode_masks(4, 48, [(11, 0, row), (12, 1, patch)])
+    (frame,) = decode_all(blob)
+    assert frame.type == FrameType.MASKS
+    flow_id, row_bytes, lanes = decode_masks(frame)
+    assert (flow_id, row_bytes) == (4, 48)
+    assert lanes == [(11, 0, row), (12, 1, patch)]
+    # The delta lane is actually smaller on the wire than a full one.
+    assert len(blob) < len(encode_masks(4, 48, [(11, 0, row)] * 2))
+    with pytest.raises(ProtocolError):
+        encode_masks(4, 48, [(11, 0, row[:-1])])  # short full row
+    with pytest.raises(ProtocolError):
+        encode_masks(4, 48, [(12, 1, b"\x00\x05")])  # not 3-byte entries
+    with pytest.raises(ProtocolError):
+        encode_masks(4, 48, [(12, 7, b"")])  # unknown kind
+    # Truncated/overlong lane bodies are refused on decode.
+    with pytest.raises(ProtocolError):
+        decode_masks(Frame(FrameType.MASKS, frame.payload[:-1]))
+    with pytest.raises(ProtocolError):
+        decode_masks(Frame(FrameType.MASKS, frame.payload + b"\x00"))
+
+
+# ----------------------------------------------------------------------
+# server round trips
+# ----------------------------------------------------------------------
+def test_beam_flow_matches_local_sessions(table):
+    """Seeded beam decode over TCP — advances, forks, rollbacks —
+    byte-identical to in-process mirrors after delta reconstruction."""
+
+    async def main():
+        async with running_server(mask_tables=[table]) as server:
+            host, port = server.address
+            local = BeamMaskSession(table, 3)
+            mirror = [MaskSession(table) for _ in range(3)]
+            n = len(table.vocab)
+            rng = random.Random(17)
+            async with ScanClient(host, port) as client:
+                flow = await client.open_beam_flow(table.vocab_hash, 3)
+                assert flow.states == local.states
+                assert flow.rows == local.masks()
+                for _ in range(40):
+                    roll = rng.random()
+                    if roll < 0.12 and flow.width < 8:
+                        lane = rng.randrange(flow.width)
+                        states, rows = await flow.fork(lane)
+                        local.fork(lane)
+                        twin = MaskSession(table)
+                        twin.state = mirror[lane].state
+                        mirror.append(twin)
+                    elif roll < 0.22 and local._history:
+                        states, rows = await flow.rollback(1)
+                        local.rollback(1)
+                        mirror = [MaskSession(table) for _ in local.states]
+                        for m, s in zip(mirror, local.states):
+                            m.state = s
+                    else:
+                        ids = []
+                        for m in mirror:
+                            valid = _set_bits(m.mask())
+                            if not valid:
+                                ids = None
+                                break
+                            ids.append(rng.choice(valid))
+                        if ids is None:
+                            break
+                        states, rows = await flow.advance(ids)
+                        local.advance(ids)
+                        for m, t in zip(mirror, ids):
+                            m.advance(t)
+                    assert states == local.states
+                    assert states == tuple(m.state for m in mirror)
+                    assert rows == local.masks()
+                    assert rows == [bytes(m.mask()) for m in mirror]
+                # Delta encoding actually engaged on this flow.
+                assert flow.lanes_delta > 0
+                await flow.close()
+            snapshot = server.stats()
+            assert snapshot["counters"]["structgen.beams_opened"] == 1
+            assert snapshot["counters"]["structgen.beams_closed"] == 1
+            assert snapshot["counters"]["structgen.beam_lanes_delta"] > 0
+            assert snapshot["structgen"]["beams_open"] == 0
+
+    run(main())
+
+
+def test_beam_load_generator_verifies_byte_for_byte(table):
+    """The acceptance check: the beam load generator's every remote
+    reply — across forks, rollbacks, and dead-end reopens — equals
+    the in-process mirrors, over real TCP."""
+
+    async def main():
+        async with running_server(mask_tables=[table]) as server:
+            host, port = server.address
+            report = await run_beam_load(
+                host, port, table, beams=2, width=4, steps=30
+            )
+        assert report["verified"] is True
+        assert report["failures"] == []
+        assert report["mismatches"] == []
+        assert report["ops"] > 0
+        assert report["masks_per_s"] > 0
+        assert 0.0 < report["wire_delta_ratio"] <= 1.0
+
+    run(main())
+
+
+def test_bad_token_keeps_beam_flow_open(table):
+    """The beam engine is atomic: a BAD_TOKEN fails only the offending
+    request; the flow stays open on its previous states and the next
+    valid advance works."""
+
+    async def main():
+        async with running_server(mask_tables=[table]) as server:
+            host, port = server.address
+            local = BeamMaskSession(table, 2)
+            async with ScanClient(host, port) as client:
+                flow = await client.open_beam_flow(table.vocab_hash, 2)
+                valid = _set_bits(bytearray(flow.rows[0]))
+                invalid = next(
+                    i
+                    for i in range(len(table.vocab))
+                    if i not in set(valid)
+                )
+                before = flow.states
+                with pytest.raises(ServerFault) as info:
+                    await flow.advance([valid[0], invalid], timeout=5.0)
+                assert info.value.code == ErrorCode.BAD_TOKEN
+                assert "lane 1" in str(info.value)
+                assert flow.states == before
+                states, rows = await flow.advance([valid[0], valid[0]])
+                local.advance([valid[0], valid[0]])
+                assert states == local.states
+                assert rows == local.masks()
+                await flow.close()
+            snapshot = server.stats()
+            assert snapshot["counters"]["structgen.beams_closed"] == 1
+
+    run(main())
+
+
+def test_data_on_beam_flow_rejected(table):
+    async def main():
+        async with running_server(mask_tables=[table]) as server:
+            host, port = server.address
+            async with ScanClient(host, port) as client:
+                flow = await client.open_beam_flow(table.vocab_hash, 2)
+                await client._send(
+                    protocol.encode_data(flow.flow_id, b"<x>")
+                )
+                with pytest.raises(ServerFault) as info:
+                    await flow.advance([0, 0], timeout=5.0)
+                assert info.value.code == ErrorCode.BAD_FRAME
+
+    run(main())
+
+
+def test_unknown_vocab_refused_for_beam(table):
+    async def main():
+        async with running_server(mask_tables=[table]) as server:
+            host, port = server.address
+            async with ScanClient(host, port) as client:
+                with pytest.raises(ServerFault) as info:
+                    await client.open_beam_flow("cd" * 32, 4)
+                assert info.value.code == ErrorCode.UNKNOWN_VOCAB
+
+    run(main())
+
+
+def test_drain_does_not_wait_for_beam_flows(table):
+    """Beam flows never 'finish' on their own; stop(drain=True) must
+    not hold the server open on their account."""
+
+    async def main():
+        async with running_server(mask_tables=[table]) as server:
+            host, port = server.address
+            client = ScanClient(host, port)
+            await client.connect()
+            await client.open_beam_flow(table.vocab_hash, 4)
+            started = time.perf_counter()
+            await server.stop(drain=True, timeout=10.0)
+            assert time.perf_counter() - started < 5.0
+            await client.close()
+
+    run(main())
+
+
+# ----------------------------------------------------------------------
+# hot swap mid-beam (the pinning contract)
+# ----------------------------------------------------------------------
+def test_swap_mid_beam_pins_generation(tmp_path):
+    """A beam flow opened before ``POST /swap`` keeps serving masks
+    from the grammar it opened on, byte-identical until it closes;
+    flows opened after the swap see the new grammar's masks."""
+    registry = Registry(str(tmp_path / "store"))
+    xml_ref = registry.publish("xmlrpc", xmlrpc())
+    ite_ref = registry.publish("ifelse", if_then_else())
+    vocab = synthetic_vocab(size=384, seed=7)
+    registry.publish_masks(xml_ref, vocab)
+    registry.publish_masks(ite_ref, vocab)
+    xml_table = registry.load_masks(xml_ref, vocab.vocab_hash)
+    ite_table = registry.load_masks(ite_ref, vocab.vocab_hash)
+    assert xml_table.mask_row(0) != ite_table.mask_row(0)
+
+    async def main():
+        async with running_server(
+            spec=TaggerSpec(
+                registry_ref=xml_ref, registry_root=registry.root
+            ),
+            registry=registry,
+            admin_port=0,
+        ) as server:
+            host, port = server.address
+            old_local = BeamMaskSession(xml_table, 2)
+            rng = random.Random(23)
+            async with ScanClient(host, port) as client:
+                flow = await client.open_beam_flow(vocab.vocab_hash, 2)
+                assert flow.rows == old_local.masks()
+
+                status, _body = await _admin(
+                    server.admin_address, "POST",
+                    f"/swap?grammar={ite_ref}",
+                )
+                assert status == "200 OK"
+                assert server._current.ref == ite_ref
+
+                # The pinned beam keeps walking the *old* grammar.
+                for _ in range(15):
+                    ids = []
+                    for row in flow.rows:
+                        valid = _set_bits(bytearray(row))
+                        if not valid:
+                            ids = None
+                            break
+                        ids.append(rng.choice(valid))
+                    if ids is None:
+                        break
+                    states, rows = await flow.advance(ids)
+                    old_local.advance(ids)
+                    assert states == old_local.states
+                    assert rows == old_local.masks(), (
+                        "pinned beam drifted off its generation"
+                    )
+                await flow.fork(0)
+                old_local.fork(0)
+                assert flow.states == old_local.states
+                assert flow.rows == old_local.masks()
+                await flow.close()
+
+                # A flow opened after the swap sees the new grammar.
+                new_local = BeamMaskSession(ite_table, 2)
+                fresh = await client.open_beam_flow(vocab.vocab_hash, 2)
+                assert fresh.rows == new_local.masks()
+                assert fresh.rows != [
+                    bytes(xml_table.mask_row(0)),
+                    bytes(xml_table.mask_row(0)),
+                ]
+                ids = [_set_bits(bytearray(r))[0] for r in fresh.rows]
+                states, rows = await fresh.advance(ids)
+                new_local.advance(ids)
+                assert states == new_local.states
+                assert rows == new_local.masks()
+                await fresh.close()
+
+    run(main())
+
+
+# ----------------------------------------------------------------------
+# admin exposition: memo counters, delta stats, beam telemetry
+# ----------------------------------------------------------------------
+def test_admin_exposes_memo_and_beam_telemetry(tmp_path):
+    """/stats carries the CD-memo block, delta gauge, and beams_open;
+    /metrics renders the counters in Prometheus text format."""
+    registry = Registry(str(tmp_path / "store"))
+    ref = registry.publish("xmlrpc", xmlrpc())
+    vocab = synthetic_vocab(size=384, seed=7)
+    # ci_max_len=2 forces context-dependent tokens → memo traffic.
+    registry.publish_masks(ref, vocab, ci_max_len=2)
+
+    async def main():
+        async with running_server(
+            registry=str(tmp_path / "store"),
+            grammar=ref,
+            admin_port=0,
+        ) as server:
+            host, port = server.address
+            rng = random.Random(31)
+            async with ScanClient(host, port) as client:
+                flow = await client.open_beam_flow(vocab.vocab_hash, 4)
+                for _ in range(10):
+                    ids = []
+                    for row in flow.rows:
+                        valid = _set_bits(row)
+                        if not valid:
+                            ids = None
+                            break
+                        ids.append(rng.choice(valid))
+                    if ids is None:
+                        break
+                    await flow.advance(ids)
+
+                status, body = await _admin(
+                    server.admin_address, "GET", "/stats"
+                )
+                assert status == "200 OK"
+                stats = json.loads(body)
+                sg = stats["structgen"]
+                assert sg["beams_open"] == 1
+                memo = sg["memo"]
+                assert memo["misses"] > 0
+                assert memo["hits"] > 0
+                assert memo["capped"] >= 0
+                table_info = sg["tables"][0]
+                assert table_info["rev"] == 2
+                assert table_info["deltas"]["rows_deltified"] > 0
+                assert stats["counters"]["structgen.memo_hits"] == (
+                    memo["hits"]
+                )
+                assert stats["gauges"]["structgen.delta_rows"] > 0
+
+                status, body = await _admin(
+                    server.admin_address, "GET", "/metrics"
+                )
+                assert status == "200 OK"
+                assert "repro_structgen_memo_hits" in body
+                assert "repro_structgen_memo_misses" in body
+                assert "repro_structgen_beams_opened 1" in body
+                assert "repro_structgen_beam_lanes_full" in body
+                assert "repro_structgen_beam_lanes_delta" in body
+                assert "repro_structgen_delta_rows" in body
+                await flow.close()
+
+    run(main())
