@@ -431,6 +431,218 @@ def _cmd_client_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import ScanProxy
+
+    async def main() -> int:
+        proxy = ScanProxy(
+            args.backend,
+            host=args.host,
+            port=args.port,
+            admin_port=args.admin_port,
+            pool_size=args.pool_size,
+            health_interval=args.health_interval,
+            idle_timeout=args.idle_timeout,
+            max_frame=args.max_frame,
+        )
+        await proxy.start()
+        host, port = proxy.address
+        print(f"repro cluster proxy on {host}:{port} over "
+              f"{len(args.backend)} backend(s)", flush=True)
+        if args.admin_port is not None:
+            ahost, aport = proxy.admin_address
+            print(f"admin endpoint on http://{ahost}:{aport}/metrics",
+                  flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum,
+                lambda: asyncio.ensure_future(proxy.stop(drain=True)),
+            )
+        await proxy.serve_forever()
+        print("proxy drained and stopped", flush=True)
+        return 0
+
+    return asyncio.run(main())
+
+
+def _spawn_cluster_backend(args, env):
+    """Launch one ``repro structgen serve`` child on an ephemeral port
+    and return ``(process, (host, port))`` once its banner appears."""
+    import re
+    import subprocess
+    import sys
+    import time
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "structgen", "serve", "xmlrpc",
+         "--port", "0",
+         "--vocab-size", str(args.vocab_size),
+         "--vocab-seed", str(args.vocab_seed),
+         "--engine", args.engine],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = re.compile(r"structgen server on ([0-9.]+):([0-9]+)")
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = banner.search(line)
+        if match:
+            return proc, (match.group(1), int(match.group(2)))
+    proc.kill()
+    raise RuntimeError("cluster backend failed to start within 30s")
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import os
+    import pathlib
+    import subprocess
+
+    import repro
+    from repro.apps.structgen import build_mask_table, synthetic_vocab
+    from repro.grammar.examples import xmlrpc
+    from repro.server import ScanProxy, run_beam_load, run_load
+
+    vocab = synthetic_vocab(size=args.vocab_size, seed=args.vocab_seed)
+    table = build_mask_table(xmlrpc(), vocab)
+
+    # Children must import the same package tree, installed or not.
+    pkg_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (pkg_root, env.get("PYTHONPATH")) if p
+    )
+
+    async def measure(n: int) -> dict:
+        procs, addrs = [], []
+        try:
+            for _ in range(n):
+                proc, addr = _spawn_cluster_backend(args, env)
+                procs.append(proc)
+                addrs.append(addr)
+            proxy = ScanProxy(addrs, port=0)
+            await proxy.start()
+            host, port = proxy.address
+            try:
+                scan = await run_load(
+                    host, port,
+                    flows=args.flows,
+                    messages=args.messages,
+                    chunk=args.chunk,
+                    concurrency=args.concurrency,
+                    verify=False,
+                )
+                beam = await run_beam_load(
+                    host, port, table,
+                    beams=args.beams,
+                    width=args.width,
+                    steps=args.steps,
+                    max_width=args.width * 2,
+                    concurrency=args.concurrency,
+                    verify=False,
+                )
+            finally:
+                await proxy.stop(drain=False)
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        failures = scan["failures"] + beam["failures"]
+        if failures:
+            raise RuntimeError(
+                f"cluster bench failed at {n} backend(s): {failures[:3]}"
+            )
+        return {
+            "backends": n,
+            "scan_mbps": scan["mbps"],
+            "scan_bytes": scan["bytes"],
+            "beam_masks_per_s": beam["masks_per_s"],
+            "beam_masks": beam["masks"],
+        }
+
+    results: dict[int, dict] = {}
+    for n in args.scale:
+        results[n] = asyncio.run(measure(n))
+        print(f"{n} backend(s): "
+              f"scan {results[n]['scan_mbps']:8.2f} MB/s, "
+              f"beam {results[n]['beam_masks_per_s']:10.0f} masks/s",
+              flush=True)
+
+    cpus = os.cpu_count() or 1
+    # Scaling ratios on a host without enough CPUs for real
+    # parallelism are pseudo-measurements: record null.
+    gated = cpus >= 4
+    base = results.get(1)
+    speedups: dict[int, dict] = {}
+    for n, entry in results.items():
+        if n == 1 or base is None:
+            continue
+        speedups[n] = {
+            "scan": entry["scan_mbps"] / base["scan_mbps"],
+            "beam": entry["beam_masks_per_s"] / base["beam_masks_per_s"],
+        }
+
+    if args.json:
+        print(json.dumps(
+            {
+                "cpus": cpus,
+                "gated": gated,
+                "results": {str(n): r for n, r in results.items()},
+                "speedups": {
+                    str(n): s for n, s in speedups.items()
+                } if gated else None,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for n, ratios in sorted(speedups.items()):
+            note = "" if gated else f" (ungated: only {cpus} CPUs)"
+            print(f"{n}-backend speedup: scan x{ratios['scan']:.2f}, "
+                  f"beam x{ratios['beam']:.2f}{note}")
+
+    if not args.no_record:
+        for n, entry in sorted(results.items()):
+            _record_bench_entry(f"cluster scan {n}-backend MB/s",
+                                entry["scan_mbps"])
+            _record_bench_entry(f"cluster beam {n}-backend masks/sec",
+                                entry["beam_masks_per_s"])
+        for n, ratios in sorted(speedups.items()):
+            _record_bench_entry(
+                f"cluster scan speedup {n}-backend",
+                ratios["scan"] if gated else None,
+            )
+            _record_bench_entry(
+                f"cluster beam speedup {n}-backend",
+                ratios["beam"] if gated else None,
+            )
+
+    if args.min_speedup is not None and gated and 2 in speedups:
+        best = max(speedups[2].values())
+        if best < args.min_speedup:
+            print(f"FAIL: best 2-backend speedup x{best:.2f} "
+                  f"< required x{args.min_speedup:.2f}")
+            return 1
+        print(f"gate ok: best 2-backend speedup x{best:.2f} "
+              f">= x{args.min_speedup:.2f}")
+    elif args.min_speedup is not None and not gated:
+        print(f"gate skipped: only {cpus} CPUs (need >= 4)")
+    return 0
+
+
 def _structgen_vocab(args: argparse.Namespace):
     from repro.apps.structgen import Vocabulary, synthetic_vocab
 
@@ -910,6 +1122,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not update BENCH_throughput.json")
     bench.add_argument("--json", action="store_true")
     bench.set_defaults(func=_cmd_client_bench)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="consistent-hash proxy over N scan-server backends",
+    )
+    cluster.add_argument("--backend", action="append", required=True,
+                         metavar="HOST:PORT[:ADMIN]",
+                         help="backend data address, repeatable; the "
+                         "optional third field is the backend's admin "
+                         "port (enables /stats + /metrics aggregation)")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=9440)
+    cluster.add_argument("--admin-port", type=int, default=None,
+                         help="aggregated /metrics + /healthz + /stats "
+                         "listener")
+    cluster.add_argument("--pool-size", type=int, default=2,
+                         help="client connections pooled per backend")
+    cluster.add_argument("--health-interval", type=float, default=0.5,
+                         help="seconds between backend health probes")
+    cluster.add_argument("--idle-timeout", type=float, default=30.0,
+                         help="seconds before an idle client "
+                         "connection is cut")
+    cluster.add_argument("--max-frame", type=int, default=1 << 20)
+    cluster.set_defaults(func=_cmd_cluster)
+
+    cbench = sub.add_parser(
+        "cluster-bench",
+        help="scaling bench: proxy over 1/2/4 local backend processes",
+    )
+    cbench.add_argument("--scale", type=int, nargs="+", default=[1, 2, 4],
+                        help="backend counts to measure")
+    cbench.add_argument("--flows", type=int, default=16,
+                        help="scan flows per measurement")
+    cbench.add_argument("--messages", type=int, default=480,
+                        help="total scan messages across flows")
+    cbench.add_argument("--chunk", type=int, default=4096)
+    cbench.add_argument("--concurrency", type=int, default=8,
+                        help="driver client connections")
+    cbench.add_argument("--beams", type=int, default=8,
+                        help="beam flows per measurement")
+    cbench.add_argument("--width", type=int, default=16,
+                        help="initial beam width")
+    cbench.add_argument("--steps", type=int, default=150,
+                        help="beam decode steps per flow")
+    cbench.add_argument("--vocab-size", type=int, default=2048)
+    cbench.add_argument("--vocab-seed", type=int, default=2006)
+    cbench.add_argument("--engine",
+                        choices=("auto", "compiled", "vector", "native"),
+                        default="compiled",
+                        help="scan engine the backends run")
+    cbench.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the best 2-backend ratio "
+                        "reaches this (skipped below 4 CPUs)")
+    cbench.add_argument("--json", action="store_true")
+    cbench.add_argument("--no-record", action="store_true",
+                        help="do not update BENCH_throughput.json")
+    cbench.set_defaults(func=_cmd_cluster_bench)
 
     structgen = sub.add_parser(
         "structgen",

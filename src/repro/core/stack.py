@@ -166,11 +166,31 @@ class StackTagger:
         input with balanced recursion — this is exactly the error
         detection the stack buys (§3.1/§5.2).
         """
-        threads = [
-            _Thread(position=self._skip_delimiters(data, 0), stack=())
-        ]
-        expectations = {id(threads[0]): self._expectations(None, ())}
+        # Threads are merged per round on (position, stack, resume):
+        # two threads agreeing on those have identical futures, so only
+        # the representative that would win the final tie-break — most
+        # tokens, then fewest sentences — needs to survive. Without the
+        # merge, ambiguous grammars fork exponentially many equivalent
+        # threads and trip the cap on inputs the grammar accepts.
+        start = self._skip_delimiters(data, 0)
+        threads: dict[
+            tuple[int, Stack, tuple[int, int] | None], _Thread
+        ] = {(start, (), None): _Thread(position=start, stack=())}
+        memo: dict[
+            tuple[tuple[int, int] | None, Stack],
+            list[tuple[Occurrence | None, Stack]],
+        ] = {}
         best_error = 0
+
+        def expect(
+            resume: tuple[int, int] | None, stack: Stack
+        ) -> list[tuple[Occurrence | None, Stack]]:
+            cached = memo.get((resume, stack))
+            if cached is None:
+                cached = memo[(resume, stack)] = self._expectations(
+                    resume, stack
+                )
+            return cached
 
         finished: list[_Thread] = []
         while threads:
@@ -179,38 +199,48 @@ class StackTagger:
                     f"thread explosion (> {self.max_threads}); grammar "
                     "too ambiguous for the stack tagger"
                 )
-            next_threads: list[_Thread] = []
-            next_expect: dict[int, list] = {}
-            for thread in threads:
-                at_end = thread.position >= len(data)
-                for occurrence, new_stack in expectations[id(thread)]:
+            next_threads: dict[
+                tuple[int, Stack, tuple[int, int] | None], _Thread
+            ] = {}
+
+            def offer(
+                key: tuple[int, Stack, tuple[int, int] | None],
+                thread: _Thread,
+            ) -> None:
+                held = next_threads.get(key)
+                if held is None or (
+                    len(thread.tokens),
+                    -thread.sentences,
+                ) > (len(held.tokens), -held.sentences):
+                    next_threads[key] = thread
+
+            for (position, stack, resume), thread in threads.items():
+                at_end = position >= len(data)
+                for occurrence, new_stack in expect(resume, stack):
                     if occurrence is _ACCEPT:
                         if at_end:
                             finished.append(thread)
                         elif self.stream:
                             restart = _Thread(
-                                position=thread.position,
+                                position=position,
                                 stack=(),
                                 tokens=thread.tokens,
                                 sentences=thread.sentences + 1,
                             )
-                            next_expect[id(restart)] = self._expectations(
-                                None, ()
-                            )
-                            next_threads.append(restart)
+                            offer((position, (), None), restart)
                         continue
                     if at_end:
                         continue
-                    length = self._match(data, thread.position, occurrence)
+                    length = self._match(data, position, occurrence)
                     if not length:
                         continue
-                    end = thread.position + length
+                    end = position + length
                     token = StackedToken(
                         token=TaggedToken(
                             token=occurrence.terminal.name,
                             occurrence=occurrence,
-                            lexeme=data[thread.position : end],
-                            start=thread.position,
+                            lexeme=data[position:end],
+                            start=position,
                             end=end,
                         ),
                         depth=len(new_stack),
@@ -222,13 +252,15 @@ class StackTagger:
                         tokens=thread.tokens + (token,),
                         sentences=thread.sentences,
                     )
-                    next_expect[id(advanced)] = self._expectations(
-                        (occurrence.production, occurrence.position),
-                        new_stack,
+                    offer(
+                        (
+                            advanced.position,
+                            new_stack,
+                            (occurrence.production, occurrence.position),
+                        ),
+                        advanced,
                     )
-                    next_threads.append(advanced)
             threads = next_threads
-            expectations = next_expect
 
         if not finished:
             raise ParseError(

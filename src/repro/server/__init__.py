@@ -17,18 +17,35 @@ reproduction:
 * :mod:`repro.server.client` — :class:`ScanClient`: the asyncio
   client library (connect/retry/timeout, flow multiplexing, mask
   flows for constrained decoding);
+* :mod:`repro.server.cluster` — :class:`ScanProxy`: the cluster
+  tier — a consistent-hash proxy pinning flows to N backends with
+  health probes, journal-replay failover for scan/mask flows, and an
+  aggregated admin endpoint;
 * :mod:`repro.server.loadgen` — the closed-loop load generators
-  behind ``repro client-bench`` and ``repro structgen bench
-  --remote``.
+  behind ``repro client-bench``, ``repro structgen bench --remote``,
+  and ``repro cluster-bench``.
 """
 
 from repro.server.client import (
+    BeamFlow,
     ClientFlow,
     ConnectFailed,
     MaskFlow,
     ScanClient,
 )
-from repro.server.loadgen import generate_flows, run_load, run_mask_load
+from repro.server.cluster import (
+    BackendSpec,
+    HashRing,
+    NoHealthyBackend,
+    ScanProxy,
+    parse_backend,
+)
+from repro.server.loadgen import (
+    generate_flows,
+    run_beam_load,
+    run_load,
+    run_mask_load,
+)
 from repro.server.protocol import (
     CONNECTION_FLOW,
     DEFAULT_MAX_FRAME,
@@ -43,6 +60,8 @@ from repro.server.protocol import (
 from repro.server.server import ScanServer
 
 __all__ = [
+    "BackendSpec",
+    "BeamFlow",
     "CONNECTION_FLOW",
     "ClientFlow",
     "ConnectFailed",
@@ -51,13 +70,18 @@ __all__ = [
     "Frame",
     "FrameDecoder",
     "FrameType",
+    "HashRing",
     "MaskFlow",
+    "NoHealthyBackend",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ScanClient",
+    "ScanProxy",
     "ScanServer",
     "ServerFault",
     "generate_flows",
+    "parse_backend",
+    "run_beam_load",
     "run_load",
     "run_mask_load",
 ]

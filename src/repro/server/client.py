@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import random
 
 from repro.errors import ReproError
 from repro.server import protocol
@@ -67,10 +68,18 @@ class ClientFlow:
     returns the complete, ordered result list for the flow.
     """
 
+    #: Scan and mask flows journal enough history to be re-replayed
+    #: onto a fresh backend; beam flows (delta + rollback state) don't.
+    replayable = True
+
     def __init__(self, client: "ScanClient", flow_id: int) -> None:
         self.client = client
         self.flow_id = flow_id
         self.partial: list = []
+        #: Replayable history (DATA chunks) when the client journals.
+        self.journal: list[bytes] | None = (
+            [] if client.journal else None
+        )
         self._done: asyncio.Future = (
             asyncio.get_running_loop().create_future()
         )
@@ -80,12 +89,29 @@ class ClientFlow:
         """Stream one chunk of flow bytes (split to the server's frame
         limit; awaits transport drain, so server backpressure lands
         here as pacing)."""
+        if self.journal is not None:
+            self.journal.append(chunk)
         limit = max(1, self.client.server_max_frame - _DATA_OVERHEAD)
         for start in range(0, len(chunk), limit) or (0,):
             piece = chunk[start : start + limit]
             await self.client._send(
                 protocol.encode_data(self.flow_id, piece)
             )
+
+    async def replay_onto(self, client: "ScanClient") -> "ClientFlow":
+        """Re-create this flow on ``client`` by replaying the journaled
+        DATA history; the replacement flow is byte-equivalent because
+        scanning is deterministic in the bytes fed so far."""
+        if self.journal is None:
+            raise ServerFault(
+                self.flow_id,
+                ErrorCode.FAILOVER,
+                "flow has no journal to replay",
+            )
+        flow = await client.open_flow()
+        for chunk in self.journal:
+            await flow.send(chunk)
+        return flow
 
     async def finish(self, timeout: float | None = None) -> list:
         """End the flow; wait for (and return) its complete results."""
@@ -134,6 +160,14 @@ class MaskFlow(ClientFlow):
         #: Packed bitmask bytes from the most recent MASK reply
         #: (LSB-first: bit ``i`` of the row = token ``i`` valid).
         self.mask: bytes = b""
+        #: The vocabulary this flow was opened for (set by
+        #: :meth:`ScanClient.open_mask_flow`; needed for replay).
+        self.vocab_hash: bytes | str = b""
+        #: Acked ADVANCE token ids when the client journals (an id is
+        #: recorded only once its MASK reply lands, so the journal
+        #: never contains an op the backend may not have applied).
+        self.acked: list[int] | None = [] if client.journal else None
+        self._inflight_tokens: list[int] = []
         self._pending_masks: list[asyncio.Future] = []
 
     async def advance(
@@ -142,6 +176,8 @@ class MaskFlow(ClientFlow):
         """Feed one token id; return ``(new_state, packed_mask)``."""
         fut = asyncio.get_running_loop().create_future()
         self._pending_masks.append(fut)
+        if self.acked is not None:
+            self._inflight_tokens.append(token_id)
         await self.client._send(
             protocol.encode_advance(self.flow_id, token_id)
         )
@@ -162,10 +198,28 @@ class MaskFlow(ClientFlow):
         """End the mask flow (server drops the session)."""
         await self.finish(timeout=timeout)
 
+    async def replay_onto(self, client: "ScanClient") -> "MaskFlow":
+        """Re-create this flow on ``client`` by re-opening the vocab
+        and replaying the acked ADVANCE history; mask tables are pure
+        functions of (grammar, vocab, token history), so the replayed
+        replies are bitwise what the original backend already sent."""
+        if self.acked is None:
+            raise ServerFault(
+                self.flow_id,
+                ErrorCode.FAILOVER,
+                "mask flow has no journal to replay",
+            )
+        flow = await client.open_mask_flow(self.vocab_hash)
+        for token_id in self.acked:
+            await flow.advance(token_id)
+        return flow
+
     # ------------------------------------------------------------------
     def _deliver_mask(self, state: int, row: bytes) -> None:
         self.state = state
         self.mask = row
+        if self.acked is not None and self._inflight_tokens:
+            self.acked.append(self._inflight_tokens.pop(0))
         if self._pending_masks:
             fut = self._pending_masks.pop(0)
             if not fut.done():
@@ -173,6 +227,7 @@ class MaskFlow(ClientFlow):
 
     def _fail(self, exc: Exception) -> None:
         super()._fail(exc)
+        _mark_retrieved(self._done)
         for fut in self._pending_masks:
             if not fut.done():
                 fut.set_exception(exc)
@@ -190,7 +245,14 @@ class BeamFlow(ClientFlow):
     full packed mask. A ``BAD_TOKEN`` server error fails only the
     request that caused it — the beam did not move (the engine is
     atomic) and the flow stays open.
+
+    Beam flows are **not replayable** across backends: fork/rollback
+    history plus per-lane delta chains make the wire replies depend on
+    the whole session, so a failover surfaces a typed ``FAILOVER``
+    error instead of silently re-deriving state.
     """
+
+    replayable = False
 
     def __init__(self, client: "ScanClient", flow_id: int) -> None:
         super().__init__(client, flow_id)
@@ -296,10 +358,21 @@ class BeamFlow(ClientFlow):
 
     def _fail(self, exc: Exception) -> None:
         super()._fail(exc)
+        _mark_retrieved(self._done)
         for fut in self._pending_masks:
             if not fut.done():
                 fut.set_exception(exc)
         self._pending_masks.clear()
+
+
+def _mark_retrieved(fut: asyncio.Future) -> None:
+    """Mask/beam callers await per-op futures, not ``_done`` — after a
+    failure nobody may ever touch ``_done``, so mark its exception
+    retrieved to keep 'exception was never retrieved' out of the logs
+    (retrieval does not clear it; a later ``finish()`` still raises)."""
+    if fut.done() and not fut.cancelled():
+        with contextlib.suppress(Exception):
+            fut.exception()
 
 
 class ScanClient:
@@ -313,16 +386,23 @@ class ScanClient:
         connect_timeout: float = 5.0,
         connect_retries: int = 5,
         retry_backoff: float = 0.05,
+        max_backoff: float = 2.0,
         request_timeout: float = 30.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        journal: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
         self.connect_retries = connect_retries
         self.retry_backoff = retry_backoff
+        self.max_backoff = max_backoff
         self.request_timeout = request_timeout
         self.max_frame = max_frame
+        #: When set, flows record their replayable history (scan DATA
+        #: chunks, mask ADVANCE token ids) so a routing tier can replay
+        #: them onto a replacement backend after a failover.
+        self.journal = journal
         #: The server's advertised frame limit (from its HELLO).
         self.server_max_frame = DEFAULT_MAX_FRAME
         #: Registry refs the server advertised in its HELLO (empty for
@@ -333,6 +413,12 @@ class ScanClient:
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
         self._flows: dict[int, ClientFlow] = {}
+        #: Raw frame taps: flow id -> async callable. A tap receives
+        #: every reply frame addressed to its flow *undecoded* (or
+        #: ``None`` when the connection dies), bypassing the flow
+        #: objects entirely — the hook a relay/proxy tier uses to
+        #: forward beam traffic without re-encoding delta chains.
+        self._raw_taps: dict = {}
         self._flow_seq = 0
         self._goodbye = asyncio.Event()
         self._conn_error: Exception | None = None
@@ -363,12 +449,19 @@ class ScanClient:
                     with contextlib.suppress(Exception):
                         self._writer.close()
                     self._reader = self._writer = None
-                await asyncio.sleep(backoff)
-                backoff *= 2
+                await asyncio.sleep(self._next_backoff(backoff))
+                backoff = min(backoff * 2, self.max_backoff)
         raise ConnectFailed(
             f"could not connect to {self.host}:{self.port} after "
             f"{self.connect_retries} attempts: {last}"
         )
+
+    def _next_backoff(self, backoff: float) -> float:
+        """Cap the doubled backoff and spread it ±25 % so a fleet of
+        clients retrying against a flapping backend desynchronizes
+        instead of stampeding in lockstep."""
+        capped = min(backoff, self.max_backoff)
+        return capped * (0.75 + 0.5 * random.random())
 
     async def _handshake(self) -> None:
         self._writer.write(
@@ -452,6 +545,7 @@ class ScanClient:
         """
         self._flow_seq += 1
         flow = MaskFlow(self, self._flow_seq)
+        flow.vocab_hash = vocab_hash
         self._flows[flow.flow_id] = flow
         fut = asyncio.get_running_loop().create_future()
         flow._pending_masks.append(fut)
@@ -504,6 +598,30 @@ class ScanClient:
             ) from None
         return flow
 
+    # ------------------------------------------------------------------
+    # raw flow plumbing (for relay tiers)
+    # ------------------------------------------------------------------
+    def allocate_flow_id(self) -> int:
+        """Reserve a fresh connection-scoped flow id without creating
+        a flow object — for callers that speak raw frames."""
+        self._flow_seq += 1
+        return self._flow_seq
+
+    def set_raw_tap(self, flow_id: int, handler) -> None:
+        """Route reply frames for ``flow_id`` to ``handler(frame)``
+        (an async callable) instead of the flow machinery; the handler
+        is called with ``None`` once if the connection fails or says
+        GOODBYE while the tap is installed."""
+        self._raw_taps[flow_id] = handler
+
+    def clear_raw_tap(self, flow_id: int) -> None:
+        self._raw_taps.pop(flow_id, None)
+
+    async def send_raw(self, frame_bytes: bytes) -> None:
+        """Write one pre-encoded frame (raw-tap counterpart of the
+        flow-level send methods)."""
+        await self._send(frame_bytes)
+
     async def scan_stream(
         self, data: bytes, chunk_size: int = 4096
     ) -> list:
@@ -533,6 +651,18 @@ class ScanClient:
                     raise ConnectionResetError(
                         "server closed the connection"
                     )
+                if self._raw_taps and frame.type in (
+                    FrameType.RESULT,
+                    FrameType.MASK,
+                    FrameType.MASKS,
+                    FrameType.ERROR,
+                ):
+                    # Every reply frame leads with a u32 flow id.
+                    tapped = int.from_bytes(frame.payload[:4], "big")
+                    tap = self._raw_taps.get(tapped)
+                    if tap is not None:
+                        await tap(frame)
+                        continue
                 if frame.type == FrameType.RESULT:
                     flow_id, final, items = protocol.decode_result(frame)
                     flow = self._flows.get(flow_id)
@@ -572,7 +702,14 @@ class ScanClient:
                 elif frame.type == FrameType.GOODBYE:
                     # Flows still pending after a GOODBYE can never
                     # complete: fail them rather than letting their
-                    # finish() sit out its full timeout.
+                    # finish() sit out its full timeout. The GOODBYE
+                    # also ends the connection's useful life, so later
+                    # sends fail fast instead of timing out (pools
+                    # key reconnects off :attr:`connected`).
+                    if self._conn_error is None:
+                        self._conn_error = ConnectionResetError(
+                            "server said GOODBYE"
+                        )
                     self._fail_pending(
                         ConnectionResetError(
                             "server said GOODBYE with flows pending"
@@ -595,3 +732,13 @@ class ScanClient:
         for flow in list(self._flows.values()):
             flow._fail(exc)
         self._flows.clear()
+        for tap in list(self._raw_taps.values()):
+            # Notify taps off-loop: _fail_pending is synchronous and
+            # may run from the dying read loop itself.
+            asyncio.ensure_future(_notify_tap_dead(tap))
+        self._raw_taps.clear()
+
+
+async def _notify_tap_dead(tap) -> None:
+    with contextlib.suppress(Exception):
+        await tap(None)

@@ -151,6 +151,7 @@ async def run_mask_load(
     concurrency: int = 2,
     seed: int = 2006,
     request_timeout: float = 30.0,
+    verify: bool = True,
 ) -> dict:
     """Drive mask flows against a live server and cross-check every
     reply byte-for-byte against an in-process
@@ -161,7 +162,10 @@ async def run_mask_load(
     MASK frame must equal the local session's state and packed row
     (including the initial state-0 mask).  Any divergence is recorded
     in ``mismatches``; ``verified`` is True only when every advance on
-    every session matched.
+    every session matched.  ``verify=False`` drops the mirrors and
+    picks tokens straight from the remote rows — a pure-throughput
+    mode for benchmarking, where driver-side mirror stepping would
+    otherwise become the bottleneck (``verified`` reports ``None``).
     """
     from repro.apps.structgen import MaskSession
 
@@ -177,23 +181,29 @@ async def run_mask_load(
     async def drive(client: ScanClient, index: int) -> None:
         nonlocal advances
         rng = random.Random(seed + index)
-        local = MaskSession(table)
+        local = MaskSession(table) if verify else None
         flow = await client.open_mask_flow(table.vocab_hash)
         try:
-            if flow.state != local.state or flow.mask != local.mask():
+            if local is not None and (
+                flow.state != local.state or flow.mask != local.mask()
+            ):
                 mismatches.append(f"session-{index}: initial mask")
                 return
             for step in range(steps):
-                valid = _set_bits(local.mask())
+                current = (
+                    local.mask() if local is not None else flow.mask
+                )
+                valid = _set_bits(current)
                 if not valid:
-                    local.reset()
+                    if local is not None:
+                        local.reset()
                     # No reset frame: reopen by closing this flow and
                     # starting a fresh one mid-session.
                     await flow.close()
                     flow = await client.open_mask_flow(
                         table.vocab_hash
                     )
-                    if flow.mask != local.mask():
+                    if local is not None and flow.mask != local.mask():
                         mismatches.append(
                             f"session-{index}: mask after reset"
                         )
@@ -203,14 +213,15 @@ async def run_mask_load(
                 started = time.perf_counter()
                 state, row = await flow.advance(token_id)
                 latency.observe(time.perf_counter() - started)
-                local_state = local.advance(token_id)
                 advances += 1
-                if state != local_state or row != local.mask():
-                    mismatches.append(
-                        f"session-{index}: step {step} "
-                        f"token {token_id}"
-                    )
-                    return
+                if local is not None:
+                    local_state = local.advance(token_id)
+                    if state != local_state or row != local.mask():
+                        mismatches.append(
+                            f"session-{index}: step {step} "
+                            f"token {token_id}"
+                        )
+                        return
         finally:
             try:
                 await flow.close()
@@ -250,7 +261,9 @@ async def run_mask_load(
         "latency": latency.summary(),
         "failures": failures,
         "mismatches": mismatches,
-        "verified": not mismatches and not failures,
+        "verified": (not mismatches and not failures)
+        if verify
+        else None,
     }
 
 
@@ -266,6 +279,7 @@ async def run_beam_load(
     concurrency: int = 2,
     seed: int = 2006,
     request_timeout: float = 30.0,
+    verify: bool = True,
 ) -> dict:
     """Drive beam flows against a live server, with fork/rollback
     mixed into the schedule, and cross-check every MASKS reply
@@ -277,6 +291,10 @@ async def run_beam_load(
     packed rows exactly; the delta encoding is thus verified over the
     wire, not just in-process. The report carries the observed
     full/delta lane split and the wire payload ratio.
+
+    ``verify=False`` drops the mirrors and steers from the remote
+    rows alone (pure-throughput mode for benchmarking; ``verified``
+    reports ``None``).
     """
     from repro.apps.structgen import MaskSession
 
@@ -293,6 +311,18 @@ async def run_beam_load(
     work: asyncio.Queue = asyncio.Queue()
     for index in range(max(1, beams)):
         work.put_nowait(index)
+
+    def settle(flow) -> None:
+        """Fold one flow's wire accounting into the totals."""
+        nonlocal lanes_full, lanes_delta, payload_bytes, full_row_bytes
+        lanes_full += flow.lanes_full
+        lanes_delta += flow.lanes_delta
+        payload_bytes += flow.payload_bytes
+        full_row_bytes += (
+            flow.lanes_full + flow.lanes_delta
+        ) * table.row_bytes
+        flow.lanes_full = flow.lanes_delta = 0
+        flow.payload_bytes = 0
 
     def check(flow, mirror, index: int, step, what: str) -> bool:
         want_states = tuple(m.state for m in mirror)
@@ -357,14 +387,7 @@ async def run_beam_load(
                         # Dead end: no beam-wide reset frame, so
                         # reopen (same discipline as mask flows).
                         await flow.close()
-                        lanes_full += flow.lanes_full
-                        lanes_delta += flow.lanes_delta
-                        payload_bytes += flow.payload_bytes
-                        full_row_bytes += (
-                            flow.lanes_full + flow.lanes_delta
-                        ) * table.row_bytes
-                        flow.lanes_full = flow.lanes_delta = 0
-                        flow.payload_bytes = 0
+                        settle(flow)
                         mirror = [
                             MaskSession(table) for _ in range(width)
                         ]
@@ -392,12 +415,52 @@ async def run_beam_load(
                 await flow.close()
             except Exception:
                 pass
-            lanes_full += flow.lanes_full
-            lanes_delta += flow.lanes_delta
-            payload_bytes += flow.payload_bytes
-            full_row_bytes += (
-                flow.lanes_full + flow.lanes_delta
-            ) * table.row_bytes
+            settle(flow)
+
+    async def drive_fast(client: ScanClient, index: int) -> None:
+        """verify=False: steer from the remote rows, mirror nothing."""
+        nonlocal ops_done, masks_served
+        rng = random.Random(seed + index)
+        depth = 0  # undoable ops since (re)open, for rollback bounds
+        flow = await client.open_beam_flow(table.vocab_hash, width)
+        try:
+            for _step in range(steps):
+                roll = rng.random()
+                started = time.perf_counter()
+                if roll < 0.10 and flow.width < max_width:
+                    await flow.fork(rng.randrange(flow.width))
+                    depth += 1
+                elif roll < 0.20 and depth:
+                    k = rng.randrange(1, min(3, depth) + 1)
+                    await flow.rollback(k)
+                    depth -= k
+                else:
+                    ids = []
+                    for row in flow.rows:
+                        valid = _set_bits(row)
+                        if not valid:
+                            ids = None
+                            break
+                        ids.append(rng.choice(valid))
+                    if ids is None:
+                        await flow.close()
+                        settle(flow)
+                        depth = 0
+                        flow = await client.open_beam_flow(
+                            table.vocab_hash, width
+                        )
+                        continue
+                    await flow.advance(ids)
+                    depth += 1
+                latency.observe(time.perf_counter() - started)
+                ops_done += 1
+                masks_served += flow.width
+        finally:
+            try:
+                await flow.close()
+            except Exception:
+                pass
+            settle(flow)
 
     async def worker() -> None:
         client = ScanClient(
@@ -411,7 +474,10 @@ async def run_beam_load(
                 except asyncio.QueueEmpty:
                     return
                 try:
-                    await drive(client, index)
+                    if verify:
+                        await drive(client, index)
+                    else:
+                        await drive_fast(client, index)
                 except Exception as exc:
                     failures.append(f"beam-{index}: {exc}")
         finally:
@@ -441,5 +507,7 @@ async def run_beam_load(
         ),
         "failures": failures,
         "mismatches": mismatches,
-        "verified": not mismatches and not failures,
+        "verified": (not mismatches and not failures)
+        if verify
+        else None,
     }

@@ -214,6 +214,10 @@ class ErrorCode:
     INTERNAL = 9
     UNKNOWN_VOCAB = 10
     BAD_TOKEN = 11
+    #: A routing tier lost the flow's backend and could not (or by
+    #: contract will not) replay it onto another — beam flows, or
+    #: replay exhaustion. The flow is dead; reopen to continue.
+    FAILOVER = 12
 
     NAMES = {
         BAD_FRAME: "BAD_FRAME",
@@ -227,6 +231,7 @@ class ErrorCode:
         INTERNAL: "INTERNAL",
         UNKNOWN_VOCAB: "UNKNOWN_VOCAB",
         BAD_TOKEN: "BAD_TOKEN",
+        FAILOVER: "FAILOVER",
     }
 
 

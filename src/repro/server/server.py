@@ -329,6 +329,10 @@ class ScanServer:
         #: frames already on the wire when stop() is called still
         #: reach their flows before connections close.
         self._last_rx = time.monotonic()
+        #: Mask/beam ops (OPEN_MASK/ADVANCE/OPEN_BEAM/BATCH_ADVANCE)
+        #: received but whose reply write has not completed — counted
+        #: so a graceful drain cannot cut a reply mid-op.
+        self._ops_inflight = 0
 
     # ------------------------------------------------------------------
     # grammar generations
@@ -509,14 +513,20 @@ class ScanServer:
         return False
 
     def _work_in_flight(self) -> bool:
-        """Open scan flows (still streaming) or pool flows awaiting
-        their final RESULT. Mask and beam flows are request-response
-        and have no tail to flush, so they never hold the drain
-        open."""
-        return bool(self._pending) or any(
-            flow.mask is None and flow.beam is None
-            for conn in self._connections.values()
-            for flow in conn.flows.values()
+        """Open scan flows (still streaming), pool flows awaiting
+        their final RESULT, or mask/beam ops whose reply is not yet
+        fully written. Idle mask/beam flows are request-response and
+        have no tail to flush, so they never hold the drain open —
+        but an ADVANCE/BATCH_ADVANCE already received gets its one
+        reply out before GOODBYE (``_ops_inflight``)."""
+        return (
+            bool(self._pending)
+            or self._ops_inflight > 0
+            or any(
+                flow.mask is None and flow.beam is None
+                for conn in self._connections.values()
+                for flow in conn.flows.values()
+            )
         )
 
     async def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
@@ -963,9 +973,15 @@ class ScanServer:
         flow.mask = MaskSession(table, metrics=self.metrics)
         conn.flows[flow_id] = flow
         self.metrics.counter("structgen.sessions_opened").inc()
-        await conn.send(
-            protocol.encode_mask(flow_id, flow.mask.state, flow.mask.mask())
-        )
+        self._ops_inflight += 1
+        try:
+            await conn.send(
+                protocol.encode_mask(
+                    flow_id, flow.mask.state, flow.mask.mask()
+                )
+            )
+        finally:
+            self._ops_inflight -= 1
 
     async def _advance(self, conn: _Connection, frame: Frame) -> None:
         flow_id, token_id = protocol.decode_advance(frame)
@@ -979,22 +995,30 @@ class ScanServer:
         from repro.apps.structgen.masks import MaskError
 
         started = time.perf_counter()
+        self._ops_inflight += 1
         try:
-            state = flow.mask.advance(token_id)
-            row = flow.mask.mask()
-        except MaskError as exc:
-            del conn.flows[flow_id]
-            await conn.send_error(flow_id, ErrorCode.BAD_TOKEN, str(exc))
-            return
-        except Exception as exc:
-            self.metrics.counter("server.errors.scan").inc()
-            del conn.flows[flow_id]
-            await conn.send_error(flow_id, ErrorCode.INTERNAL, str(exc))
-            return
-        self.metrics.histogram("latency.mask_s").observe(
-            time.perf_counter() - started
-        )
-        await conn.send(protocol.encode_mask(flow_id, state, row))
+            try:
+                state = flow.mask.advance(token_id)
+                row = flow.mask.mask()
+            except MaskError as exc:
+                del conn.flows[flow_id]
+                await conn.send_error(
+                    flow_id, ErrorCode.BAD_TOKEN, str(exc)
+                )
+                return
+            except Exception as exc:
+                self.metrics.counter("server.errors.scan").inc()
+                del conn.flows[flow_id]
+                await conn.send_error(
+                    flow_id, ErrorCode.INTERNAL, str(exc)
+                )
+                return
+            self.metrics.histogram("latency.mask_s").observe(
+                time.perf_counter() - started
+            )
+            await conn.send(protocol.encode_mask(flow_id, state, row))
+        finally:
+            self._ops_inflight -= 1
 
     # ------------------------------------------------------------------
     # beam flows (batched constrained decoding)
@@ -1066,7 +1090,11 @@ class ScanServer:
         flow.beam = BeamMaskSession(table, width, metrics=self.metrics)
         conn.flows[flow_id] = flow
         self.metrics.counter("structgen.beams_opened").inc()
-        await conn.send(self._encode_beam_masks(flow))
+        self._ops_inflight += 1
+        try:
+            await conn.send(self._encode_beam_masks(flow))
+        finally:
+            self._ops_inflight -= 1
 
     async def _batch_advance(
         self, conn: _Connection, frame: Frame
@@ -1083,29 +1111,37 @@ class ScanServer:
         from repro.server.protocol import BeamOp
 
         started = time.perf_counter()
+        self._ops_inflight += 1
         try:
-            if op == BeamOp.ADVANCE:
-                flow.beam.advance(arg)
-            elif op == BeamOp.FORK:
-                flow.beam.fork(arg)
-            else:
-                flow.beam.rollback(arg)
-        except MaskError as exc:
-            # The beam is atomic: the failed op moved nothing, so the
-            # flow stays open on its previous states. Report and let
-            # the client pick another token.
-            await conn.send_error(flow_id, ErrorCode.BAD_TOKEN, str(exc))
-            return
-        except Exception as exc:
-            self.metrics.counter("server.errors.scan").inc()
-            del conn.flows[flow_id]
-            await conn.send_error(flow_id, ErrorCode.INTERNAL, str(exc))
-            return
-        reply = self._encode_beam_masks(flow)
-        self.metrics.histogram("latency.mask_s").observe(
-            time.perf_counter() - started
-        )
-        await conn.send(reply)
+            try:
+                if op == BeamOp.ADVANCE:
+                    flow.beam.advance(arg)
+                elif op == BeamOp.FORK:
+                    flow.beam.fork(arg)
+                else:
+                    flow.beam.rollback(arg)
+            except MaskError as exc:
+                # The beam is atomic: the failed op moved nothing, so
+                # the flow stays open on its previous states. Report
+                # and let the client pick another token.
+                await conn.send_error(
+                    flow_id, ErrorCode.BAD_TOKEN, str(exc)
+                )
+                return
+            except Exception as exc:
+                self.metrics.counter("server.errors.scan").inc()
+                del conn.flows[flow_id]
+                await conn.send_error(
+                    flow_id, ErrorCode.INTERNAL, str(exc)
+                )
+                return
+            reply = self._encode_beam_masks(flow)
+            self.metrics.histogram("latency.mask_s").observe(
+                time.perf_counter() - started
+            )
+            await conn.send(reply)
+        finally:
+            self._ops_inflight -= 1
 
     async def _client_goodbye(self, conn: _Connection) -> None:
         """Client is done sending: flush its pending pool flows, then

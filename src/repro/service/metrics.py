@@ -25,7 +25,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "escape_label_value",
+    "merge_expositions",
     "prometheus_name",
+    "relabel_exposition",
 ]
 
 _NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
@@ -49,6 +51,80 @@ def escape_label_value(value: str) -> str:
         .replace('"', r"\"")
         .replace("\n", r"\n")
     )
+
+
+def relabel_exposition(text: str, labels: dict[str, str]) -> str:
+    """Inject ``labels`` into every sample line of a Prometheus
+    exposition (comment lines pass through untouched). Existing
+    labels — histogram ``le`` buckets — are preserved; the new pairs
+    are appended after them."""
+    if not labels:
+        return text
+    pairs = ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    out: list[str] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            existing, _, value = rest.rpartition("} ")
+            out.append(f"{name}{{{existing},{pairs}}} {value}")
+        else:
+            name, _, value = line.partition(" ")
+            out.append(f"{name}{{{pairs}}} {value}")
+    return "\n".join(out) + ("\n" if text.endswith("\n") else "")
+
+
+def merge_expositions(
+    parts: list[tuple[dict[str, str], str]]
+) -> str:
+    """Merge several expositions into one scrapeable page.
+
+    Each part is ``(labels, exposition_text)``; the labels are
+    injected into that part's samples (so a proxy can tag each
+    backend's metrics with ``backend="host:port"``). The format
+    requires every line of one metric grouped under a single
+    ``# TYPE`` comment, so samples of the same metric arriving from
+    several parts are regrouped into one block, comments deduped."""
+    order: list[str] = []
+    blocks: dict[str, dict[str, list[str]]] = {}
+
+    def block_for(key: str) -> dict[str, list[str]]:
+        block = blocks.get(key)
+        if block is None:
+            block = blocks[key] = {"comments": [], "samples": []}
+            order.append(key)
+        return block
+
+    for labels, text in parts:
+        current: dict[str, list[str]] | None = None
+        for line in relabel_exposition(text, labels).splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                # "# TYPE <metric> <kind>" / "# HELP <metric> ..."
+                words = line.split()
+                key = words[2] if len(words) >= 3 else line
+                current = block_for(key)
+                if line not in current["comments"]:
+                    current["comments"].append(line)
+            elif current is not None:
+                # render_prometheus() groups samples under their
+                # comment, so the open block owns this line.
+                current["samples"].append(line)
+            else:
+                # Headerless sample: group by its own name.
+                key = line.partition("{")[0].partition(" ")[0]
+                block_for(key)["samples"].append(line)
+    lines: list[str] = []
+    for key in order:
+        lines.extend(blocks[key]["comments"])
+        lines.extend(blocks[key]["samples"])
+    return "\n".join(lines) + "\n"
 
 
 class Counter:

@@ -164,7 +164,8 @@ def test_stack_tagger_accepts_all_derivations(grammar, seed):
     expand(grammar.start)
     data = b" ".join(tokens)
     assume(data)  # the empty sentence has no tokens to tag
-    assert StackTagger(grammar, max_depth=32, max_threads=256).accepts(data)
+    tagger = StackTagger(grammar, max_depth=32, max_threads=256)
+    assert tagger.accepts(data), (grammar.describe(), data)
 
 
 @given(

@@ -88,6 +88,39 @@ class TestStackTaggerGeneral:
         assert tagger.accepts(b"(0) 0 ((0))")
         assert not tagger.accepts(b"(0) (0")
 
+    def test_ambiguous_epsilon_grammar_merges_threads(self):
+        """Regression: equivalent threads merge instead of multiplying.
+
+        This fuzz-found grammar derives 8 a's many ways; without the
+        per-round (position, stack, resume) merge the tagger forked
+        past ``max_threads`` and ``accepts`` misread the explosion as
+        a rejection of a sentence the grammar derives.
+        """
+        from repro.grammar.cfg import Grammar
+        from repro.grammar.lexspec import LexSpec
+        from repro.grammar.symbols import NonTerminal
+
+        lexspec = LexSpec()
+        lexspec.define_literal("a")
+        grammar = Grammar("fuzz-regression", lexspec)
+        a = Terminal("a")
+        s0, s1, s2, s3 = (NonTerminal(f"S{i}") for i in range(4))
+        grammar.add(s0, [s1, s1, s1])
+        grammar.add(s0, [])
+        grammar.add(s0, [a, a, a, a])
+        grammar.add(s1, [a, a, a])
+        grammar.add(s1, [])
+        grammar.add(s1, [a, a, s2, s2])
+        grammar.add(s2, [s3, s3, a])
+        grammar.add(s3, [])
+        grammar.start = s0
+        tagger = StackTagger(grammar, max_depth=32, max_threads=256)
+        # S1 derives 0, 3, or 4 a's, so S1 S1 S1 reaches 7 and 8 ...
+        assert tagger.accepts(b"a a a a a a a a")
+        assert tagger.accepts(b"a a a a a a a")
+        # ... but never 5, and the merge keeps that an honest reject.
+        assert not tagger.accepts(b"a a a a a")
+
     def test_left_recursion_detected(self):
         g = parse_yacc_grammar(
             """

@@ -192,3 +192,64 @@ def test_old_format_blob_heals_with_deltas(registry, vocab):
     described = info["masks"][vocab.vocab_hash[:16]]
     assert described["rev"] == 2
     assert described["deltas"]["rows_deltified"] > 0
+
+
+def _race_loader(root, ref, vocab_hash, barrier, out_q):
+    """Child process: wait at the barrier, then load (and heal) the
+    rev-1 blob; ship the loaded rows back for equality checks."""
+    from repro.service.registry import Registry
+
+    barrier.wait(timeout=30)
+    table = Registry(root).load_masks(ref, vocab_hash)
+    out_q.put((table.rows, list(table.cd_ids), table.has_deltas))
+
+
+def test_concurrent_heal_republish_is_atomic(registry, vocab):
+    """Two processes racing the rev-1 → rev-2 heal re-publish while a
+    third inspects: every inspect sees a whole blob (rev 1 or rev 2,
+    never a read error), and both healed loads serve identical rows.
+    The heal routes through mkstemp + os.replace, so a half-written
+    artifact is never visible at the published path."""
+    import multiprocessing as mp
+
+    ref = registry.publish("xmlrpc", xmlrpc())
+    registry.publish_masks(ref, vocab, delta_budget=0)
+    info = registry.inspect(ref)
+    assert info["masks"][vocab.vocab_hash[:16]]["rev"] == 1
+
+    ctx = mp.get_context()
+    barrier = ctx.Barrier(3)
+    out_q = ctx.Queue()
+    loaders = [
+        ctx.Process(
+            target=_race_loader,
+            args=(registry.root, ref, vocab.vocab_hash, barrier, out_q),
+        )
+        for _ in range(2)
+    ]
+    for proc in loaders:
+        proc.start()
+    barrier.wait(timeout=30)
+    # Inspect continuously while the heals re-publish underneath.
+    while any(proc.is_alive() for proc in loaders):
+        described = Registry(registry.root).inspect(ref)["masks"][
+            vocab.vocab_hash[:16]
+        ]
+        assert "error" not in described, described
+        assert described["rev"] in (1, 2), described
+    results = [out_q.get(timeout=30) for _ in loaders]
+    for proc in loaders:
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+
+    fresh = build_mask_table(xmlrpc(), vocab)
+    for rows, cd_ids, has_deltas in results:
+        assert rows == fresh.rows
+        assert cd_ids == list(fresh.cd_ids)
+        assert has_deltas
+    # The store converged on one whole rev-2 blob.
+    described = Registry(registry.root).inspect(ref)["masks"][
+        vocab.vocab_hash[:16]
+    ]
+    assert described["rev"] == 2
+    assert described["deltas"]["rows_deltified"] > 0

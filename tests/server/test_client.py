@@ -72,6 +72,39 @@ def test_connect_fails_after_retry_budget():
     run(main())
 
 
+def test_connect_backoff_is_capped_and_jittered(monkeypatch):
+    """Doubling stops at ``max_backoff`` and every sleep carries
+    ±25 % jitter — a flapping backend can't push a client into
+    minutes-long lockstep sleeps."""
+
+    async def main():
+        sleeps = []
+        real_sleep = asyncio.sleep
+
+        async def fake_sleep(delay, *args, **kwargs):
+            sleeps.append(delay)
+            await real_sleep(0)
+
+        monkeypatch.setattr(asyncio, "sleep", fake_sleep)
+        client = ScanClient(
+            "127.0.0.1", _free_port(),
+            connect_retries=8, retry_backoff=0.05, max_backoff=0.2,
+            connect_timeout=0.5,
+        )
+        with pytest.raises(ConnectFailed, match="8 attempts"):
+            await client.connect()
+        assert len(sleeps) == 8
+        # Nominal schedule 0.05, 0.1, 0.2, 0.2, ... — every sleep is
+        # within jitter range of its nominal value, never above the
+        # cap's +25 % ceiling.
+        assert max(sleeps) <= 0.2 * 1.25 + 1e-9
+        assert sleeps[0] >= 0.05 * 0.75 - 1e-9
+        for capped in sleeps[2:]:
+            assert 0.2 * 0.75 - 1e-9 <= capped <= 0.2 * 1.25 + 1e-9
+
+    run(main())
+
+
 def test_finish_times_out_when_no_result_arrives():
     """A FINISH_FLOW the server never answers (unopened flow id is
     answered with ERROR; here we silence it by talking to a raw

@@ -1,0 +1,317 @@
+"""The cluster tier: consistent-hash ring and the ScanProxy.
+
+Ring properties (determinism, minimal remap on membership change),
+backend-spec parsing, and the proxy's end-to-end contract: scan, mask
+and beam flows through the proxy are byte-for-byte identical to flows
+against a single server, the aggregated admin endpoint merges backend
+expositions under ``backend="host:port"`` labels, and the protocol
+fault paths (duplicate open, operating on an unknown flow) reply with
+the same typed errors a bare :class:`~repro.server.ScanServer` would.
+"""
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.apps.structgen import MaskSession, build_mask_table, synthetic_vocab
+from repro.apps.xmlrpc import ContentBasedRouter, MethodCall
+from repro.grammar.examples import xmlrpc
+from repro.server import (
+    BackendSpec,
+    HashRing,
+    ScanClient,
+    ScanProxy,
+    ScanServer,
+    parse_backend,
+    protocol,
+)
+from repro.server.cluster import _http_get
+from repro.server.loadgen import _set_bits
+from repro.server.protocol import ErrorCode, ServerFault
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _read_frame(reader, max_frame=1 << 20):
+    from repro.server.server import _read_frame as read
+
+    return await read(reader, max_frame)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_mask_table(xmlrpc(), synthetic_vocab(size=384, seed=7))
+
+
+@contextlib.asynccontextmanager
+async def running_cluster(table, n=2, *, admin=False, **proxy_kwargs):
+    """N mask-serving backends behind a started ScanProxy."""
+    servers = []
+    for _ in range(n):
+        server = ScanServer(
+            port=0, mask_tables=[table], admin_port=0 if admin else None
+        )
+        await server.start()
+        servers.append(server)
+    if admin:
+        backends = [
+            (s.address[0], s.address[1], s.admin_address[1]) for s in servers
+        ]
+    else:
+        backends = [s.address for s in servers]
+    proxy = ScanProxy(backends, port=0, **proxy_kwargs)
+    await proxy.start()
+    try:
+        yield proxy, servers
+    finally:
+        await proxy.stop(drain=False)
+        for server in servers:
+            if not server._stopped.is_set():
+                await server.stop(drain=False)
+
+
+# ----------------------------------------------------------------------
+# the ring
+# ----------------------------------------------------------------------
+def _ring(members):
+    ring = HashRing()
+    for member in members:
+        ring.add(member)
+    return ring
+
+
+def test_ring_lookup_is_deterministic():
+    ring = _ring(["a:1", "b:2", "c:3"])
+    other = _ring(["c:3", "a:1", "b:2"])  # insertion order irrelevant
+    keys = [f"flow-{i}" for i in range(200)]
+    owners = [ring.lookup(k) for k in keys]
+    assert owners == [other.lookup(k) for k in keys]
+    assert set(owners) == {"a:1", "b:2", "c:3"}
+
+
+def test_ring_removal_only_remaps_the_removed_member():
+    ring = _ring(["a:1", "b:2", "c:3", "d:4"])
+    keys = [f"conn-{i}/flow-{j}" for i in range(40) for j in range(10)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.remove("c:3")
+    for key, owner in before.items():
+        if owner == "c:3":
+            assert ring.lookup(key) != "c:3"
+        else:
+            assert ring.lookup(key) == owner, key
+
+
+def test_ring_preference_walks_all_members():
+    ring = _ring(["a:1", "b:2", "c:3"])
+    pref = ring.preference("some-key")
+    assert sorted(pref) == ["a:1", "b:2", "c:3"]
+    assert pref[0] == ring.lookup("some-key")
+
+
+def test_ring_spreads_keys():
+    members = [f"b{i}:9" for i in range(4)]
+    ring = _ring(members)
+    counts = {m: 0 for m in members}
+    for i in range(2000):
+        counts[ring.lookup(f"key-{i}")] += 1
+    # every member owns a non-trivial share (vnodes smooth the split)
+    assert all(count > 200 for count in counts.values()), counts
+
+
+def test_parse_backend_forms():
+    assert parse_backend("host:9431") == BackendSpec("host", 9431, None)
+    assert parse_backend("host:9431:9911") == BackendSpec("host", 9431, 9911)
+    assert parse_backend(("h", 1)) == BackendSpec("h", 1, None)
+    assert parse_backend(("h", 1, 2)) == BackendSpec("h", 1, 2)
+    spec = BackendSpec("h", 1, 2)
+    assert parse_backend(spec) is spec
+    assert spec.name == "h:1"
+    with pytest.raises(ValueError):
+        parse_backend("no-port")
+
+
+# ----------------------------------------------------------------------
+# proxied flows ≡ direct flows
+# ----------------------------------------------------------------------
+def test_proxied_scan_matches_direct(table):
+    """Concurrent scan flows through the proxy produce exactly the
+    single-process router's events, and both backends take load."""
+
+    async def scenario():
+        router = ContentBasedRouter()
+        payloads = [
+            MethodCall(name).encode() + b" "
+            for name in ("buy", "sell", "deposit", "withdraw",
+                         "transfer", "query")
+        ]
+        async with running_cluster(table, n=2) as (proxy, servers):
+            async with ScanClient(*proxy.address) as client:
+                results = await asyncio.gather(
+                    *(client.scan_stream(p, chunk_size=7) for p in payloads)
+                )
+            assert results == [router.route(p) for p in payloads]
+            opened = [
+                s.stats()["counters"].get("server.flows.opened", 0)
+                for s in servers
+            ]
+            assert sum(opened) == len(payloads)
+
+    run(scenario())
+
+
+def test_proxied_mask_flow_matches_local_session(table):
+    async def scenario():
+        async with running_cluster(table, n=2) as (proxy, _servers):
+            async with ScanClient(*proxy.address) as client:
+                flow = await client.open_mask_flow(table.vocab_hash)
+                local = MaskSession(table)
+                assert flow.mask == local.mask()
+                for step in range(40):
+                    valid = _set_bits(local.mask())
+                    if not valid:
+                        break
+                    token = valid[step % len(valid)]
+                    state, row = await flow.advance(token)
+                    assert state == local.advance(token), f"step {step}"
+                    assert row == local.mask(), f"step {step}"
+                await flow.close()
+
+    run(scenario())
+
+
+def test_proxied_beam_flow_matches_mirrors(table):
+    """Beam deltas are relayed raw — the client's decoded rows must
+    still track per-lane mirrors through advances, a fork and a
+    rollback."""
+
+    async def scenario():
+        async with running_cluster(table, n=2) as (proxy, _servers):
+            async with ScanClient(*proxy.address) as client:
+                flow = await client.open_beam_flow(table.vocab_hash, 4)
+                mirror = [MaskSession(table) for _ in range(4)]
+                assert flow.rows == [m.mask() for m in mirror]
+                for step in range(20):
+                    ids = []
+                    for m in mirror:
+                        valid = _set_bits(m.mask())
+                        if not valid:
+                            return
+                        ids.append(valid[0])
+                    await flow.advance(ids)
+                    for m, token in zip(mirror, ids):
+                        m.advance(token)
+                    assert flow.states == tuple(m.state for m in mirror)
+                    assert flow.rows == [m.mask() for m in mirror], step
+                await flow.fork(0)
+                assert flow.width == 5
+                await flow.rollback(1)
+                assert flow.width == 4
+                await flow.close()
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# fault paths mirror the single-server contract
+# ----------------------------------------------------------------------
+def test_proxy_duplicate_and_unknown_flow_errors(table):
+    async def scenario():
+        async with running_cluster(table, n=2) as (proxy, _servers):
+            reader, writer = await asyncio.open_connection(*proxy.address)
+            writer.write(protocol.encode_hello())
+            await writer.drain()
+            await _read_frame(reader)  # proxy HELLO
+
+            writer.write(protocol.encode_open_flow(7))
+            writer.write(protocol.encode_open_flow(7))  # duplicate
+            await writer.drain()
+            frame = await asyncio.wait_for(_read_frame(reader), 5.0)
+            flow_id, code, _detail = protocol.decode_error(frame)
+            assert (flow_id, code) == (7, ErrorCode.DUPLICATE_FLOW)
+
+            writer.write(protocol.encode_data(99, b"zz"))  # never opened
+            await writer.drain()
+            frame = await asyncio.wait_for(_read_frame(reader), 5.0)
+            flow_id, code, _detail = protocol.decode_error(frame)
+            assert (flow_id, code) == (99, ErrorCode.UNKNOWN_FLOW)
+            writer.close()
+
+    run(scenario())
+
+
+def test_proxy_refuses_when_no_backend_healthy(table):
+    """All backends down → opening a flow yields a typed FAILOVER
+    error instead of a hang."""
+
+    async def scenario():
+        async with running_cluster(
+            table, n=1, health_interval=0.1
+        ) as (proxy, servers):
+            await servers[0].stop(drain=False)
+            await asyncio.sleep(0.4)  # let the prober eject it
+            async with ScanClient(*proxy.address) as client:
+                flow = await client.open_flow()
+                await flow.send(b"data")
+                with pytest.raises(ServerFault) as info:
+                    await flow.finish(timeout=10.0)
+                assert info.value.code == ErrorCode.FAILOVER
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# aggregated admin endpoint
+# ----------------------------------------------------------------------
+def test_proxy_admin_aggregates_backends(table):
+    async def scenario():
+        async with running_cluster(
+            table, n=2, admin=True, admin_port=0
+        ) as (proxy, _servers):
+            # drive a little traffic so counters are non-zero
+            async with ScanClient(*proxy.address) as client:
+                await client.scan_stream(
+                    MethodCall("buy").encode(), chunk_size=5
+                )
+
+            host, port = proxy.admin_address
+            status, body = await _http_get(host, port, "/healthz")
+            assert status == 200 and body == "ok\n"
+
+            status, body = await _http_get(host, port, "/metrics")
+            assert status == 200
+            # proxy's own series plus relabeled backend series
+            assert "repro_proxy_flows_scan" in body
+            assert 'backend="' in body
+            # merged exposition keeps one TYPE line per metric
+            lines = body.splitlines()
+            type_lines = [l for l in lines if l.startswith("# TYPE ")]
+            assert len(type_lines) == len(set(type_lines))
+
+            status, body = await _http_get(host, port, "/stats")
+            assert status == 200
+            stats = json.loads(body)
+            assert len(stats["backends"]) == 2
+            for info in stats["backends"].values():
+                assert info["healthy"] is True
+                assert info["stats"] is not None
+
+    run(scenario())
+
+
+def test_proxy_healthz_degrades_to_503(table):
+    async def scenario():
+        async with running_cluster(
+            table, n=1, admin_port=0, health_interval=0.1
+        ) as (proxy, servers):
+            await servers[0].stop(drain=False)
+            await asyncio.sleep(0.4)
+            host, port = proxy.admin_address
+            status, body = await _http_get(host, port, "/healthz")
+            assert status == 503
+            assert "no healthy backends" in body
+
+    run(scenario())

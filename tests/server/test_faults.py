@@ -302,3 +302,59 @@ def test_drain_rejects_new_flows_but_completes_open_ones(
         await client.close()
 
     run(main())
+
+
+def test_drain_waits_for_inflight_mask_op():
+    """Regression: a BATCH_ADVANCE/ADVANCE whose reply write is
+    backpressured must get its one reply out before GOODBYE —
+    mask/beam ops were invisible to the drain accounting and a
+    stop(drain=True) could cut the connection mid-op."""
+
+    async def main():
+        from repro.apps.structgen import build_mask_table, synthetic_vocab
+        from repro.grammar.examples import xmlrpc
+
+        table = build_mask_table(xmlrpc(), synthetic_vocab(size=384, seed=7))
+        async with running_server(mask_tables=[table]) as server:
+            host, port = server.address
+            client = ScanClient(host, port)
+            await client.connect()
+            flow = await client.open_mask_flow(table.vocab_hash)
+            token = next(
+                t for t in range(384) if flow.mask[t // 8] >> (t % 8) & 1
+            )
+
+            # Simulate write-side backpressure: the next reply stalls
+            # inside the server's send until we release it.
+            conn = next(iter(server._connections.values()))
+            real_send = conn.send
+            stalled, release = asyncio.Event(), asyncio.Event()
+            first = True
+
+            async def stalling_send(frame_bytes):
+                nonlocal first
+                if first:
+                    first = False
+                    stalled.set()
+                    await release.wait()
+                await real_send(frame_bytes)
+
+            conn.send = stalling_send
+            reply = asyncio.ensure_future(flow.advance(token))
+            await stalled.wait()
+
+            stopper = asyncio.ensure_future(
+                server.stop(drain=True, timeout=10.0)
+            )
+            # Well past the 50 ms rx-quiescence window: only the op
+            # accounting can be holding the drain open now.
+            await asyncio.sleep(0.15)
+            assert not stopper.done(), "drain cut an in-flight mask op"
+
+            release.set()
+            state, row = await reply  # the reply made it out
+            assert row == bytes(table.mask_row(state))
+            await stopper
+            await client.close()
+
+    run(main())

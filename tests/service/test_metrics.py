@@ -7,7 +7,9 @@ from repro.service.metrics import (
     Histogram,
     MetricsRegistry,
     escape_label_value,
+    merge_expositions,
     prometheus_name,
+    relabel_exposition,
 )
 
 
@@ -189,3 +191,64 @@ def test_service_batch_and_skip_instruments():
     assert snapshot["histograms"]["vector.skip_ratio"]["p99_s"] == 1.0
     text = registry.render_prometheus()
     assert 'repro_batch_size_bucket{le="8"} 3' in text
+
+
+# ----------------------------------------------------------------------
+# exposition merging (the proxy's aggregated /metrics)
+# ----------------------------------------------------------------------
+def test_relabel_injects_labels_into_every_sample():
+    registry = MetricsRegistry()
+    registry.counter("rx.frames").inc(3)
+    hist = registry.histogram("lat", bounds=(0.5,))
+    hist.observe(0.1)
+    text = relabel_exposition(
+        registry.render_prometheus(), {"backend": "10.0.0.1:9431"}
+    )
+    assert 'repro_rx_frames{backend="10.0.0.1:9431"} 3' in text
+    # Existing le labels are preserved, new labels appended.
+    assert (
+        'repro_lat_bucket{le="0.5",backend="10.0.0.1:9431"} 1' in text
+    )
+    assert 'repro_lat_count{backend="10.0.0.1:9431"} 1' in text
+    # Comments pass through untouched.
+    assert "# TYPE repro_rx_frames counter" in text
+
+
+def test_relabel_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    text = relabel_exposition(
+        registry.render_prometheus(), {"name": 'a"b\\c'}
+    )
+    assert 'name="a\\"b\\\\c"' in text
+
+
+def test_merge_expositions_regroups_per_metric():
+    """Two backends exposing the same metric merge into ONE block —
+    a single # TYPE comment with both labeled samples under it, as
+    the exposition format requires."""
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("rx.frames").inc(1)
+    a.counter("only.a").inc(7)
+    b.counter("rx.frames").inc(2)
+    merged = merge_expositions(
+        [
+            ({"backend": "a:1"}, a.render_prometheus()),
+            ({"backend": "b:2"}, b.render_prometheus()),
+        ]
+    )
+    lines = merged.splitlines()
+    assert lines.count("# TYPE repro_rx_frames counter") == 1
+    type_at = lines.index("# TYPE repro_rx_frames counter")
+    # Both samples sit directly under the one TYPE line.
+    group = lines[type_at + 1 : type_at + 3]
+    assert 'repro_rx_frames{backend="a:1"} 1' in group
+    assert 'repro_rx_frames{backend="b:2"} 2' in group
+    assert 'repro_only_a{backend="a:1"} 7' in merged
+
+
+def test_merge_expositions_unlabeled_part_passes_through():
+    own = MetricsRegistry()
+    own.gauge("backends.healthy").set(2)
+    merged = merge_expositions([({}, own.render_prometheus())])
+    assert "repro_backends_healthy 2" in merged
